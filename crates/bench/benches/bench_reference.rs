@@ -1,0 +1,63 @@
+//! Criterion bench for the reference CapsuleNet: float and bit-exact
+//! quantized inference on the scaled network configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use capsacc_capsnet::{
+    infer_f32, infer_q8, CapsNetConfig, CapsNetParams, QuantPipeline, RoutingVariant,
+};
+use capsacc_fixed::NumericConfig;
+use capsacc_mnist::SyntheticMnist;
+use capsacc_tensor::Tensor;
+
+fn image_for(net: &CapsNetConfig) -> Tensor<f32> {
+    Tensor::from_fn(&[1, net.input_side, net.input_side], |i| {
+        ((i[1] * 3 + i[2] * 5) % 11) as f32 / 11.0
+    })
+}
+
+fn bench_infer(c: &mut Criterion) {
+    for (label, net) in [("tiny", CapsNetConfig::tiny()), ("small", CapsNetConfig::small())] {
+        let params = CapsNetParams::generate(&net, 42);
+        let ncfg = NumericConfig::default();
+        let qparams = params.quantize(ncfg);
+        let pipe = QuantPipeline::new(ncfg);
+        let image = image_for(&net);
+        c.bench_function(&format!("capsnet/infer_f32/{label}"), |b| {
+            b.iter(|| {
+                infer_f32(
+                    black_box(&net),
+                    black_box(&params),
+                    black_box(&image),
+                    RoutingVariant::SkipFirstSoftmax,
+                )
+            })
+        });
+        c.bench_function(&format!("capsnet/infer_q8/{label}"), |b| {
+            b.iter(|| {
+                infer_q8(
+                    black_box(&net),
+                    black_box(&qparams),
+                    black_box(&pipe),
+                    black_box(&image),
+                    RoutingVariant::SkipFirstSoftmax,
+                )
+            })
+        });
+    }
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let ds = SyntheticMnist::new(7);
+    c.bench_function("mnist/rasterize_sample", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            ds.sample(black_box(i))
+        })
+    });
+}
+
+criterion_group!(benches, bench_infer, bench_dataset);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for routing-by-agreement (Figs. 9 and 17 substrate):
+//! the float and quantized routing implementations, original versus
+//! optimized variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use capsacc_capsnet::{route_f32, RoutingVariant};
+use capsacc_tensor::Tensor;
+
+fn u_hat(in_caps: usize, classes: usize, dim: usize) -> Tensor<f32> {
+    Tensor::from_fn(&[in_caps, classes, dim], |i| {
+        let v = (i[0] * 31 + i[1] * 17 + i[2] * 7) % 13;
+        v as f32 / 13.0 - 0.5
+    })
+}
+
+fn bench_route_f32(c: &mut Criterion) {
+    // MNIST-shaped routing: 1152 capsules → 10 classes × 16 dims.
+    let uh = u_hat(1152, 10, 16);
+    c.bench_function("routing/f32/original/mnist", |b| {
+        b.iter(|| route_f32(black_box(&uh), 3, RoutingVariant::Original))
+    });
+    c.bench_function("routing/f32/skip_first_softmax/mnist", |b| {
+        b.iter(|| route_f32(black_box(&uh), 3, RoutingVariant::SkipFirstSoftmax))
+    });
+}
+
+fn bench_route_iterations(c: &mut Criterion) {
+    let uh = u_hat(256, 10, 16);
+    let mut group = c.benchmark_group("routing/f32/iterations");
+    for iters in [1usize, 3, 5] {
+        group.bench_function(format!("{iters}"), |b| {
+            b.iter(|| route_f32(black_box(&uh), iters, RoutingVariant::SkipFirstSoftmax))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_f32, bench_route_iterations);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the squash path (Fig. 3 substrate): the exact
+//! float squash versus the hardware LUT pipeline (norm unit + 2048-entry
+//! squash LUT), plus the softmax unit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use capsacc_capsnet::QuantPipeline;
+use capsacc_fixed::NumericConfig;
+use capsacc_tensor::ops;
+
+fn bench_squash(c: &mut Criterion) {
+    let pipe = QuantPipeline::new(NumericConfig::default());
+    let v16_q: Vec<i8> = (0..16).map(|i| (i * 7 - 50) as i8).collect();
+    let v16_f: Vec<f32> = v16_q.iter().map(|&x| x as f32 / 32.0).collect();
+
+    c.bench_function("squash/f32/16d", |b| b.iter(|| ops::squash(black_box(&v16_f))));
+    c.bench_function("squash/lut/16d", |b| {
+        b.iter(|| pipe.squash_vec(black_box(&v16_q)))
+    });
+    c.bench_function("squash/norm_unit/16d", |b| {
+        b.iter(|| pipe.norm8(black_box(&v16_q)))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let pipe = QuantPipeline::new(NumericConfig::default());
+    let logits_q: Vec<i8> = (0..10).map(|i| (i * 9 - 40) as i8).collect();
+    let logits_f: Vec<f32> = logits_q.iter().map(|&x| x as f32 / 16.0).collect();
+    c.bench_function("softmax/f32/10way", |b| {
+        b.iter(|| ops::softmax(black_box(&logits_f)))
+    });
+    c.bench_function("softmax/exp_lut/10way", |b| {
+        b.iter(|| pipe.softmax(black_box(&logits_q)))
+    });
+}
+
+fn bench_lut_construction(c: &mut Criterion) {
+    c.bench_function("lut/pipeline_construction", |b| {
+        b.iter(|| QuantPipeline::new(black_box(NumericConfig::default())))
+    });
+}
+
+criterion_group!(benches, bench_squash, bench_softmax, bench_lut_construction);
+criterion_main!(benches);

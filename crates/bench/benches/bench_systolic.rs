@@ -1,0 +1,56 @@
+//! Criterion bench for the cycle-accurate systolic-array engine: how
+//! fast the RTL-level simulation itself runs (PE ticks per second), and
+//! the cost of a full cycle-accurate tiny-network inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
+use capsacc_core::{Accelerator, AcceleratorConfig, ActivationKind};
+use capsacc_tensor::Tensor;
+
+fn bench_tile_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/matmul");
+    for size in [4usize, 8, 16] {
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.rows = size;
+        cfg.cols = size;
+        cfg.activation_units = size;
+        group.bench_with_input(
+            BenchmarkId::new("square", size),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut acc = Accelerator::new(*cfg);
+                    acc.matmul(
+                        &|m, k| ((m * 7 + k) % 100) as i8,
+                        &|k, n| ((k * 3 + n) % 50) as i8,
+                        black_box(32),
+                        black_box(32),
+                        black_box(32),
+                        None,
+                        6,
+                        ActivationKind::Identity,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_cycle_accurate_inference(c: &mut Criterion) {
+    let net = CapsNetConfig::tiny();
+    let cfg = AcceleratorConfig::test_4x4();
+    let qparams = CapsNetParams::generate(&net, 1).quantize(cfg.numeric);
+    let image = Tensor::from_fn(&[1, 12, 12], |i| (i[1] + i[2]) as f32 / 24.0);
+    c.bench_function("engine/full_inference/tiny_4x4", |b| {
+        b.iter(|| {
+            let mut acc = Accelerator::new(cfg);
+            acc.run_inference(black_box(&net), black_box(&qparams), black_box(&image))
+        })
+    });
+}
+
+criterion_group!(benches, bench_tile_matmul, bench_full_cycle_accurate_inference);
+criterion_main!(benches);

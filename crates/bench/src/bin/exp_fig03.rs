@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 3** of the paper: the single-dimensional squashing
+//! function and its first derivative over `x ∈ [0, 6]`, including the
+//! derivative peak the paper reports at `(0.5767, 0.6495)`, plus the
+//! hardware squash-LUT approximation error.
+
+use capsacc_bench::print_table;
+use capsacc_fixed::{squash_derivative_1d, squash_scalar_1d, NumericConfig, SquashLut};
+
+fn main() {
+    // The curve series (the paper plots these on a linear axis).
+    let rows: Vec<Vec<String>> = (0..=24)
+        .map(|i| {
+            let x = i as f32 * 0.25;
+            vec![
+                format!("{x:.2}"),
+                format!("{:.4}", squash_scalar_1d(x)),
+                format!("{:.4}", squash_derivative_1d(x)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 3 — squash(x) and its first derivative",
+        &["x", "squash", "squash'"],
+        &rows,
+    );
+
+    // Locate the derivative peak numerically.
+    let mut best = (0.0f32, 0.0f32);
+    for i in 0..60_000 {
+        let x = i as f32 * 1e-4;
+        let d = squash_derivative_1d(x);
+        if d > best.1 {
+            best = (x, d);
+        }
+    }
+    println!(
+        "\nDerivative peak: ({:.4}, {:.4})   paper: (0.5767, 0.6495)",
+        best.0, best.1
+    );
+
+    // Hardware LUT fidelity (6-bit data × 5-bit norm → 8-bit out).
+    let lut = SquashLut::new(NumericConfig::default());
+    println!(
+        "Squash LUT: {} entries, max |error| = {:.4} (one Q2.5 LSB = {:.4})",
+        SquashLut::ENTRIES,
+        lut.max_abs_error(),
+        1.0 / 32.0
+    );
+}

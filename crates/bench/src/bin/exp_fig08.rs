@@ -1,0 +1,33 @@
+//! Regenerates **Fig. 8** of the paper: layer-wise GPU inference time of
+//! the MNIST CapsuleNet (calibrated GTX1070 model).
+
+use capsacc_bench::{fmt_us, log_bar, print_table};
+use capsacc_capsnet::CapsNetConfig;
+use capsacc_gpu_model::GpuModel;
+
+fn main() {
+    let gpu = GpuModel::gtx1070();
+    let net = CapsNetConfig::mnist();
+    let t = gpu.layer_times_us(&net);
+    let max = t.total();
+    let mut rows: Vec<Vec<String>> = t
+        .rows()
+        .into_iter()
+        .map(|(name, us)| vec![name.to_owned(), fmt_us(us), log_bar(us, max, 40)])
+        .collect();
+    rows.push(vec![
+        "Total".into(),
+        fmt_us(t.total()),
+        log_bar(t.total(), max, 40),
+    ]);
+    print_table(
+        "Fig. 8 — Layer-wise GPU inference time (log-scale bars)",
+        &["Layer", "Time", ""],
+        &rows,
+    );
+    println!(
+        "\nShape check (paper Sec. III-B): ClassCaps ≈ 10× slower than the\n\
+         other layers — measured ratio: {:.1}×",
+        t.class_caps / t.conv1.max(t.primary_caps)
+    );
+}

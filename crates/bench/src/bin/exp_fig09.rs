@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 9** of the paper: GPU time of each
+//! routing-by-agreement step (the suffix is the routing iteration).
+
+use capsacc_bench::{fmt_us, log_bar, print_table};
+use capsacc_capsnet::CapsNetConfig;
+use capsacc_gpu_model::GpuModel;
+
+fn main() {
+    let gpu = GpuModel::gtx1070();
+    let net = CapsNetConfig::mnist();
+    let steps = gpu.routing_steps_us(&net);
+    let max = steps.iter().map(|s| s.time_us).fold(0.0, f64::max);
+    let rows: Vec<Vec<String>> = steps
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                fmt_us(s.time_us),
+                log_bar(s.time_us, max, 40),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 9 — GPU time per routing-by-agreement step (log-scale bars)",
+        &["Step", "Time", ""],
+        &rows,
+    );
+
+    let squash: f64 = steps
+        .iter()
+        .filter(|s| s.label.starts_with("Squash"))
+        .map(|s| s.time_us)
+        .sum();
+    let total: f64 = steps.iter().map(|s| s.time_us).sum();
+    println!(
+        "\nShape check (paper Sec. III-B): squashing is the most\n\
+         compute-intensive step — measured share of ClassCaps time: {:.0}%",
+        100.0 * squash / total
+    );
+}

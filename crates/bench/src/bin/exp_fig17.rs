@@ -1,0 +1,70 @@
+//! Regenerates **Fig. 17** of the paper: CapsAcc versus GPU time for
+//! every routing-by-agreement step, with the paper-style annotations
+//! (Load 9% faster, FC 14% slower, Softmax 3×, Sum 3×, Squash 172×,
+//! Update 6×).
+
+use capsacc_bench::{fmt_us, print_table, speedup_label};
+use capsacc_capsnet::CapsNetConfig;
+use capsacc_core::{timing, AcceleratorConfig};
+use capsacc_gpu_model::GpuModel;
+
+fn paper_annotation(label: &str) -> &'static str {
+    if label == "Load" {
+        "9% faster"
+    } else if label == "FC" {
+        "14% slower"
+    } else if label.starts_with("Softmax") || label.starts_with("Sum") {
+        "3x faster"
+    } else if label.starts_with("Squash") {
+        "172x faster"
+    } else {
+        "6x faster"
+    }
+}
+
+fn main() {
+    let acc_cfg = AcceleratorConfig::paper();
+    let net = CapsNetConfig::mnist();
+    let acc_steps = timing::routing_steps(&net, &acc_cfg);
+    let gpu_steps = GpuModel::gtx1070().routing_steps_us(&net);
+    assert_eq!(acc_steps.len(), gpu_steps.len(), "step sequences must align");
+
+    let rows: Vec<Vec<String>> = acc_steps
+        .iter()
+        .zip(&gpu_steps)
+        .map(|(a, g)| {
+            let label = a.step.to_string();
+            assert_eq!(label, g.label, "step order mismatch");
+            let acc_us = a.time_us(&acc_cfg);
+            vec![
+                label.clone(),
+                format!("{}", a.cycles),
+                fmt_us(acc_us),
+                fmt_us(g.time_us),
+                speedup_label(g.time_us, acc_us),
+                paper_annotation(&label).to_owned(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 17 — CapsAcc vs GPU per routing step",
+        &["Step", "CapsAcc cycles", "CapsAcc", "GPU", "Measured", "Paper"],
+        &rows,
+    );
+
+    let acc_total: f64 = acc_steps.iter().map(|s| s.time_us(&acc_cfg)).sum();
+    let gpu_total: f64 = gpu_steps.iter().map(|s| s.time_us).sum();
+    println!(
+        "\nClassCaps phase total: CapsAcc {} vs GPU {} → {}",
+        fmt_us(acc_total),
+        fmt_us(gpu_total),
+        speedup_label(gpu_total, acc_total)
+    );
+    println!(
+        "Note: our squash speedup exceeds the paper's 172× because the model\n\
+         squashes the 10 class capsules on parallel per-column activation\n\
+         units; the paper's measured squash implies extra serialization it\n\
+         does not specify. The qualitative claim — squash goes from GPU\n\
+         bottleneck to negligible — reproduces strongly. See EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Fig. 18** of the paper: the area and power breakdowns
+//! of the CapsAcc accelerator (Data Buffer ≈ 46/47%, Systolic Array
+//! ≈ 23%, buffers dominate).
+
+use capsacc_bench::print_table;
+use capsacc_core::AcceleratorConfig;
+use capsacc_power::PowerModel;
+
+fn main() {
+    let report = PowerModel::cmos_32nm().estimate(&AcceleratorConfig::paper());
+    let paper_area = [
+        ("Accumulator", "11%"),
+        ("Activation", "5%"),
+        ("Data Buffer", "46%"),
+        ("Routing Buffer", "11%"),
+        ("Weight Buffer", "4%"),
+        ("Systolic Array", "23%"),
+        ("Other", "<1%"),
+    ];
+    let paper_power = [
+        ("Accumulator", "11%"),
+        ("Activation", "3%"),
+        ("Data Buffer", "47%"),
+        ("Routing Buffer", "11%"),
+        ("Weight Buffer", "4%"),
+        ("Systolic Array", "23%"),
+        ("Other", "<1%"),
+    ];
+    let area = report.area_breakdown();
+    let power = report.power_breakdown();
+    let rows: Vec<Vec<String>> = area
+        .iter()
+        .zip(&power)
+        .map(|((name, af), (_, pf))| {
+            let pa = paper_area.iter().find(|(n, _)| n == name).expect("row").1;
+            let pp = paper_power.iter().find(|(n, _)| n == name).expect("row").1;
+            vec![
+                (*name).to_owned(),
+                format!("{:.1}%", af * 100.0),
+                pa.to_owned(),
+                format!("{:.1}%", pf * 100.0),
+                pp.to_owned(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 18 — Area and power breakdown",
+        &["Component", "Area", "Paper", "Power", "Paper"],
+        &rows,
+    );
+
+    let buffers: f64 = area
+        .iter()
+        .filter(|(n, _)| n.contains("Buffer"))
+        .map(|(_, f)| f)
+        .sum();
+    println!(
+        "\nShape check: buffers take {:.0}% of the area; the systolic array\n\
+         is about 1/4 of the budget, as the paper observes.",
+        buffers * 100.0
+    );
+}

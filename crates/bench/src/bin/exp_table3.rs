@@ -1,0 +1,52 @@
+//! Regenerates **Table III** of the paper: area and power of every
+//! CapsAcc component.
+
+use capsacc_bench::print_table;
+use capsacc_core::AcceleratorConfig;
+use capsacc_power::PowerModel;
+
+fn main() {
+    let report = PowerModel::cmos_32nm().estimate(&AcceleratorConfig::paper());
+    let paper = [
+        ("Accumulator", 311_961u64, 22.80),
+        ("Activation", 143_045, 5.94),
+        ("Data Buffer", 1_332_349, 95.96),
+        ("Routing Buffer", 316_226, 22.78),
+        ("Weight Buffer", 115_643, 8.34),
+        ("Systolic Array", 680_525, 46.09),
+        ("Other", 4_330, 0.13),
+    ];
+    let rows: Vec<Vec<String>> = report
+        .components
+        .iter()
+        .map(|c| {
+            let (_, pa, pp) = paper
+                .iter()
+                .find(|(n, _, _)| *n == c.name)
+                .expect("paper row");
+            vec![
+                c.name.to_owned(),
+                format!("{:.0}", c.area_um2),
+                pa.to_string(),
+                format!("{:.2}", c.power_mw),
+                format!("{pp:.2}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III — Area and power per component",
+        &[
+            "Component",
+            "Area [µm²]",
+            "Paper [µm²]",
+            "Power [mW]",
+            "Paper [mW]",
+        ],
+        &rows,
+    );
+    println!(
+        "\nTotals: {:.2} mm², {:.1} mW (paper: 2.90 mm², 202 mW)",
+        report.total_area_mm2(),
+        report.total_power_mw()
+    );
+}

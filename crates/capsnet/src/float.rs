@@ -1,0 +1,245 @@
+//! Floating-point CapsuleNet inference — the software golden model.
+
+use capsacc_tensor::{ops, Tensor};
+
+use crate::arch::CapsNetConfig;
+use crate::params::CapsNetParams;
+use crate::routing::{route_f32, RoutingResult, RoutingVariant};
+
+/// Output of a floating-point inference pass, with intermediate tensors
+/// retained for validation against the quantized model and simulator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FloatOutput {
+    /// Conv1 activations `[conv1_channels, H1, W1]`.
+    pub conv1_out: Tensor<f32>,
+    /// Squashed primary capsules `[num_primary_caps, pc_caps_dim]`.
+    pub capsules: Tensor<f32>,
+    /// Prediction vectors `û_{j|i}` as `[in_caps, classes, class_caps_dim]`.
+    pub u_hat: Tensor<f32>,
+    /// Routing outcome (class capsules, couplings, op counts).
+    pub routing: RoutingResult,
+}
+
+impl FloatOutput {
+    /// Per-class capsule norms.
+    pub fn class_norms(&self) -> Vec<f32> {
+        self.routing.class_norms()
+    }
+
+    /// Predicted class index.
+    pub fn predicted(&self) -> usize {
+        self.routing.predicted()
+    }
+}
+
+/// Rearranges a PrimaryCaps convolution output
+/// `[pc_channels · caps_dim, H, W]` into capsule vectors
+/// `[H · W · pc_channels, caps_dim]`.
+///
+/// Capsule `i = (ch · H + y) · W + x` takes element `e` from channel
+/// `ch · caps_dim + e` at spatial position `(y, x)` — the canonical
+/// ordering shared by the float model, the quantized model and the
+/// simulator's Data-Buffer addressing.
+///
+/// # Panics
+///
+/// Panics if the channel count is not a multiple of `caps_dim`.
+pub fn primary_capsules<T: Copy + Default>(
+    pc_out: &Tensor<T>,
+    pc_channels: usize,
+    caps_dim: usize,
+) -> Tensor<T> {
+    let shape = pc_out.shape();
+    assert_eq!(shape.len(), 3, "PrimaryCaps output must be [C, H, W]");
+    assert_eq!(
+        shape[0],
+        pc_channels * caps_dim,
+        "channel count {} != pc_channels {} · caps_dim {}",
+        shape[0],
+        pc_channels,
+        caps_dim
+    );
+    let (h, w) = (shape[1], shape[2]);
+    Tensor::from_fn(&[h * w * pc_channels, caps_dim], |i| {
+        let (cap, e) = (i[0], i[1]);
+        let ch = cap / (h * w);
+        let rem = cap % (h * w);
+        let (y, x) = (rem / w, rem % w);
+        pc_out[[ch * caps_dim + e, y, x]]
+    })
+}
+
+/// Runs a full floating-point inference pass.
+///
+/// # Panics
+///
+/// Panics if `image` is not `[1, input_side, input_side]` or the
+/// parameter shapes disagree with `cfg`.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_capsnet::{infer_f32, CapsNetConfig, CapsNetParams, RoutingVariant};
+/// use capsacc_tensor::Tensor;
+/// let cfg = CapsNetConfig::tiny();
+/// let params = CapsNetParams::generate(&cfg, 1);
+/// let image = Tensor::from_fn(&[1, 12, 12], |i| ((i[1] + i[2]) % 5) as f32 / 5.0);
+/// let out = infer_f32(&cfg, &params, &image, RoutingVariant::SkipFirstSoftmax);
+/// assert!(out.predicted() < cfg.num_classes);
+/// ```
+pub fn infer_f32(
+    cfg: &CapsNetConfig,
+    params: &CapsNetParams,
+    image: &Tensor<f32>,
+    variant: RoutingVariant,
+) -> FloatOutput {
+    let g1 = cfg.conv1_geometry();
+    let gp = cfg.primary_caps_geometry();
+    assert_eq!(
+        image.shape(),
+        &[1, cfg.input_side, cfg.input_side],
+        "image shape"
+    );
+
+    // Conv1 + ReLU.
+    let mut conv1_out = ops::conv2d(image, &params.conv1_w, Some(&params.conv1_b), &g1);
+    ops::relu_inplace(&mut conv1_out);
+
+    // PrimaryCaps convolution (no ReLU — squash is the nonlinearity).
+    let pc_out = ops::conv2d(&conv1_out, &params.pc_w, Some(&params.pc_b), &gp);
+    let raw_caps = primary_capsules(&pc_out, cfg.pc_channels, cfg.pc_caps_dim);
+
+    // Squash each capsule vector.
+    let dim = cfg.pc_caps_dim;
+    let mut capsules: Tensor<f32> = Tensor::zeros(raw_caps.shape());
+    for (dst, src) in capsules
+        .data_mut()
+        .chunks_mut(dim)
+        .zip(raw_caps.data().chunks(dim))
+    {
+        let (v, _) = ops::squash(src);
+        dst.copy_from_slice(&v);
+    }
+
+    // ClassCaps prediction vectors û_{j|i} = W_ij · u_i.
+    let (in_caps, classes, out_dim, in_dim) = (
+        cfg.num_primary_caps(),
+        cfg.num_classes,
+        cfg.class_caps_dim,
+        cfg.pc_caps_dim,
+    );
+    assert_eq!(
+        params.w_class.shape(),
+        &[in_caps, classes, out_dim, in_dim],
+        "w_class shape"
+    );
+    let u_hat = Tensor::from_fn(&[in_caps, classes, out_dim], |i| {
+        let (cap, class, e) = (i[0], i[1], i[2]);
+        let wbase = ((cap * classes + class) * out_dim + e) * in_dim;
+        let ubase = cap * in_dim;
+        (0..in_dim)
+            .map(|d| params.w_class.data()[wbase + d] * capsules.data()[ubase + d])
+            .sum()
+    });
+
+    let routing = route_f32(&u_hat, cfg.routing_iterations, variant);
+
+    FloatOutput {
+        conv1_out,
+        capsules,
+        u_hat,
+        routing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(side: usize) -> Tensor<f32> {
+        Tensor::from_fn(&[1, side, side], |i| {
+            let (y, x) = (i[1] as f32, i[2] as f32);
+            let c = side as f32 / 2.0;
+            let d2 = (y - c) * (y - c) + (x - c) * (x - c);
+            (-d2 / 18.0).exp()
+        })
+    }
+
+    #[test]
+    fn tiny_inference_runs_end_to_end() {
+        let cfg = CapsNetConfig::tiny();
+        let params = CapsNetParams::generate(&cfg, 2);
+        let out = infer_f32(&cfg, &params, &test_image(12), RoutingVariant::SkipFirstSoftmax);
+        assert_eq!(out.conv1_out.shape(), &[8, 10, 10]);
+        assert_eq!(out.capsules.shape(), &[32, 4]);
+        assert_eq!(out.u_hat.shape(), &[32, 4, 4]);
+        assert_eq!(out.routing.class_caps.shape(), &[4, 4]);
+        assert!(out.predicted() < 4);
+    }
+
+    #[test]
+    fn conv1_is_rectified() {
+        let cfg = CapsNetConfig::tiny();
+        let params = CapsNetParams::generate(&cfg, 3);
+        let out = infer_f32(&cfg, &params, &test_image(12), RoutingVariant::Original);
+        assert!(out.conv1_out.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn capsule_norms_bounded_by_squash() {
+        let cfg = CapsNetConfig::tiny();
+        let params = CapsNetParams::generate(&cfg, 4);
+        let out = infer_f32(&cfg, &params, &test_image(12), RoutingVariant::SkipFirstSoftmax);
+        for caps in out.capsules.data().chunks(cfg.pc_caps_dim) {
+            assert!(ops::norm(caps) < 1.0);
+        }
+        for n in out.class_norms() {
+            assert!((0.0..1.0).contains(&n));
+        }
+    }
+
+    #[test]
+    fn primary_capsule_ordering() {
+        // 2 channels of dim 2 on a 2×2 grid; value encodes (ch, e, y, x).
+        let pc_out = Tensor::from_fn(&[4, 2, 2], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f32);
+        let caps = primary_capsules(&pc_out, 2, 2);
+        assert_eq!(caps.shape(), &[8, 2]);
+        // Capsule 0 = ch 0, (y=0, x=0): elements from channels 0 and 1.
+        assert_eq!(caps[[0, 0]], 0.0);
+        assert_eq!(caps[[0, 1]], 100.0);
+        // Capsule 3 = ch 0, (y=1, x=1): channels 0,1 at (1,1).
+        assert_eq!(caps[[3, 0]], 11.0);
+        assert_eq!(caps[[3, 1]], 111.0);
+        // Capsule 4 = ch 1, (y=0, x=0): channels 2,3.
+        assert_eq!(caps[[4, 0]], 200.0);
+        assert_eq!(caps[[4, 1]], 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count")]
+    fn primary_capsules_validates_channels() {
+        let pc_out: Tensor<f32> = Tensor::zeros(&[5, 2, 2]);
+        primary_capsules(&pc_out, 2, 2);
+    }
+
+    #[test]
+    fn variants_identical_end_to_end() {
+        let cfg = CapsNetConfig::tiny();
+        let params = CapsNetParams::generate(&cfg, 6);
+        let img = test_image(12);
+        let a = infer_f32(&cfg, &params, &img, RoutingVariant::Original);
+        let b = infer_f32(&cfg, &params, &img, RoutingVariant::SkipFirstSoftmax);
+        assert_eq!(a.routing.class_caps, b.routing.class_caps);
+        assert_eq!(a.predicted(), b.predicted());
+    }
+
+    #[test]
+    fn different_images_give_different_outputs() {
+        let cfg = CapsNetConfig::tiny();
+        let params = CapsNetParams::generate(&cfg, 7);
+        let a = infer_f32(&cfg, &params, &test_image(12), RoutingVariant::SkipFirstSoftmax);
+        let blank: Tensor<f32> = Tensor::zeros(&[1, 12, 12]);
+        let b = infer_f32(&cfg, &params, &blank, RoutingVariant::SkipFirstSoftmax);
+        assert_ne!(a.routing.class_caps, b.routing.class_caps);
+    }
+}

@@ -1,0 +1,48 @@
+//! # capsacc-capsnet — the reference CapsuleNet
+//!
+//! A from-scratch implementation of the CapsuleNet of Sabour, Frosst and
+//! Hinton (NIPS 2017) as described in Sec. II of the CapsAcc paper — the
+//! workload the accelerator runs:
+//!
+//! - [`CapsNetConfig`] — the architecture algebra: layer geometries,
+//!   capsule counts and the Table I parameter accounting.
+//! - [`CapsNetParams`] / [`QuantizedParams`] — float parameters and their
+//!   8-bit quantization.
+//! - [`infer_f32`] — floating-point inference (the paper's "software
+//!   prediction" in the Fig. 15 validation flow).
+//! - [`infer_q8`] — bit-exact 8-bit fixed-point inference using the
+//!   hardware LUT pipelines; this is the golden model the cycle-accurate
+//!   simulator in `capsacc-core` must match bit-for-bit.
+//! - [`route_f32`] / routing in [`quant`] — the routing-by-agreement
+//!   algorithm (Fig. 4), in both the original form and the paper's
+//!   optimized form that skips the first softmax
+//!   ([`RoutingVariant::SkipFirstSoftmax`], Sec. V).
+//!
+//! # Example
+//!
+//! ```
+//! use capsacc_capsnet::CapsNetConfig;
+//! let cfg = CapsNetConfig::mnist();
+//! // Table I of the paper.
+//! assert_eq!(cfg.conv1_parameters(), 20_992);
+//! assert_eq!(cfg.primary_caps_parameters(), 5_308_672);
+//! assert_eq!(cfg.class_caps_parameters(), 1_474_560);
+//! assert_eq!(cfg.coupling_coefficient_count(), 11_520);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod float;
+mod params;
+pub mod qfunc;
+pub mod quant;
+mod routing;
+
+pub use arch::{CapsNetConfig, LayerAccounting};
+pub use float::{infer_f32, primary_capsules, FloatOutput};
+pub use params::{CapsNetParams, QuantizedParams};
+pub use qfunc::QuantPipeline;
+pub use quant::{infer_q8, infer_q8_traced, QuantOutput, QuantTrace, RoutingIterationTrace};
+pub use routing::{route_f32, RoutingResult, RoutingVariant};

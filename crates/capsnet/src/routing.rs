@@ -1,0 +1,245 @@
+//! Routing-by-agreement (Fig. 4 of the paper), floating point.
+
+use capsacc_tensor::{ops, Tensor};
+
+/// Which form of the routing algorithm to run.
+///
+/// The paper's Sec. V optimization observes that the first softmax is
+/// "dummy" — all logits are zero, so its output is the uniform
+/// distribution regardless of the data — and skips it by initializing the
+/// coupling coefficients directly ([`RoutingVariant::SkipFirstSoftmax`],
+/// the blue arrow in Fig. 4). Functionality is preserved exactly.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RoutingVariant {
+    /// The original algorithm: initialize `b_ij = 0` and softmax every
+    /// iteration, including the first.
+    Original,
+    /// The paper's optimization: initialize `c_ij = 1/J` directly and
+    /// skip the first softmax.
+    #[default]
+    SkipFirstSoftmax,
+}
+
+/// Result of a routing pass.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RoutingResult {
+    /// Squashed class capsules `[num_classes, class_caps_dim]`.
+    pub class_caps: Tensor<f32>,
+    /// Final coupling coefficients `[in_caps, num_classes]`.
+    pub couplings: Tensor<f32>,
+    /// How many softmax passes over the logits ran (3 for the original
+    /// variant at 3 iterations, 2 for the optimized one).
+    pub softmax_invocations: usize,
+    /// How many logit-update passes ran (iterations − 1).
+    pub update_invocations: usize,
+}
+
+impl RoutingResult {
+    /// Per-class capsule norms (the classification scores).
+    pub fn class_norms(&self) -> Vec<f32> {
+        let dim = self.class_caps.shape()[1];
+        self.class_caps
+            .data()
+            .chunks(dim)
+            .map(ops::norm)
+            .collect()
+    }
+
+    /// Index of the class with the largest capsule norm.
+    pub fn predicted(&self) -> usize {
+        let norms = self.class_norms();
+        norms
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+}
+
+/// Runs routing-by-agreement over prediction vectors
+/// `u_hat[in_caps, num_classes, class_caps_dim]`.
+///
+/// # Panics
+///
+/// Panics if `u_hat` is not rank 3 or `iterations` is zero.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_capsnet::{route_f32, RoutingVariant};
+/// use capsacc_tensor::Tensor;
+/// // Two input capsules agreeing on class 0.
+/// let u_hat = Tensor::from_fn(&[2, 2, 4], |i| if i[1] == 0 { 0.8 } else { 0.1 });
+/// let r = route_f32(&u_hat, 3, RoutingVariant::SkipFirstSoftmax);
+/// assert_eq!(r.predicted(), 0);
+/// ```
+pub fn route_f32(u_hat: &Tensor<f32>, iterations: usize, variant: RoutingVariant) -> RoutingResult {
+    assert_eq!(u_hat.shape().len(), 3, "u_hat must be [caps, classes, dim]");
+    assert!(iterations > 0, "at least one routing iteration required");
+    let (in_caps, classes, dim) = (u_hat.shape()[0], u_hat.shape()[1], u_hat.shape()[2]);
+
+    let mut logits: Tensor<f32> = Tensor::zeros(&[in_caps, classes]);
+    let mut couplings: Tensor<f32> = Tensor::zeros(&[in_caps, classes]);
+    let mut class_caps: Tensor<f32> = Tensor::zeros(&[classes, dim]);
+    let mut softmax_invocations = 0;
+    let mut update_invocations = 0;
+
+    for r in 0..iterations {
+        // Coupling coefficients: softmax over classes for each capsule,
+        // or the direct uniform initialization on the optimized first
+        // iteration.
+        if r == 0 && variant == RoutingVariant::SkipFirstSoftmax {
+            let uniform = 1.0 / classes as f32;
+            couplings.data_mut().fill(uniform);
+        } else {
+            for i in 0..in_caps {
+                let row = &logits.data()[i * classes..(i + 1) * classes];
+                let sm = ops::softmax(row);
+                couplings.data_mut()[i * classes..(i + 1) * classes].copy_from_slice(&sm);
+            }
+            softmax_invocations += 1;
+        }
+
+        // Weighted sums s_j = Σ_i c_ij û_{j|i}, then squash.
+        for j in 0..classes {
+            let mut s = vec![0.0f32; dim];
+            for i in 0..in_caps {
+                let c = couplings.data()[i * classes + j];
+                let base = (i * classes + j) * dim;
+                for (e, sv) in s.iter_mut().enumerate() {
+                    *sv += c * u_hat.data()[base + e];
+                }
+            }
+            let (v, _) = ops::squash(&s);
+            class_caps.data_mut()[j * dim..(j + 1) * dim].copy_from_slice(&v);
+        }
+
+        // Logit update b_ij += û_{j|i} · v_j on all but the last
+        // iteration.
+        if r + 1 < iterations {
+            for i in 0..in_caps {
+                for j in 0..classes {
+                    let base = (i * classes + j) * dim;
+                    let dot: f32 = (0..dim)
+                        .map(|e| u_hat.data()[base + e] * class_caps.data()[j * dim + e])
+                        .sum();
+                    logits.data_mut()[i * classes + j] += dot;
+                }
+            }
+            update_invocations += 1;
+        }
+    }
+
+    RoutingResult {
+        class_caps,
+        couplings,
+        softmax_invocations,
+        update_invocations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agreeing_u_hat(in_caps: usize, classes: usize, dim: usize, target: usize) -> Tensor<f32> {
+        Tensor::from_fn(&[in_caps, classes, dim], |i| {
+            let (cap, class, e) = (i[0], i[1], i[2]);
+            if class == target {
+                // All capsules point the same way for the target class.
+                0.6 + 0.02 * (e as f32)
+            } else {
+                // Disagreeing directions elsewhere.
+                if (cap + e) % 2 == 0 {
+                    0.3
+                } else {
+                    -0.3
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn variants_agree_exactly() {
+        // softmax(0) == uniform exactly, so the optimized variant must be
+        // bit-identical to the original in f32 as well.
+        let u_hat = agreeing_u_hat(8, 4, 6, 2);
+        let a = route_f32(&u_hat, 3, RoutingVariant::Original);
+        let b = route_f32(&u_hat, 3, RoutingVariant::SkipFirstSoftmax);
+        assert_eq!(a.class_caps, b.class_caps);
+        assert_eq!(a.couplings, b.couplings);
+    }
+
+    #[test]
+    fn optimized_variant_skips_one_softmax() {
+        let u_hat = agreeing_u_hat(4, 3, 4, 0);
+        let a = route_f32(&u_hat, 3, RoutingVariant::Original);
+        let b = route_f32(&u_hat, 3, RoutingVariant::SkipFirstSoftmax);
+        assert_eq!(a.softmax_invocations, 3);
+        assert_eq!(b.softmax_invocations, 2);
+        assert_eq!(a.update_invocations, 2);
+        assert_eq!(b.update_invocations, 2);
+    }
+
+    #[test]
+    fn routing_converges_to_agreeing_class() {
+        let u_hat = agreeing_u_hat(16, 5, 8, 3);
+        let r = route_f32(&u_hat, 3, RoutingVariant::SkipFirstSoftmax);
+        assert_eq!(r.predicted(), 3);
+        // The agreeing class's mean coupling grows above uniform.
+        let classes = 5;
+        let mean_c3: f32 = (0..16)
+            .map(|i| r.couplings.data()[i * classes + 3])
+            .sum::<f32>()
+            / 16.0;
+        assert!(mean_c3 > 1.0 / classes as f32, "mean coupling {mean_c3}");
+    }
+
+    #[test]
+    fn couplings_are_distributions() {
+        let u_hat = agreeing_u_hat(6, 4, 4, 1);
+        let r = route_f32(&u_hat, 3, RoutingVariant::Original);
+        for i in 0..6 {
+            let row = &r.couplings.data()[i * 4..(i + 1) * 4];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&c| c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn class_norms_below_one() {
+        let u_hat = agreeing_u_hat(10, 3, 8, 0);
+        let r = route_f32(&u_hat, 3, RoutingVariant::SkipFirstSoftmax);
+        for n in r.class_norms() {
+            assert!((0.0..1.0).contains(&n));
+        }
+    }
+
+    #[test]
+    fn single_iteration_runs_no_updates() {
+        let u_hat = agreeing_u_hat(4, 3, 4, 0);
+        let r = route_f32(&u_hat, 1, RoutingVariant::SkipFirstSoftmax);
+        assert_eq!(r.update_invocations, 0);
+        assert_eq!(r.softmax_invocations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one routing iteration")]
+    fn zero_iterations_rejected() {
+        let u_hat: Tensor<f32> = Tensor::zeros(&[2, 2, 2]);
+        route_f32(&u_hat, 0, RoutingVariant::Original);
+    }
+
+    #[test]
+    fn more_iterations_sharpen_couplings() {
+        let u_hat = agreeing_u_hat(12, 4, 8, 2);
+        let r1 = route_f32(&u_hat, 1, RoutingVariant::SkipFirstSoftmax);
+        let r3 = route_f32(&u_hat, 3, RoutingVariant::SkipFirstSoftmax);
+        let mass = |r: &RoutingResult| -> f32 {
+            (0..12).map(|i| r.couplings.data()[i * 4 + 2]).sum::<f32>() / 12.0
+        };
+        assert!(mass(&r3) >= mass(&r1));
+    }
+}

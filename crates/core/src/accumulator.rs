@@ -1,0 +1,193 @@
+//! The per-column accumulator unit (Fig. 11c of the paper).
+
+use std::collections::VecDeque;
+
+use capsacc_fixed::saturate_to_bits;
+
+/// A FIFO-plus-adder accumulator: stores the partial sums streaming out
+/// of one systolic-array column and folds subsequent K-tiles into them.
+///
+/// The multiplexer of Fig. 11c selects between filling the FIFO with
+/// fresh array outputs ([`AccumulatorUnit::push_new`]) and feeding it
+/// from the internal adder ([`AccumulatorUnit::fold`]). Values are 25-bit
+/// saturated, like every partial sum in the datapath.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_core::AccumulatorUnit;
+/// let mut acc = AccumulatorUnit::new(4);
+/// acc.push_new(10);      // K-tile 0, output row 0
+/// acc.push_new(20);      // K-tile 0, output row 1
+/// acc.fold(1);           // K-tile 1, output row 0
+/// acc.fold(2);           // K-tile 1, output row 1
+/// assert_eq!(acc.drain(), vec![11, 22]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AccumulatorUnit {
+    fifo: VecDeque<i64>,
+    capacity: usize,
+    saturations: u64,
+}
+
+impl AccumulatorUnit {
+    /// Width of the accumulator datapath (25 bits, Sec. IV-B).
+    pub const BITS: u32 = 25;
+
+    /// Creates a unit whose FIFO holds at most `capacity` partial sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "accumulator capacity must be non-zero");
+        Self {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            saturations: 0,
+        }
+    }
+
+    /// FIFO capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of partial sums currently buffered.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Saturation events observed so far.
+    pub fn saturation_events(&self) -> u64 {
+        self.saturations
+    }
+
+    fn saturate(&mut self, v: i64) -> i64 {
+        let s = saturate_to_bits(v, Self::BITS);
+        if s != v {
+            self.saturations += 1;
+        }
+        s
+    }
+
+    /// Enqueues a fresh partial sum from the array (first K-tile: the
+    /// multiplexer selects the array path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full — the control unit sizes tiles so this
+    /// cannot happen in correct operation.
+    pub fn push_new(&mut self, psum: i64) {
+        assert!(
+            self.fifo.len() < self.capacity,
+            "accumulator FIFO overflow (capacity {})",
+            self.capacity
+        );
+        let v = self.saturate(psum);
+        self.fifo.push_back(v);
+    }
+
+    /// Pops the oldest partial sum, adds `psum`, and re-enqueues the
+    /// result (subsequent K-tiles: the multiplexer selects the adder
+    /// path). Order is preserved, so output row `m` always meets its own
+    /// partial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is empty.
+    pub fn fold(&mut self, psum: i64) {
+        let head = self.fifo.pop_front().expect("fold on empty accumulator");
+        let v = self.saturate(head + psum);
+        self.fifo.push_back(v);
+    }
+
+    /// Drains the FIFO in order, returning the completed sums.
+    pub fn drain(&mut self) -> Vec<i64> {
+        self.fifo.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fold_preserves_row_order() {
+        let mut acc = AccumulatorUnit::new(3);
+        for v in [1, 2, 3] {
+            acc.push_new(v);
+        }
+        for v in [10, 20, 30] {
+            acc.fold(v);
+        }
+        for v in [100, 200, 300] {
+            acc.fold(v);
+        }
+        assert_eq!(acc.drain(), vec![111, 222, 333]);
+    }
+
+    #[test]
+    fn saturation_is_counted() {
+        let mut acc = AccumulatorUnit::new(1);
+        let max = (1i64 << 24) - 1;
+        acc.push_new(max);
+        acc.fold(100);
+        assert_eq!(acc.drain(), vec![max]);
+        assert_eq!(acc.saturation_events(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO overflow")]
+    fn overflow_is_a_control_bug() {
+        let mut acc = AccumulatorUnit::new(2);
+        acc.push_new(1);
+        acc.push_new(2);
+        acc.push_new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty accumulator")]
+    fn fold_on_empty_is_a_control_bug() {
+        let mut acc = AccumulatorUnit::new(2);
+        acc.fold(1);
+    }
+
+    #[test]
+    fn drain_empties_the_fifo() {
+        let mut acc = AccumulatorUnit::new(2);
+        acc.push_new(5);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc.drain(), vec![5]);
+        assert!(acc.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn folding_equals_columnwise_sum(
+            tiles in proptest::collection::vec(
+                proptest::collection::vec(-(1i64<<20)..(1i64<<20), 4), 1..6)
+        ) {
+            let mut acc = AccumulatorUnit::new(4);
+            for v in &tiles[0] {
+                acc.push_new(*v);
+            }
+            for tile in &tiles[1..] {
+                for v in tile {
+                    acc.fold(*v);
+                }
+            }
+            let got = acc.drain();
+            for m in 0..4 {
+                let exact: i64 = tiles.iter().map(|t| t[m]).sum();
+                prop_assert_eq!(got[m], exact.clamp(-(1i64<<24), (1i64<<24)-1));
+            }
+        }
+    }
+}

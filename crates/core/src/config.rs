@@ -1,0 +1,209 @@
+//! Accelerator configuration.
+
+use capsacc_fixed::NumericConfig;
+
+/// Dataflow policy switches — each corresponds to one of the paper's
+/// data-reuse mechanisms, and each can be disabled for ablation studies.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DataflowOptions {
+    /// Hold filter weights in the PEs' second weight register and reuse
+    /// them across convolution windows (Sec. IV-A). Disabled, weights are
+    /// re-fetched from the Weight Buffer for every data row.
+    pub weight_reuse: bool,
+    /// Stream consecutive K-tiles back-to-back, hiding weight reloads
+    /// behind data streaming ("at full throttle, each PE produces one
+    /// output-per-clock cycle", Sec. IV-A).
+    pub pipelined_tiles: bool,
+    /// Reuse the predictions `û_{j|i}` through the horizontal feedback
+    /// path during routing instead of re-reading the Data Memory
+    /// (Fig. 12c/d).
+    pub routing_feedback: bool,
+    /// Skip the first routing softmax and initialize the coupling
+    /// coefficients directly (the Sec. V algorithmic optimization).
+    pub skip_first_softmax: bool,
+}
+
+impl Default for DataflowOptions {
+    /// All optimizations enabled — the paper's design point.
+    fn default() -> Self {
+        Self {
+            weight_reuse: true,
+            pipelined_tiles: true,
+            routing_feedback: true,
+            skip_first_softmax: true,
+        }
+    }
+}
+
+/// Static configuration of a CapsAcc instance.
+///
+/// [`AcceleratorConfig::paper`] is the synthesized design point of
+/// Table II: a 16×16 systolic array at 250 MHz with 8-bit operands and
+/// 8 MB of on-chip memory.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_core::AcceleratorConfig;
+/// let cfg = AcceleratorConfig::paper();
+/// assert_eq!((cfg.rows, cfg.cols), (16, 16));
+/// assert_eq!(cfg.clock_mhz, 250);
+/// cfg.validate().expect("paper config is valid");
+/// ```
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct AcceleratorConfig {
+    /// Systolic array rows (the reduction dimension).
+    pub rows: usize,
+    /// Systolic array columns (the output dimension); also the number of
+    /// accumulator and activation units.
+    pub cols: usize,
+    /// Clock frequency in MHz (Table II: 250).
+    pub clock_mhz: u64,
+    /// Weight Memory → Weight Buffer bandwidth in bytes per cycle.
+    /// Layers whose weight footprint exceeds the Weight Buffer stream at
+    /// this rate, which is what makes PrimaryCaps memory-bound.
+    pub weight_mem_bw: u64,
+    /// Data Memory → Data Buffer bandwidth in bytes per cycle.
+    pub data_mem_bw: u64,
+    /// Routing Buffer port bandwidth in bytes per cycle (read + write
+    /// each); bounds the softmax/update steps that sweep all 11 520
+    /// coupling coefficients.
+    pub routing_buf_bw: u64,
+    /// Data Buffer capacity in bytes.
+    pub data_buffer_bytes: usize,
+    /// Routing Buffer capacity in bytes.
+    pub routing_buffer_bytes: usize,
+    /// Weight Buffer capacity in bytes.
+    pub weight_buffer_bytes: usize,
+    /// On-chip memory capacity in bytes (Table II: 8 MB).
+    pub onchip_memory_bytes: usize,
+    /// Number of parallel activation units (the paper has one per
+    /// column).
+    pub activation_units: usize,
+    /// Numeric formats of the datapath.
+    pub numeric: NumericConfig,
+    /// Dataflow policy switches.
+    pub dataflow: DataflowOptions,
+}
+
+impl AcceleratorConfig {
+    /// The synthesized 16×16 design point of Table II.
+    pub fn paper() -> Self {
+        Self {
+            rows: 16,
+            cols: 16,
+            clock_mhz: 250,
+            weight_mem_bw: 8,
+            data_mem_bw: 8,
+            routing_buf_bw: 4,
+            data_buffer_bytes: 256 * 1024,
+            routing_buffer_bytes: 64 * 1024,
+            weight_buffer_bytes: 24 * 1024,
+            onchip_memory_bytes: 8 * 1024 * 1024,
+            activation_units: 16,
+            numeric: NumericConfig::default(),
+            dataflow: DataflowOptions::default(),
+        }
+    }
+
+    /// A small 4×4 instance used by the cycle-accurate unit tests.
+    pub fn test_4x4() -> Self {
+        Self {
+            rows: 4,
+            cols: 4,
+            activation_units: 4,
+            data_buffer_bytes: 16 * 1024,
+            routing_buffer_bytes: 4 * 1024,
+            weight_buffer_bytes: 2 * 1024,
+            ..Self::paper()
+        }
+    }
+
+    /// Cycle period in microseconds.
+    pub fn cycle_us(&self) -> f64 {
+        1.0 / self.clock_mhz as f64
+    }
+
+    /// Converts a cycle count to microseconds at the configured clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_us()
+    }
+
+    /// Total number of processing elements.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint (zero
+    /// dimensions, zero bandwidths, or numeric-format inconsistencies).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err("systolic array dimensions must be non-zero".into());
+        }
+        if self.clock_mhz == 0 {
+            return Err("clock frequency must be non-zero".into());
+        }
+        if self.weight_mem_bw == 0 || self.data_mem_bw == 0 || self.routing_buf_bw == 0 {
+            return Err("memory bandwidths must be non-zero".into());
+        }
+        if self.activation_units == 0 {
+            return Err("at least one activation unit required".into());
+        }
+        self.numeric.validate()
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let c = AcceleratorConfig::paper();
+        assert_eq!(c.pe_count(), 256);
+        assert_eq!(c.clock_mhz, 250);
+        assert_eq!(c.onchip_memory_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.cycle_us(), 0.004);
+    }
+
+    #[test]
+    fn cycles_to_us() {
+        let c = AcceleratorConfig::paper();
+        assert_eq!(c.cycles_to_us(250), 1.0);
+        assert_eq!(c.cycles_to_us(250_000), 1000.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = AcceleratorConfig::paper();
+        c.rows = 0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::paper();
+        c.weight_mem_bw = 0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::paper();
+        c.activation_units = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_dataflow_enables_all_reuse() {
+        let d = DataflowOptions::default();
+        assert!(d.weight_reuse && d.pipelined_tiles && d.routing_feedback && d.skip_first_softmax);
+    }
+
+    #[test]
+    fn test_config_is_valid() {
+        AcceleratorConfig::test_4x4().validate().unwrap();
+    }
+}

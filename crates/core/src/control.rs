@@ -1,0 +1,442 @@
+//! The control unit (Sec. IV-D of the paper).
+//!
+//! "At each stage of the inference process, it generates different
+//! control signals for all the components of the accelerator
+//! architecture, according to the operations needed." This module makes
+//! that concrete: the control unit compiles a layer (or a routing phase)
+//! into a [`Program`] — a linear schedule of [`ControlOp`]s including the
+//! settings of the two input multiplexers in front of the systolic array
+//! (Fig. 10), which are what select between fresh data and reused data
+//! for the Fig. 12 dataflow scenarios.
+//!
+//! Programs are the declarative counterpart of what
+//! [`crate::engine::Accelerator`] executes imperatively; their cycle
+//! estimates match the [`crate::timing`] formulas, which is asserted by
+//! tests.
+
+use capsacc_capsnet::CapsNetConfig;
+use capsacc_tensor::ConvGeometry;
+
+use crate::activation::{ActivationKind, ActivationUnit};
+use crate::config::AcceleratorConfig;
+use crate::traffic::{MemoryKind, TrafficReport};
+
+/// Source selected by the data-input multiplexer (west edge of the
+/// array, Fig. 10).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DataSource {
+    /// Fresh data from the Data Buffer.
+    DataBuffer,
+    /// Coupling coefficients / logits from the Routing Buffer.
+    RoutingBuffer,
+    /// The horizontal feedback path reusing the previous outputs
+    /// (Fig. 12c/d: `û` re-enters without touching memory).
+    Feedback,
+}
+
+/// Source selected by the weight-input multiplexer (north edge).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum WeightSource {
+    /// Trained weights from the Weight Buffer.
+    WeightBuffer,
+    /// Predictions `û` staged as the stationary operand (routing sums).
+    DataBuffer,
+    /// Squashed capsules `v_j` from the Routing Buffer (logit updates).
+    RoutingBuffer,
+}
+
+/// One control-unit operation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ControlOp {
+    /// Select the array's input sources for the following operations.
+    SetMux {
+        /// West-edge (data) source.
+        data: DataSource,
+        /// North-edge (weight) source.
+        weight: WeightSource,
+    },
+    /// Load a `k × n` weight tile into the resident registers
+    /// (`k + 1` cycles: skewed rows plus the latch edge).
+    LoadWeightTile {
+        /// Tile height (reduction rows).
+        k: usize,
+        /// Tile width (output columns).
+        n: usize,
+    },
+    /// Stream `m` data rows against the resident tile
+    /// (`m + rows + cols` cycles including drain).
+    StreamData {
+        /// Number of data rows.
+        m: usize,
+        /// Active reduction length of each row.
+        k: usize,
+    },
+    /// Run the activation units over `vectors` vectors of length `len`.
+    Activate {
+        /// Which function the output multiplexer selects.
+        kind: ActivationKind,
+        /// Number of vectors.
+        vectors: usize,
+        /// Vector length.
+        len: usize,
+    },
+    /// Move `bytes` between a memory/buffer and the datapath.
+    Transfer {
+        /// Which storage structure.
+        kind: MemoryKind,
+        /// Bytes moved.
+        bytes: u64,
+        /// True for reads (into the datapath).
+        read: bool,
+    },
+}
+
+/// A compiled control schedule.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    ops: Vec<ControlOp>,
+}
+
+impl Program {
+    /// The operations in issue order.
+    pub fn ops(&self) -> &[ControlOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    fn push(&mut self, op: ControlOp) {
+        self.ops.push(op);
+    }
+
+    /// Array-cycle estimate of the program on `cfg` (weight loads and
+    /// data streams; activation and transfer costs are reported
+    /// separately to mirror [`crate::timing::LayerTiming`]).
+    pub fn array_cycles(&self, cfg: &AcceleratorConfig) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                ControlOp::LoadWeightTile { .. } => cfg.rows as u64 + 1,
+                ControlOp::StreamData { m, .. } => (m + cfg.rows + cfg.cols) as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Activation-unit cycle estimate.
+    pub fn activation_cycles(&self, cfg: &AcceleratorConfig) -> u64 {
+        let au = cfg.activation_units as u64;
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                ControlOp::Activate { kind, vectors, len } => {
+                    let per = match kind {
+                        ActivationKind::Relu | ActivationKind::Identity => {
+                            ActivationUnit::reduce_cycles(len as u64)
+                        }
+                        ActivationKind::Squash => ActivationUnit::squash_cycles(len as u64),
+                        ActivationKind::Softmax => ActivationUnit::softmax_cycles(len as u64),
+                    };
+                    (vectors as u64).div_ceil(au) * per
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The traffic this program moves.
+    pub fn traffic(&self) -> TrafficReport {
+        let mut t = TrafficReport::default();
+        for op in &self.ops {
+            if let ControlOp::Transfer { kind, bytes, read } = *op {
+                if read {
+                    t.read(kind, bytes);
+                } else {
+                    t.write(kind, bytes);
+                }
+            }
+        }
+        t
+    }
+
+    /// The sequence of multiplexer settings, in issue order — the
+    /// Fig. 12 scenario fingerprint.
+    pub fn mux_schedule(&self) -> Vec<(DataSource, WeightSource)> {
+        self.ops
+            .iter()
+            .filter_map(|op| match *op {
+                ControlOp::SetMux { data, weight } => Some((data, weight)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The control unit: compiles layers and routing phases into programs.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ControlUnit;
+
+impl ControlUnit {
+    /// Creates a control unit.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Compiles a convolutional layer (Fig. 12a / Fig. 13 mapping):
+    /// weight-stationary filter tiles from the Weight Buffer, im2col
+    /// data rows from the Data Buffer, ReLU or identity at the output.
+    pub fn conv_program(
+        &self,
+        g: &ConvGeometry,
+        relu: bool,
+        cfg: &AcceleratorConfig,
+    ) -> Program {
+        let mut p = Program::default();
+        p.push(ControlOp::SetMux {
+            data: DataSource::DataBuffer,
+            weight: WeightSource::WeightBuffer,
+        });
+        let m = g.patches();
+        let k_total = g.patch_len();
+        let n_total = g.out_ch;
+        for n0 in (0..n_total).step_by(cfg.cols) {
+            let nt = cfg.cols.min(n_total - n0);
+            for k0 in (0..k_total).step_by(cfg.rows) {
+                let kt = cfg.rows.min(k_total - k0);
+                p.push(ControlOp::Transfer {
+                    kind: MemoryKind::WeightBuffer,
+                    bytes: (kt * nt) as u64,
+                    read: true,
+                });
+                p.push(ControlOp::LoadWeightTile { k: kt, n: nt });
+                p.push(ControlOp::Transfer {
+                    kind: MemoryKind::DataBuffer,
+                    bytes: (m * kt) as u64,
+                    read: true,
+                });
+                p.push(ControlOp::StreamData { m, k: kt });
+            }
+            p.push(ControlOp::Activate {
+                kind: if relu {
+                    ActivationKind::Relu
+                } else {
+                    ActivationKind::Identity
+                },
+                vectors: 1,
+                len: m,
+            });
+        }
+        p
+    }
+
+    /// Compiles one routing iteration's dataflow (the Fig. 12 scenarios):
+    ///
+    /// - iteration 1 (scenario b): `û` fresh from the Data Buffer,
+    ///   couplings from the Routing Buffer;
+    /// - iterations ≥ 2 (scenario d): `û` reused via the feedback path;
+    /// - updates (scenario c): `û` via feedback, `v_j` from the Routing
+    ///   Buffer, softmax at the output.
+    pub fn routing_iteration_program(
+        &self,
+        net: &CapsNetConfig,
+        iteration: usize,
+        cfg: &AcceleratorConfig,
+    ) -> Program {
+        let mut p = Program::default();
+        let caps = net.num_primary_caps();
+        let classes = net.num_classes;
+        let out_dim = net.class_caps_dim;
+        let u_hat_bytes = (caps * classes * out_dim) as u64;
+        let coupling_bytes = (caps * classes) as u64;
+        let reuse = cfg.dataflow.routing_feedback && iteration > 1;
+
+        // Sum generation: weights = û tiles (from the Data-Buffer staging,
+        // whether freshly loaded or reused), data = coupling rows.
+        p.push(ControlOp::SetMux {
+            data: DataSource::RoutingBuffer,
+            weight: WeightSource::DataBuffer,
+        });
+        if !reuse {
+            p.push(ControlOp::Transfer {
+                kind: MemoryKind::DataMemory,
+                bytes: if iteration == 1 { 0 } else { u_hat_bytes },
+                read: true,
+            });
+        }
+        p.push(ControlOp::Transfer {
+            kind: MemoryKind::RoutingBuffer,
+            bytes: coupling_bytes,
+            read: true,
+        });
+        for _class in 0..classes {
+            for k0 in (0..caps).step_by(cfg.rows) {
+                let kt = cfg.rows.min(caps - k0);
+                p.push(ControlOp::LoadWeightTile {
+                    k: kt,
+                    n: cfg.cols.min(out_dim),
+                });
+                p.push(ControlOp::StreamData { m: 1, k: kt });
+            }
+        }
+        // Squash the class capsules, write v to the Routing Buffer.
+        p.push(ControlOp::Activate {
+            kind: ActivationKind::Squash,
+            vectors: classes,
+            len: out_dim,
+        });
+        p.push(ControlOp::Transfer {
+            kind: MemoryKind::RoutingBuffer,
+            bytes: (classes * out_dim) as u64,
+            read: false,
+        });
+
+        // Update + softmax on all but the last iteration (scenario c).
+        if iteration < net.routing_iterations {
+            p.push(ControlOp::SetMux {
+                data: if cfg.dataflow.routing_feedback {
+                    DataSource::Feedback
+                } else {
+                    DataSource::DataBuffer
+                },
+                weight: WeightSource::RoutingBuffer,
+            });
+            if !cfg.dataflow.routing_feedback {
+                p.push(ControlOp::Transfer {
+                    kind: MemoryKind::DataMemory,
+                    bytes: u_hat_bytes,
+                    read: true,
+                });
+            }
+            for _class in 0..classes {
+                p.push(ControlOp::LoadWeightTile { k: out_dim, n: 1 });
+                p.push(ControlOp::StreamData { m: caps, k: out_dim });
+            }
+            p.push(ControlOp::Activate {
+                kind: ActivationKind::Softmax,
+                vectors: caps,
+                len: classes,
+            });
+            p.push(ControlOp::Transfer {
+                kind: MemoryKind::RoutingBuffer,
+                bytes: 2 * coupling_bytes,
+                read: false,
+            });
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{matmul_cycles, MatmulShape};
+
+    fn cfg() -> AcceleratorConfig {
+        let mut c = AcceleratorConfig::test_4x4();
+        c.dataflow.pipelined_tiles = false;
+        c
+    }
+
+    #[test]
+    fn conv_program_cycles_match_serial_timing() {
+        let g = ConvGeometry::new(2, 6, 6, 5, 3, 3, 1);
+        let p = ControlUnit::new().conv_program(&g, true, &cfg());
+        let want = matmul_cycles(
+            MatmulShape {
+                m: g.patches() as u64,
+                k: g.patch_len() as u64,
+                n: g.out_ch as u64,
+            },
+            &cfg(),
+        );
+        assert_eq!(p.array_cycles(&cfg()), want);
+    }
+
+    #[test]
+    fn conv_program_reads_each_weight_once() {
+        let g = ConvGeometry::new(1, 5, 5, 4, 3, 3, 1);
+        let p = ControlUnit::new().conv_program(&g, false, &cfg());
+        let t = p.traffic();
+        assert_eq!(
+            t.counter(MemoryKind::WeightBuffer).read_bytes,
+            (g.patch_len() * g.out_ch) as u64
+        );
+    }
+
+    #[test]
+    fn conv_program_selects_weight_buffer() {
+        let g = ConvGeometry::new(1, 5, 5, 4, 3, 3, 1);
+        let p = ControlUnit::new().conv_program(&g, true, &cfg());
+        assert_eq!(
+            p.mux_schedule(),
+            vec![(DataSource::DataBuffer, WeightSource::WeightBuffer)]
+        );
+    }
+
+    #[test]
+    fn routing_muxes_match_fig12_scenarios() {
+        let net = CapsNetConfig::tiny();
+        let cu = ControlUnit::new();
+        // Iteration 1 (scenario b + c): û fresh, then feedback update.
+        let p1 = cu.routing_iteration_program(&net, 1, &cfg());
+        assert_eq!(
+            p1.mux_schedule(),
+            vec![
+                (DataSource::RoutingBuffer, WeightSource::DataBuffer),
+                (DataSource::Feedback, WeightSource::RoutingBuffer),
+            ]
+        );
+        // Final iteration (scenario d only): no update phase.
+        let p3 = cu.routing_iteration_program(&net, 3, &cfg());
+        assert_eq!(
+            p3.mux_schedule(),
+            vec![(DataSource::RoutingBuffer, WeightSource::DataBuffer)]
+        );
+    }
+
+    #[test]
+    fn feedback_off_reads_data_memory_every_iteration() {
+        let net = CapsNetConfig::tiny();
+        let mut c = cfg();
+        c.dataflow.routing_feedback = false;
+        let cu = ControlUnit::new();
+        let u_hat_bytes = (net.num_primary_caps() * net.num_classes * net.class_caps_dim) as u64;
+        // Iteration 2 without feedback re-reads û for sum AND update.
+        let p = cu.routing_iteration_program(&net, 2, &c);
+        assert_eq!(
+            p.traffic().counter(MemoryKind::DataMemory).read_bytes,
+            2 * u_hat_bytes
+        );
+        // With feedback it reads nothing from Data Memory.
+        let p = cu.routing_iteration_program(&net, 2, &cfg());
+        assert_eq!(p.traffic().counter(MemoryKind::DataMemory).read_bytes, 0);
+    }
+
+    #[test]
+    fn activation_costs_use_section4c_formulas() {
+        let net = CapsNetConfig::tiny();
+        let p = ControlUnit::new().routing_iteration_program(&net, 1, &cfg());
+        // Squash of 4 classes (4-dim) on 4 units + softmax of 32 capsules
+        // (4 classes) on 4 units.
+        let want = ActivationUnit::squash_cycles(4) + 8 * ActivationUnit::softmax_cycles(4);
+        assert_eq!(p.activation_cycles(&cfg()), want);
+    }
+
+    #[test]
+    fn program_introspection() {
+        let p = Program::default();
+        assert!(p.is_empty());
+        let g = ConvGeometry::new(1, 4, 4, 2, 2, 2, 1);
+        let p = ControlUnit::new().conv_program(&g, true, &cfg());
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), p.ops().len());
+    }
+}

@@ -1,0 +1,57 @@
+//! # capsacc-core — the CapsAcc accelerator, cycle-accurate
+//!
+//! A register-transfer-level simulator of the CapsAcc architecture
+//! (Fig. 10 of the paper): a systolic array of processing elements with a
+//! second weight register for data reuse, per-column accumulator FIFOs,
+//! per-column activation units (ReLU / Norm / Squash / Softmax), the
+//! Data / Routing / Weight buffers with traffic accounting, and the
+//! control sequencing that maps every CapsuleNet layer and every
+//! routing-by-agreement dataflow scenario (Fig. 12) onto the array.
+//!
+//! Two models, cross-validated against each other:
+//!
+//! - [`engine::Accelerator`] — the cycle-accurate engine: every PE
+//!   register is ticked every cycle; outputs are **bit-exact** against
+//!   the quantized reference model in `capsacc-capsnet` (the analogue of
+//!   the paper's gate-level functional validation, Fig. 15).
+//! - [`timing`] — the closed-form analytical cycle model used by the
+//!   benchmark harness at MNIST scale; unit tests assert it agrees with
+//!   the cycle-accurate engine exactly on small workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use capsacc_core::{AcceleratorConfig, timing};
+//! use capsacc_capsnet::CapsNetConfig;
+//!
+//! let acc = AcceleratorConfig::paper();
+//! let net = CapsNetConfig::mnist();
+//! let report = timing::full_inference(&acc, &net);
+//! // The whole inference completes in a few milliseconds at 250 MHz.
+//! let ms = report.total_time_us(&acc) / 1000.0;
+//! assert!(ms > 0.1 && ms < 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accumulator;
+mod activation;
+mod config;
+pub mod control;
+pub mod engine;
+pub mod mapping;
+mod pe;
+mod systolic;
+pub mod timing;
+mod traffic;
+
+pub use accumulator::AccumulatorUnit;
+pub use activation::{ActivationKind, ActivationUnit};
+pub use config::{AcceleratorConfig, DataflowOptions};
+pub use control::{ControlOp, ControlUnit, DataSource, Program, WeightSource};
+pub use engine::{Accelerator, InferenceRun, LayerRun};
+pub use pe::{Pe, PeControl, PeInput, PeOutput, WeightSelect};
+pub use systolic::SystolicArray;
+pub use timing::{InferenceTiming, LayerTiming, RoutingStep, RoutingStepTiming};
+pub use traffic::{MemoryKind, TrafficCounter, TrafficReport};

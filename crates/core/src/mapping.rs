@@ -1,0 +1,156 @@
+//! Loop-order analysis of the Fig. 13/14 mappings.
+//!
+//! The paper's per-layer mapping orders (Fig. 14) are chosen to
+//! "minimize the accumulator size, because our CapsAcc accelerator
+//! computes first the output features for the same output channel"
+//! (Sec. V-B). This module quantifies that claim: for a convolution
+//! mapped onto the array, it computes the peak number of in-flight
+//! partial sums each per-column accumulator FIFO must hold and the
+//! number of weight-tile switches, for both the paper's loop order and
+//! the alternative that interleaves output channels.
+
+use capsacc_tensor::ConvGeometry;
+
+use crate::config::AcceleratorConfig;
+
+/// Loop order of the output-channel and reduction dimensions.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LoopOrder {
+    /// The paper's order (Fig. 14a/b): all output pixels of one
+    /// output-channel tile complete (across every K-tile) before the
+    /// next output-channel tile starts. Each accumulator FIFO holds one
+    /// tile's worth of partials.
+    OutputChannelOuter,
+    /// The alternative: output-channel tiles interleave inside the
+    /// reduction, so partial sums for *every* output-channel tile are
+    /// in flight simultaneously and must all be buffered.
+    OutputChannelInner,
+}
+
+/// Result of a mapping analysis.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MappingAnalysis {
+    /// Peak in-flight partial sums per accumulator FIFO.
+    pub peak_accumulator_entries: usize,
+    /// Weight-tile loads into the array over the whole layer.
+    pub weight_tile_loads: u64,
+    /// Accumulator storage bytes implied (25-bit entries rounded to 4 B),
+    /// across all `cols` units.
+    pub accumulator_bytes: usize,
+}
+
+/// Analyzes a convolution under a loop order on the configured array.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_core::{mapping, AcceleratorConfig};
+/// use capsacc_tensor::ConvGeometry;
+/// let g = ConvGeometry::new(256, 20, 20, 256, 9, 9, 2); // PrimaryCaps
+/// let cfg = AcceleratorConfig::paper();
+/// let paper = mapping::analyze_conv(&g, mapping::LoopOrder::OutputChannelOuter, &cfg);
+/// let alt = mapping::analyze_conv(&g, mapping::LoopOrder::OutputChannelInner, &cfg);
+/// // The paper's order needs 16× less accumulator storage here.
+/// assert!(alt.peak_accumulator_entries >= 16 * paper.peak_accumulator_entries);
+/// ```
+pub fn analyze_conv(
+    g: &ConvGeometry,
+    order: LoopOrder,
+    cfg: &AcceleratorConfig,
+) -> MappingAnalysis {
+    let m = g.patches();
+    let kk = g.patch_len().div_ceil(cfg.rows).max(1);
+    let nn = g.out_ch.div_ceil(cfg.cols).max(1);
+    let peak = match order {
+        // One output-channel tile in flight: its m pixels.
+        LoopOrder::OutputChannelOuter => m,
+        // All nn output-channel tiles in flight at once.
+        LoopOrder::OutputChannelInner => m * nn,
+    };
+    // Both orders visit every (K, N) tile once per full accumulation;
+    // the inner order revisits each K-slice for every N-tile *round*,
+    // which costs kk·nn loads either way with resident weights — the
+    // paper's win is storage, not loads.
+    let loads = (kk * nn) as u64;
+    MappingAnalysis {
+        peak_accumulator_entries: peak,
+        weight_tile_loads: loads,
+        accumulator_bytes: peak * 4 * cfg.cols,
+    }
+}
+
+/// Convenience: the accumulator-size ratio of the alternative order over
+/// the paper's order — how much storage the Fig. 14 mapping saves.
+pub fn accumulator_saving(g: &ConvGeometry, cfg: &AcceleratorConfig) -> f64 {
+    let paper = analyze_conv(g, LoopOrder::OutputChannelOuter, cfg);
+    let alt = analyze_conv(g, LoopOrder::OutputChannelInner, cfg);
+    alt.peak_accumulator_entries as f64 / paper.peak_accumulator_entries as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsacc_capsnet::CapsNetConfig;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::paper()
+    }
+
+    #[test]
+    fn paper_order_minimizes_accumulator_for_every_layer() {
+        let net = CapsNetConfig::mnist();
+        for g in [net.conv1_geometry(), net.primary_caps_geometry()] {
+            let paper = analyze_conv(&g, LoopOrder::OutputChannelOuter, &cfg());
+            let alt = analyze_conv(&g, LoopOrder::OutputChannelInner, &cfg());
+            assert!(paper.peak_accumulator_entries <= alt.peak_accumulator_entries);
+        }
+    }
+
+    #[test]
+    fn primarycaps_saving_is_the_channel_tile_count() {
+        // PrimaryCaps: 256 output channels on 16 columns → 16 tiles; the
+        // paper's order holds 36 partials instead of 576 per column.
+        let g = CapsNetConfig::mnist().primary_caps_geometry();
+        let paper = analyze_conv(&g, LoopOrder::OutputChannelOuter, &cfg());
+        let alt = analyze_conv(&g, LoopOrder::OutputChannelInner, &cfg());
+        assert_eq!(paper.peak_accumulator_entries, 36);
+        assert_eq!(alt.peak_accumulator_entries, 576);
+        assert_eq!(accumulator_saving(&g, &cfg()), 16.0);
+    }
+
+    #[test]
+    fn conv1_saving() {
+        let g = CapsNetConfig::mnist().conv1_geometry();
+        // 400 pixels per channel tile; 16 channel tiles.
+        let paper = analyze_conv(&g, LoopOrder::OutputChannelOuter, &cfg());
+        assert_eq!(paper.peak_accumulator_entries, 400);
+        assert_eq!(accumulator_saving(&g, &cfg()), 16.0);
+    }
+
+    #[test]
+    fn loads_are_order_independent_with_resident_weights() {
+        let g = CapsNetConfig::mnist().primary_caps_geometry();
+        let a = analyze_conv(&g, LoopOrder::OutputChannelOuter, &cfg());
+        let b = analyze_conv(&g, LoopOrder::OutputChannelInner, &cfg());
+        assert_eq!(a.weight_tile_loads, b.weight_tile_loads);
+        assert_eq!(a.weight_tile_loads, (20_736 / 16 * 16) as u64);
+    }
+
+    #[test]
+    fn accumulator_bytes_scale_with_columns() {
+        let g = CapsNetConfig::mnist().conv1_geometry();
+        let a = analyze_conv(&g, LoopOrder::OutputChannelOuter, &cfg());
+        assert_eq!(a.accumulator_bytes, 400 * 4 * 16);
+        let mut half = cfg();
+        half.cols = 8;
+        let b = analyze_conv(&g, LoopOrder::OutputChannelOuter, &half);
+        assert_eq!(b.accumulator_bytes, 400 * 4 * 8);
+    }
+
+    #[test]
+    fn degenerate_single_tile_has_no_saving() {
+        // When out_ch fits one tile, the orders coincide.
+        let g = ConvGeometry::new(1, 6, 6, 8, 3, 3, 1);
+        assert_eq!(accumulator_saving(&g, &cfg()), 1.0);
+    }
+}

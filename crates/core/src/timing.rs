@@ -1,0 +1,787 @@
+//! Closed-form cycle model of the CapsAcc dataflow.
+//!
+//! Every formula here mirrors the control sequences the cycle-accurate
+//! [`crate::engine`] executes; with tile pipelining disabled the two
+//! agree *exactly* (asserted by the engine's tests). With pipelining
+//! enabled (the paper's "full throttle" design point) the model hides
+//! weight reloads behind data streaming, which the serial engine does
+//! not simulate — the formulas document the difference.
+//!
+//! Cycle anatomy of one weight-stationary tile on an `R × C` array
+//! (see [`SystolicArray`](crate::SystolicArray)):
+//!
+//! - weight load: `R` edges (skewed rows) + 1 latch edge;
+//! - streaming `M` data rows: `M + R + C` edges including drain.
+//!
+//! Layers whose weight footprint exceeds the Weight Buffer stream
+//! weights from the on-chip Weight Memory at `weight_mem_bw` bytes per
+//! cycle; the layer time is the max of compute and that stream (this is
+//! what makes PrimaryCaps — 5.3 MB of weights for only 36 output pixels —
+//! the one layer where the GPU keeps an edge, Fig. 16).
+
+use capsacc_capsnet::CapsNetConfig;
+use capsacc_tensor::ConvGeometry;
+
+use crate::activation::ActivationUnit;
+use crate::config::AcceleratorConfig;
+
+/// Dimensions of a dense matmul mapped onto the array.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MatmulShape {
+    /// Streamed data rows.
+    pub m: u64,
+    /// Reduction length.
+    pub k: u64,
+    /// Output columns.
+    pub n: u64,
+}
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Cycles to execute one `M × K × N` matmul with the configured dataflow.
+///
+/// With `pipelined_tiles`, consecutive K-tiles of one N-tile stream
+/// back-to-back and each reload (R + 1 edges) hides behind the previous
+/// tile's `M` data rows; the pipeline fills and drains once per N-tile.
+/// Without it, every tile pays its own load and drain — exactly the
+/// sequence the cycle-accurate engine executes.
+///
+/// With `weight_reuse` disabled (ablation), the resident weight register
+/// is not used and the tile weights are re-loaded before *every* data
+/// row.
+pub fn matmul_cycles(shape: MatmulShape, cfg: &AcceleratorConfig) -> u64 {
+    let (r, c) = (cfg.rows as u64, cfg.cols as u64);
+    let kk = ceil_div(shape.k, r).max(1);
+    let nn = ceil_div(shape.n, c).max(1);
+    let m = shape.m;
+    let load = r + 1;
+    if !cfg.dataflow.weight_reuse {
+        // Reload the tile before every data row: the weight2 path is
+        // disabled, so each row pays a full load.
+        return nn * kk * (m * load + (m + r + c));
+    }
+    if cfg.dataflow.pipelined_tiles {
+        // Initial load, then back-to-back K-tiles; each subsequent tile
+        // is gated by max(data streaming, weight reload); one drain.
+        nn * (load + m + (kk - 1) * m.max(load) + (r + c))
+    } else {
+        nn * kk * (load + m + r + c)
+    }
+}
+
+/// Weight bytes a matmul reads from the weight store (each weight once
+/// per N-tile visit with reuse; once per data row without).
+pub fn matmul_weight_bytes(shape: MatmulShape, cfg: &AcceleratorConfig) -> u64 {
+    let per_visit = shape.k * shape.n;
+    if cfg.dataflow.weight_reuse {
+        per_visit
+    } else {
+        per_visit * shape.m.max(1)
+    }
+}
+
+/// Timing of one layer (or layer-level phase).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LayerTiming {
+    /// Layer name as printed in Figs. 8/16.
+    pub name: &'static str,
+    /// Systolic-array compute cycles.
+    pub compute_cycles: u64,
+    /// Weight-streaming cycles (on-chip Weight Memory → array).
+    pub weight_stream_cycles: u64,
+    /// Activation-unit cycles appended after the array.
+    pub activation_cycles: u64,
+    /// Total cycles: `max(compute, weight stream) + activation`.
+    pub cycles: u64,
+    /// MAC operations.
+    pub macs: u64,
+    /// Weight bytes read.
+    pub weight_bytes: u64,
+}
+
+impl LayerTiming {
+    fn new(
+        name: &'static str,
+        compute: u64,
+        weight_bytes: u64,
+        activation: u64,
+        macs: u64,
+        cfg: &AcceleratorConfig,
+    ) -> Self {
+        let weight_stream_cycles = ceil_div(weight_bytes, cfg.weight_mem_bw);
+        Self {
+            name,
+            compute_cycles: compute,
+            weight_stream_cycles,
+            activation_cycles: activation,
+            cycles: compute.max(weight_stream_cycles) + activation,
+            macs,
+            weight_bytes,
+        }
+    }
+
+    /// Wall-clock time in microseconds at the configured clock.
+    pub fn time_us(&self, cfg: &AcceleratorConfig) -> f64 {
+        cfg.cycles_to_us(self.cycles)
+    }
+}
+
+/// Timing of a convolutional layer (Conv1 / PrimaryCaps conv phase) via
+/// the Fig. 13/14 mapping: im2col rows stream against weight-stationary
+/// filter tiles.
+pub fn conv_layer(
+    name: &'static str,
+    g: &ConvGeometry,
+    relu: bool,
+    cfg: &AcceleratorConfig,
+) -> LayerTiming {
+    let shape = MatmulShape {
+        m: g.patches() as u64,
+        k: g.patch_len() as u64,
+        n: g.out_ch as u64,
+    };
+    let compute = matmul_cycles(shape, cfg);
+    let weight_bytes = matmul_weight_bytes(shape, cfg) + g.out_ch as u64; // + biases
+    let act = if relu {
+        // ReLU is pipelined behind the output stream: latency only.
+        ActivationUnit::reduce_cycles(0)
+    } else {
+        0
+    };
+    LayerTiming::new(name, compute, weight_bytes, act, g.macs(), cfg)
+}
+
+/// Timing of the PrimaryCaps layer: its convolution plus the per-capsule
+/// squash through the activation units.
+pub fn primary_caps_layer(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> LayerTiming {
+    let g = net.primary_caps_geometry();
+    let conv = conv_layer("PrimaryCaps", &g, false, cfg);
+    let caps = net.num_primary_caps() as u64;
+    let au = cfg.activation_units as u64;
+    let squash = ceil_div(caps, au) * ActivationUnit::squash_cycles(net.pc_caps_dim as u64);
+    LayerTiming::new(
+        "PrimaryCaps",
+        conv.compute_cycles,
+        conv.weight_bytes,
+        squash,
+        conv.macs,
+        cfg,
+    )
+}
+
+/// The steps of the ClassCaps phase, named as on the x-axis of
+/// Figs. 9/17. Iterations are 1-based as in the paper.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RoutingStep {
+    /// Staging the prediction working set into the Data Buffer.
+    Load,
+    /// The ClassCaps matrix multiplications producing `û_{j|i}`.
+    Fc,
+    /// Softmax over the routing logits (iteration k).
+    Softmax(usize),
+    /// Weighted sums `s_j` (iteration k).
+    Sum(usize),
+    /// Squash of the class capsules (iteration k).
+    Squash(usize),
+    /// Logit update `b_ij += û·v` (iteration k).
+    Update(usize),
+}
+
+impl std::fmt::Display for RoutingStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingStep::Load => write!(f, "Load"),
+            RoutingStep::Fc => write!(f, "FC"),
+            RoutingStep::Softmax(i) => write!(f, "Softmax{i}"),
+            RoutingStep::Sum(i) => write!(f, "Sum{i}"),
+            RoutingStep::Squash(i) => write!(f, "Squash{i}"),
+            RoutingStep::Update(i) => write!(f, "Update{i}"),
+        }
+    }
+}
+
+/// Timing of one routing step.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct RoutingStepTiming {
+    /// Which step.
+    pub step: RoutingStep,
+    /// Total cycles (compute/bandwidth max already applied).
+    pub cycles: u64,
+    /// Data Memory bytes moved (non-zero only when the feedback reuse is
+    /// disabled or during the initial Load).
+    pub data_mem_bytes: u64,
+}
+
+impl RoutingStepTiming {
+    /// Wall-clock time in microseconds.
+    pub fn time_us(&self, cfg: &AcceleratorConfig) -> f64 {
+        cfg.cycles_to_us(self.cycles)
+    }
+}
+
+/// Timing of the complete ClassCaps phase (Load + FC + routing
+/// iterations), step by step.
+///
+/// Dataflow scenarios per Fig. 12: the first Sum reads `û` from the Data
+/// Buffer (scenario b); Updates and later Sums reuse `û` through the
+/// horizontal feedback path (scenarios c/d) unless
+/// `dataflow.routing_feedback` is disabled, in which case each re-reads
+/// the Data Memory. With `dataflow.skip_first_softmax` the first softmax
+/// is replaced by the direct `c_ij = 1/J` initialization (Sec. V), whose
+/// cost is a single coupling broadcast into the Routing Buffer.
+pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<RoutingStepTiming> {
+    let caps = net.num_primary_caps() as u64;
+    let classes = net.num_classes as u64;
+    let in_dim = net.pc_caps_dim as u64;
+    let out_dim = net.class_caps_dim as u64;
+    let au = cfg.activation_units as u64;
+    let u_hat_bytes = caps * classes * out_dim;
+    let coupling_bytes = caps * classes;
+    let mut steps = Vec::new();
+
+    // Load: stage the û working set into the Data Buffer once.
+    steps.push(RoutingStepTiming {
+        step: RoutingStep::Load,
+        cycles: ceil_div(u_hat_bytes, cfg.data_mem_bw),
+        data_mem_bytes: u_hat_bytes,
+    });
+
+    // FC: û_{j|i} = W_ij · u_i — one (in_dim × classes·out_dim) matmul
+    // per input capsule with M = 1; tiles pipeline across capsules.
+    let fc_weight_bytes = caps * classes * out_dim * in_dim;
+    let fc_shape_tiles = caps * ceil_div(classes * out_dim, cfg.cols as u64);
+    let load = cfg.rows as u64 + 1;
+    let fc_compute = if cfg.dataflow.pipelined_tiles {
+        load + 1 + (fc_shape_tiles - 1) * 1u64.max(load) + (cfg.rows + cfg.cols) as u64
+    } else {
+        fc_shape_tiles * (load + 1 + (cfg.rows + cfg.cols) as u64)
+    };
+    let fc_stream = ceil_div(fc_weight_bytes, cfg.weight_mem_bw);
+    steps.push(RoutingStepTiming {
+        step: RoutingStep::Fc,
+        cycles: fc_compute.max(fc_stream),
+        data_mem_bytes: u_hat_bytes, // û written back as produced
+    });
+
+    // Per-iteration steps.
+    for iter in 1..=net.routing_iterations {
+        // Softmax (skipped on iteration 1 with the Sec. V optimization —
+        // replaced by the uniform-coupling broadcast).
+        let softmax = if iter == 1 && cfg.dataflow.skip_first_softmax {
+            // Write c_ij = 1/J into the Routing Buffer.
+            ceil_div(coupling_bytes, cfg.routing_buf_bw)
+        } else {
+            let compute = ceil_div(caps, au) * ActivationUnit::softmax_cycles(classes);
+            let traffic = ceil_div(2 * coupling_bytes, cfg.routing_buf_bw);
+            compute.max(traffic)
+        };
+        steps.push(RoutingStepTiming {
+            step: RoutingStep::Softmax(iter),
+            cycles: softmax,
+            data_mem_bytes: 0,
+        });
+
+        // Sum: per class, û tiles (R capsules × out_dim) weight-stationary
+        // with the coupling row streamed (M = 1).
+        let chunks = ceil_div(caps, cfg.rows as u64);
+        let ntiles = ceil_div(out_dim, cfg.cols as u64);
+        let per_class = if cfg.dataflow.pipelined_tiles {
+            ntiles * (load + 1 + (chunks - 1) * 1u64.max(load) + (cfg.rows + cfg.cols) as u64)
+        } else {
+            ntiles * chunks * (load + 1 + (cfg.rows + cfg.cols) as u64)
+        };
+        let mut sum_cycles = classes * per_class;
+        let mut sum_mem = 0;
+        if !cfg.dataflow.routing_feedback {
+            // No feedback: re-read û from Data Memory for this pass.
+            sum_cycles = sum_cycles.max(ceil_div(u_hat_bytes, cfg.data_mem_bw));
+            sum_mem = u_hat_bytes;
+        }
+        steps.push(RoutingStepTiming {
+            step: RoutingStep::Sum(iter),
+            cycles: sum_cycles,
+            data_mem_bytes: sum_mem,
+        });
+
+        // Squash: one class capsule per activation unit.
+        let squash_compute =
+            ceil_div(classes, au) * ActivationUnit::squash_cycles(out_dim);
+        let squash_traffic = ceil_div(classes * out_dim, cfg.routing_buf_bw); // write v_j
+        steps.push(RoutingStepTiming {
+            step: RoutingStep::Squash(iter),
+            cycles: squash_compute.max(squash_traffic),
+            data_mem_bytes: 0,
+        });
+
+        // Update (all but the last iteration): per class, v_j is the
+        // weight tile (out_dim × 1) and all û rows stream (M = caps).
+        if iter < net.routing_iterations {
+            let per_class_update = load + caps + (cfg.rows + cfg.cols) as u64;
+            let mut upd_cycles = classes * per_class_update;
+            let traffic = ceil_div(2 * coupling_bytes, cfg.routing_buf_bw); // b read+write
+            upd_cycles = upd_cycles.max(traffic);
+            let mut upd_mem = 0;
+            if !cfg.dataflow.routing_feedback {
+                upd_cycles = upd_cycles.max(ceil_div(u_hat_bytes, cfg.data_mem_bw));
+                upd_mem = u_hat_bytes;
+            }
+            steps.push(RoutingStepTiming {
+                step: RoutingStep::Update(iter),
+                cycles: upd_cycles,
+                data_mem_bytes: upd_mem,
+            });
+        }
+    }
+    steps
+}
+
+/// Complete inference timing: the three layers of Fig. 16, with the
+/// ClassCaps layer broken into the steps of Fig. 17.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InferenceTiming {
+    /// Conv1 timing.
+    pub conv1: LayerTiming,
+    /// PrimaryCaps timing.
+    pub primary_caps: LayerTiming,
+    /// ClassCaps step-by-step timing.
+    pub class_caps_steps: Vec<RoutingStepTiming>,
+}
+
+impl InferenceTiming {
+    /// Total ClassCaps cycles.
+    pub fn class_caps_cycles(&self) -> u64 {
+        self.class_caps_steps.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Total inference cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.conv1.cycles + self.primary_caps.cycles + self.class_caps_cycles()
+    }
+
+    /// Total inference time in microseconds.
+    pub fn total_time_us(&self, cfg: &AcceleratorConfig) -> f64 {
+        cfg.cycles_to_us(self.total_cycles())
+    }
+
+    /// Per-layer `(name, cycles)` rows in Fig. 16 order.
+    pub fn layer_rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("Conv1", self.conv1.cycles),
+            ("PrimaryCaps", self.primary_caps.cycles),
+            ("ClassCaps", self.class_caps_cycles()),
+        ]
+    }
+}
+
+/// Computes the full-inference timing for a network on an accelerator
+/// configuration.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_core::{timing, AcceleratorConfig};
+/// use capsacc_capsnet::CapsNetConfig;
+/// let t = timing::full_inference(&AcceleratorConfig::paper(), &CapsNetConfig::mnist());
+/// // PrimaryCaps (5.3 MB of weights for 36 output pixels) dominates.
+/// assert!(t.primary_caps.cycles > t.conv1.cycles);
+/// ```
+pub fn full_inference(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> InferenceTiming {
+    InferenceTiming {
+        conv1: conv_layer("Conv1", &net.conv1_geometry(), true, cfg),
+        primary_caps: primary_caps_layer(net, cfg),
+        class_caps_steps: routing_steps(net, cfg),
+    }
+}
+
+/// Checks that the working sets of a network fit the configured buffer
+/// capacities, returning one human-readable warning per violation (empty
+/// means everything fits — true for the paper's design point).
+///
+/// Checked working sets:
+///
+/// - Data Buffer: the `û` prediction set staged for routing (Load step),
+///   and one im2col data stripe per conv layer;
+/// - Routing Buffer: couplings + logits + class capsules;
+/// - Weight Buffer: one weight tile (double-buffered).
+///
+/// # Example
+///
+/// ```
+/// use capsacc_core::{timing, AcceleratorConfig};
+/// use capsacc_capsnet::CapsNetConfig;
+/// let warnings = timing::working_set_check(&AcceleratorConfig::paper(), &CapsNetConfig::mnist());
+/// assert!(warnings.is_empty());
+/// ```
+pub fn working_set_check(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Vec<String> {
+    let mut warnings = Vec::new();
+    let caps = net.num_primary_caps();
+    let classes = net.num_classes;
+    let out_dim = net.class_caps_dim;
+
+    let u_hat_bytes = caps * classes * out_dim;
+    if u_hat_bytes > cfg.data_buffer_bytes {
+        warnings.push(format!(
+            "û working set ({u_hat_bytes} B) exceeds the Data Buffer ({} B): \
+             routing reuse degrades to memory re-reads",
+            cfg.data_buffer_bytes
+        ));
+    }
+    for (name, g) in [
+        ("Conv1", net.conv1_geometry()),
+        ("PrimaryCaps", net.primary_caps_geometry()),
+    ] {
+        let stripe = g.patches() * cfg.rows.min(g.patch_len());
+        if stripe > cfg.data_buffer_bytes {
+            warnings.push(format!(
+                "{name} im2col stripe ({stripe} B) exceeds the Data Buffer ({} B)",
+                cfg.data_buffer_bytes
+            ));
+        }
+    }
+
+    let routing_set = 2 * caps * classes + classes * out_dim;
+    if routing_set > cfg.routing_buffer_bytes {
+        warnings.push(format!(
+            "routing state ({routing_set} B of couplings+logits+capsules) exceeds \
+             the Routing Buffer ({} B)",
+            cfg.routing_buffer_bytes
+        ));
+    }
+
+    let tile = 2 * cfg.rows * cfg.cols; // double-buffered weight tile
+    if tile > cfg.weight_buffer_bytes {
+        warnings.push(format!(
+            "double-buffered weight tile ({tile} B) exceeds the Weight Buffer ({} B)",
+            cfg.weight_buffer_bytes
+        ));
+    }
+    warnings
+}
+
+/// Steady-state batch throughput in inferences per second, assuming the
+/// three layer phases pipeline across consecutive images (each phase's
+/// resources are distinct: the array time-multiplexes, so the bottleneck
+/// phase sets the rate — a standard layer-pipelining upper bound).
+///
+/// # Example
+///
+/// ```
+/// use capsacc_core::{timing, AcceleratorConfig};
+/// use capsacc_capsnet::CapsNetConfig;
+/// let cfg = AcceleratorConfig::paper();
+/// let single = 1e6 / timing::full_inference(&cfg, &CapsNetConfig::mnist()).total_time_us(&cfg);
+/// let pipelined = timing::batch_throughput(&cfg, &CapsNetConfig::mnist());
+/// assert!(pipelined >= single);
+/// ```
+pub fn batch_throughput(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> f64 {
+    let t = full_inference(cfg, net);
+    let bottleneck = t
+        .conv1
+        .cycles
+        .max(t.primary_caps.cycles)
+        .max(t.class_caps_cycles());
+    1e6 / cfg.cycles_to_us(bottleneck)
+}
+
+/// Analytical estimate of the memory/buffer traffic of one full
+/// inference — the closed-form counterpart of the engine's counters,
+/// usable at MNIST scale where the cycle-accurate engine is slow.
+///
+/// Accounting: weight reads once per (K, N) tile visit (or per data row
+/// without reuse); data-buffer reads once per tile's data stream; the û
+/// working set staged once (plus re-reads when the feedback path is
+/// disabled); routing-buffer traffic for couplings, logits and class
+/// capsules per iteration.
+pub fn traffic_estimate(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> crate::TrafficReport {
+    use crate::{MemoryKind, TrafficReport};
+    let mut t = TrafficReport::default();
+    let (r, c) = (cfg.rows as u64, cfg.cols as u64);
+
+    let conv = |t: &mut TrafficReport, g: &ConvGeometry| {
+        let shape = MatmulShape {
+            m: g.patches() as u64,
+            k: g.patch_len() as u64,
+            n: g.out_ch as u64,
+        };
+        let wbytes = matmul_weight_bytes(shape, cfg) + g.out_ch as u64;
+        t.read(MemoryKind::WeightMemory, wbytes);
+        t.read(MemoryKind::WeightBuffer, wbytes);
+        // Every N-tile re-streams all data rows over each K-slice.
+        let nn = ceil_div(shape.n, c);
+        t.read(MemoryKind::DataBuffer, nn * shape.m * shape.k);
+        t.read(MemoryKind::DataMemory, g.input_len() as u64);
+        t.write(MemoryKind::DataMemory, g.output_len() as u64);
+    };
+    conv(&mut t, &net.conv1_geometry());
+    conv(&mut t, &net.primary_caps_geometry());
+
+    let caps = net.num_primary_caps() as u64;
+    let classes = net.num_classes as u64;
+    let in_dim = net.pc_caps_dim as u64;
+    let out_dim = net.class_caps_dim as u64;
+    let u_hat_bytes = caps * classes * out_dim;
+    let coupling_bytes = caps * classes;
+
+    // FC: each W_ij read once; capsule inputs streamed per N-tile.
+    let fc_weights = caps * classes * out_dim * in_dim;
+    t.read(MemoryKind::WeightMemory, fc_weights);
+    t.read(MemoryKind::WeightBuffer, fc_weights);
+    t.read(
+        MemoryKind::DataBuffer,
+        caps * ceil_div(classes * out_dim, c) * in_dim,
+    );
+    t.write(MemoryKind::DataMemory, u_hat_bytes);
+    // û staged into the Data Buffer once (the Load step).
+    t.read(MemoryKind::DataMemory, u_hat_bytes);
+    t.write(MemoryKind::DataBuffer, u_hat_bytes);
+
+    let iters = net.routing_iterations as u64;
+    // Sums: û tiles read from the Data Buffer each iteration; couplings
+    // read per iteration. Ceil the capsule chunking like the mapping.
+    let sum_tile_reads = classes * ceil_div(caps, r) * r * out_dim.min(c);
+    t.read(MemoryKind::DataBuffer, sum_tile_reads * iters);
+    t.read(MemoryKind::RoutingBuffer, coupling_bytes * iters);
+    t.write(MemoryKind::RoutingBuffer, classes * out_dim * iters);
+    // Updates: v read, logits updated, couplings rewritten.
+    t.read(MemoryKind::RoutingBuffer, (classes * out_dim) * (iters - 1));
+    t.write(MemoryKind::RoutingBuffer, 2 * coupling_bytes * (iters - 1));
+    if !cfg.dataflow.routing_feedback {
+        // Re-read û from Data Memory for every later sum and update.
+        t.read(MemoryKind::DataMemory, u_hat_bytes * (iters - 1 + iters - 1));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::paper()
+    }
+
+    #[test]
+    fn serial_matmul_formula() {
+        let mut c = cfg();
+        c.dataflow.pipelined_tiles = false;
+        // 4×4 array, one tile: load (5) + stream (3 + 4 + 4) = 16.
+        c.rows = 4;
+        c.cols = 4;
+        let got = matmul_cycles(MatmulShape { m: 3, k: 4, n: 4 }, &c);
+        assert_eq!(got, 16);
+        // Two K-tiles, two N-tiles: 4 tiles.
+        let got = matmul_cycles(MatmulShape { m: 3, k: 8, n: 8 }, &c);
+        assert_eq!(got, 4 * 16);
+    }
+
+    #[test]
+    fn pipelined_is_never_slower() {
+        let mut serial = cfg();
+        serial.dataflow.pipelined_tiles = false;
+        let pipelined = cfg();
+        for (m, k, n) in [(1, 8, 160), (400, 81, 256), (36, 2304, 256), (16, 1152, 16)] {
+            let shape = MatmulShape { m, k, n };
+            assert!(
+                matmul_cycles(shape, &pipelined) <= matmul_cycles(shape, &serial),
+                "pipelining regressed {shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_weight_reuse_costs_loads_per_row() {
+        let mut c = cfg();
+        c.dataflow.weight_reuse = false;
+        c.rows = 4;
+        c.cols = 4;
+        let shape = MatmulShape { m: 3, k: 4, n: 4 };
+        // 3 rows × 5-cycle loads + stream 11.
+        assert_eq!(matmul_cycles(shape, &c), 3 * 5 + 11);
+        assert_eq!(matmul_weight_bytes(shape, &c), 16 * 3);
+        c.dataflow.weight_reuse = true;
+        assert_eq!(matmul_weight_bytes(shape, &c), 16);
+    }
+
+    #[test]
+    fn primarycaps_weight_stream_is_near_compute() {
+        // PrimaryCaps moves 5.3 MB of weights for only 36 output pixels:
+        // the weight stream (5 308 672 B at 8 B/cycle) runs neck-and-neck
+        // with compute — the layer the GPU keeps an edge on (Fig. 16).
+        let t = primary_caps_layer(&CapsNetConfig::mnist(), &cfg());
+        assert_eq!(t.weight_stream_cycles, 5_308_672_u64.div_ceil(8));
+        let ratio = t.compute_cycles as f64 / t.weight_stream_cycles as f64;
+        assert!((0.8..1.5).contains(&ratio), "ratio = {ratio}");
+        // And it dominates the whole inference.
+        let full = full_inference(&cfg(), &CapsNetConfig::mnist());
+        assert!(full.primary_caps.cycles > full.conv1.cycles);
+        assert!(full.primary_caps.cycles > full.class_caps_cycles());
+    }
+
+    #[test]
+    fn conv1_is_compute_bound() {
+        let t = conv_layer("Conv1", &CapsNetConfig::mnist().conv1_geometry(), true, &cfg());
+        assert!(t.compute_cycles > t.weight_stream_cycles);
+        assert_eq!(t.macs, 400 * 81 * 256);
+    }
+
+    #[test]
+    fn routing_steps_sequence_matches_fig17() {
+        let steps = routing_steps(&CapsNetConfig::mnist(), &cfg());
+        let names: Vec<String> = steps.iter().map(|s| s.step.to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Load", "FC", "Softmax1", "Sum1", "Squash1", "Update1", "Softmax2", "Sum2",
+                "Squash2", "Update2", "Softmax3", "Sum3", "Squash3",
+            ]
+        );
+    }
+
+    #[test]
+    fn skip_first_softmax_saves_cycles() {
+        let with = routing_steps(&CapsNetConfig::mnist(), &cfg());
+        let mut c = cfg();
+        c.dataflow.skip_first_softmax = false;
+        let without = routing_steps(&CapsNetConfig::mnist(), &c);
+        let s_with = with.iter().find(|s| s.step == RoutingStep::Softmax(1)).expect("step");
+        let s_without = without.iter().find(|s| s.step == RoutingStep::Softmax(1)).expect("step");
+        assert!(s_with.cycles < s_without.cycles);
+        // Later softmaxes are unaffected.
+        let l_with = with.iter().find(|s| s.step == RoutingStep::Softmax(2)).expect("step");
+        let l_without = without.iter().find(|s| s.step == RoutingStep::Softmax(2)).expect("step");
+        assert_eq!(l_with.cycles, l_without.cycles);
+    }
+
+    #[test]
+    fn feedback_reuse_eliminates_data_memory_rereads() {
+        let with = routing_steps(&CapsNetConfig::mnist(), &cfg());
+        let mut c = cfg();
+        c.dataflow.routing_feedback = false;
+        let without = routing_steps(&CapsNetConfig::mnist(), &c);
+        let mem = |steps: &[RoutingStepTiming]| -> u64 {
+            steps
+                .iter()
+                .filter(|s| matches!(s.step, RoutingStep::Sum(_) | RoutingStep::Update(_)))
+                .map(|s| s.data_mem_bytes)
+                .sum()
+        };
+        assert_eq!(mem(&with), 0);
+        // 3 sums + 2 updates re-read 184 320 bytes each.
+        assert_eq!(mem(&without), 5 * 184_320);
+        let cyc = |steps: &[RoutingStepTiming]| -> u64 { steps.iter().map(|s| s.cycles).sum() };
+        assert!(cyc(&without) > cyc(&with));
+    }
+
+    #[test]
+    fn load_step_matches_u_hat_footprint() {
+        // 1152 · 10 · 16 bytes at 8 B/cycle = 23 040 cycles ≈ 92 µs at
+        // 250 MHz — the paper reports the CapsAcc Load as ~9% faster than
+        // the GPU's ~100 µs.
+        let steps = routing_steps(&CapsNetConfig::mnist(), &cfg());
+        assert_eq!(steps[0].cycles, 23_040);
+    }
+
+    #[test]
+    fn full_inference_totals_are_consistent() {
+        let t = full_inference(&cfg(), &CapsNetConfig::mnist());
+        assert_eq!(
+            t.total_cycles(),
+            t.conv1.cycles + t.primary_caps.cycles + t.class_caps_cycles()
+        );
+        let rows = t.layer_rows();
+        assert_eq!(rows.len(), 3);
+        // Total inference lands in the single-digit-millisecond regime at
+        // 250 MHz, like the paper's.
+        let ms = t.total_time_us(&cfg()) / 1000.0;
+        assert!((1.0..10.0).contains(&ms), "total = {ms} ms");
+    }
+
+    #[test]
+    fn squash_step_is_negligible() {
+        // The headline effect: squashing goes from the GPU bottleneck to
+        // a negligible cost on CapsAcc.
+        let steps = routing_steps(&CapsNetConfig::mnist(), &cfg());
+        let squash: u64 = steps
+            .iter()
+            .filter(|s| matches!(s.step, RoutingStep::Squash(_)))
+            .map(|s| s.cycles)
+            .sum();
+        let total: u64 = steps.iter().map(|s| s.cycles).sum();
+        assert!((squash as f64) < 0.01 * total as f64);
+    }
+
+    #[test]
+    fn paper_design_point_fits_all_working_sets() {
+        assert!(working_set_check(&cfg(), &CapsNetConfig::mnist()).is_empty());
+    }
+
+    #[test]
+    fn undersized_buffers_are_reported() {
+        let mut c = cfg();
+        c.data_buffer_bytes = 1024;
+        c.routing_buffer_bytes = 64;
+        c.weight_buffer_bytes = 16;
+        let warnings = working_set_check(&c, &CapsNetConfig::mnist());
+        assert!(warnings.len() >= 3, "warnings: {warnings:?}");
+        assert!(warnings.iter().any(|w| w.contains("û working set")));
+        assert!(warnings.iter().any(|w| w.contains("Routing Buffer")));
+        assert!(warnings.iter().any(|w| w.contains("Weight Buffer")));
+    }
+
+    #[test]
+    fn batch_throughput_bounded_by_bottleneck_layer() {
+        let c = cfg();
+        let net = CapsNetConfig::mnist();
+        let t = full_inference(&c, &net);
+        let rate = batch_throughput(&c, &net);
+        // PrimaryCaps dominates: the pipelined rate equals its phase rate.
+        let expect = 1e6 / c.cycles_to_us(t.primary_caps.cycles);
+        assert!((rate - expect).abs() < 1e-9);
+        // And beats the single-image latency rate.
+        assert!(rate > 1e6 / t.total_time_us(&c));
+    }
+
+    #[test]
+    fn traffic_estimate_has_paper_scale_footprints() {
+        let t = traffic_estimate(&cfg(), &CapsNetConfig::mnist());
+        use crate::MemoryKind;
+        // All trainable weights read exactly once (full reuse).
+        assert_eq!(
+            t.counter(MemoryKind::WeightMemory).read_bytes,
+            6_804_224
+        );
+        // Feedback reuse: Data Memory reads = inputs + û staging only.
+        let dm = t.counter(MemoryKind::DataMemory).read_bytes;
+        let mut no_fb = cfg();
+        no_fb.dataflow.routing_feedback = false;
+        let t2 = traffic_estimate(&no_fb, &CapsNetConfig::mnist());
+        let dm2 = t2.counter(MemoryKind::DataMemory).read_bytes;
+        assert_eq!(dm2 - dm, 4 * 184_320);
+    }
+
+    #[test]
+    fn traffic_estimate_no_reuse_multiplies_weight_reads() {
+        let mut c = cfg();
+        c.dataflow.weight_reuse = false;
+        let with = traffic_estimate(&cfg(), &CapsNetConfig::mnist());
+        let without = traffic_estimate(&c, &CapsNetConfig::mnist());
+        use crate::MemoryKind;
+        assert!(
+            without.counter(MemoryKind::WeightMemory).read_bytes
+                > 10 * with.counter(MemoryKind::WeightMemory).read_bytes
+        );
+    }
+
+    #[test]
+    fn bigger_arrays_do_not_slow_compute_bound_layers() {
+        let base = conv_layer("Conv1", &CapsNetConfig::mnist().conv1_geometry(), true, &cfg());
+        let mut big = cfg();
+        big.rows = 32;
+        big.cols = 32;
+        big.activation_units = 32;
+        let t = conv_layer("Conv1", &CapsNetConfig::mnist().conv1_geometry(), true, &big);
+        assert!(t.compute_cycles < base.compute_cycles);
+    }
+}

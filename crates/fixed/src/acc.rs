@@ -1,0 +1,233 @@
+//! The 25-bit partial-sum accumulator.
+
+use std::fmt;
+
+/// Width of the partial-sum datapath in the paper (Sec. IV-A: "the sum is
+/// designed as a 25-bit fixed-point value").
+pub const ACC_BITS: u32 = 25;
+
+/// A saturating fixed-point accumulator with a configurable bit width.
+///
+/// The PE adders, the vertical partial-sum chain of the systolic array and
+/// the per-column accumulator units (Fig. 11c) all carry `BITS`-wide
+/// two's-complement sums. The fraction width is the sum of the operand
+/// fraction widths (e.g. Q2.5 data × Q1.6 weights accumulate with 11
+/// fraction bits); the accumulator itself is agnostic to it and simply
+/// adds raw integer codes.
+///
+/// Overflow saturates rather than wraps — a 25-bit accumulator is sized so
+/// that saturation never occurs for the paper's workload, and
+/// [`Acc::saturation_events`] lets tests verify exactly that.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_fixed::Acc25;
+/// let mut acc = Acc25::new();
+/// acc.add_product(1000);
+/// acc.add_product(-250);
+/// assert_eq!(acc.raw(), 750);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Acc<const BITS: u32> {
+    value: i64,
+    saturations: u32,
+}
+
+/// The paper's 25-bit accumulator.
+pub type Acc25 = Acc<ACC_BITS>;
+
+impl<const BITS: u32> Acc<BITS> {
+    /// Largest representable raw value (`2^(BITS-1) - 1`).
+    pub const MAX_RAW: i64 = (1i64 << (BITS - 1)) - 1;
+    /// Smallest representable raw value (`-2^(BITS-1)`).
+    pub const MIN_RAW: i64 = -(1i64 << (BITS - 1));
+
+    /// Creates a zeroed accumulator.
+    pub const fn new() -> Self {
+        Self {
+            value: 0,
+            saturations: 0,
+        }
+    }
+
+    /// Creates an accumulator holding `raw`, saturated to the bit width.
+    pub fn from_raw(raw: i64) -> Self {
+        let mut acc = Self::new();
+        acc.value = acc.saturate(raw);
+        acc
+    }
+
+    /// Current raw value.
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.value
+    }
+
+    /// Number of additions that saturated since construction. A correctly
+    /// sized datapath reports zero for the whole CapsuleNet workload.
+    #[inline]
+    pub const fn saturation_events(self) -> u32 {
+        self.saturations
+    }
+
+    #[inline]
+    fn saturate(&mut self, v: i64) -> i64 {
+        if v > Self::MAX_RAW {
+            self.saturations += 1;
+            Self::MAX_RAW
+        } else if v < Self::MIN_RAW {
+            self.saturations += 1;
+            Self::MIN_RAW
+        } else {
+            v
+        }
+    }
+
+    /// Adds a (possibly widened) product term, saturating on overflow.
+    #[inline]
+    pub fn add_product(&mut self, product: i64) {
+        let sum = self.value + product;
+        self.value = self.saturate(sum);
+    }
+
+    /// Adds another accumulator of the same width, saturating.
+    #[inline]
+    pub fn add_acc(&mut self, other: Self) {
+        self.add_product(other.value);
+        self.saturations += other.saturations;
+    }
+
+    /// Resets the value to zero, preserving the saturation counter.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+
+    /// Converts to `f32` given the fraction width of the accumulated
+    /// products.
+    #[inline]
+    pub fn to_f32(self, frac_bits: u32) -> f32 {
+        self.value as f32 / (1u64 << frac_bits) as f32
+    }
+}
+
+impl<const BITS: u32> fmt::Debug for Acc<BITS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Acc<{}>({})", BITS, self.value)
+    }
+}
+
+impl<const BITS: u32> fmt::Display for Acc<BITS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn range_constants_are_25_bit() {
+        assert_eq!(Acc25::MAX_RAW, 16_777_215);
+        assert_eq!(Acc25::MIN_RAW, -16_777_216);
+    }
+
+    #[test]
+    fn accumulate_products() {
+        let mut acc = Acc25::new();
+        for i in 0..100 {
+            acc.add_product(i);
+        }
+        assert_eq!(acc.raw(), 4950);
+        assert_eq!(acc.saturation_events(), 0);
+    }
+
+    #[test]
+    fn saturates_positive_and_counts() {
+        let mut acc = Acc25::from_raw(Acc25::MAX_RAW);
+        acc.add_product(1);
+        assert_eq!(acc.raw(), Acc25::MAX_RAW);
+        assert_eq!(acc.saturation_events(), 1);
+    }
+
+    #[test]
+    fn saturates_negative() {
+        let mut acc = Acc25::from_raw(Acc25::MIN_RAW);
+        acc.add_product(-1);
+        assert_eq!(acc.raw(), Acc25::MIN_RAW);
+        assert_eq!(acc.saturation_events(), 1);
+    }
+
+    #[test]
+    fn from_raw_saturates_out_of_range() {
+        assert_eq!(Acc25::from_raw(i64::MAX / 2).raw(), Acc25::MAX_RAW);
+        assert_eq!(Acc25::from_raw(i64::MIN / 2).raw(), Acc25::MIN_RAW);
+    }
+
+    #[test]
+    fn clear_preserves_saturation_count() {
+        let mut acc = Acc25::from_raw(Acc25::MAX_RAW);
+        acc.add_product(10);
+        acc.clear();
+        assert_eq!(acc.raw(), 0);
+        assert_eq!(acc.saturation_events(), 1);
+    }
+
+    #[test]
+    fn add_acc_merges_counters() {
+        let mut a = Acc25::from_raw(100);
+        let mut b = Acc25::from_raw(Acc25::MAX_RAW);
+        b.add_product(5); // saturates
+        a.add_acc(b);
+        assert_eq!(a.raw(), Acc25::MAX_RAW); // 100 + MAX saturates again
+        assert_eq!(a.saturation_events(), 2);
+    }
+
+    #[test]
+    fn to_f32_uses_fraction_width() {
+        let acc = Acc25::from_raw(1 << 11);
+        assert_eq!(acc.to_f32(11), 1.0);
+        assert_eq!(acc.to_f32(12), 0.5);
+    }
+
+    #[test]
+    fn worst_case_classcaps_dot_product_never_saturates() {
+        // The longest reduction in the network is the ClassCaps matmul:
+        // 1152 capsules × 8 elements = 9216 products of two 8-bit values.
+        // Worst-case magnitude: 9216 * 128 * 128 = 150,994,944 — that DOES
+        // exceed 25 bits, so the architecture relies on the accumulator
+        // unit splitting the reduction into per-tile sums (Sec. IV-B).
+        // A 16-row tile (the array height) accumulates at most
+        // 16 * 128 * 128 = 262,144 ≪ 2^24: no saturation per tile.
+        let mut acc = Acc25::new();
+        for _ in 0..16 {
+            acc.add_product(128 * 128);
+        }
+        assert_eq!(acc.saturation_events(), 0);
+        assert_eq!(acc.raw(), 262_144);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_bigint_clamp(a in Acc25::MIN_RAW..=Acc25::MAX_RAW,
+                                    p in -(1i64<<16)..(1i64<<16)) {
+            let mut acc = Acc25::from_raw(a);
+            acc.add_product(p);
+            let exact = (a + p).clamp(Acc25::MIN_RAW, Acc25::MAX_RAW);
+            prop_assert_eq!(acc.raw(), exact);
+        }
+
+        #[test]
+        fn value_always_in_range(products in proptest::collection::vec(-(1i64<<20)..(1i64<<20), 0..200)) {
+            let mut acc = Acc25::new();
+            for p in products {
+                acc.add_product(p);
+                prop_assert!(acc.raw() <= Acc25::MAX_RAW);
+                prop_assert!(acc.raw() >= Acc25::MIN_RAW);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Requantization: the 25-bit → 8-bit reduction of the activation unit.
+
+/// Requantizes a wide accumulator value to an 8-bit code by an arithmetic
+/// right shift with round-half-up, then saturation.
+///
+/// This models the reduction the paper describes in Sec. IV-C: "The
+/// 25-bits data values coming from the Accumulators are reduced to an
+/// 8-bit fixed-point value". The shift amount is the difference between
+/// the accumulator fraction width and the destination fraction width and
+/// is a programmable control-unit parameter in our model.
+///
+/// Rounding is round-half-up in the two's-complement domain (add
+/// `2^(shift-1)` before shifting), the cheapest faithful hardware
+/// rounding; `shift == 0` passes the value through unshifted.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_fixed::requantize;
+/// // 1.0 in Q*.11 is 2048; requantizing to Q2.5 shifts right by 6.
+/// assert_eq!(requantize(2048, 6), 32);
+/// // Round-half-up: 31.5 in the destination scale becomes 32.
+/// assert_eq!(requantize(2048 - 32, 6), 32);
+/// // Saturation to 8 bits.
+/// assert_eq!(requantize(1 << 20, 6), 127);
+/// assert_eq!(requantize(-(1 << 20), 6), -128);
+/// ```
+#[inline]
+pub fn requantize(raw: i64, shift: u32) -> i8 {
+    let shifted = if shift == 0 {
+        raw
+    } else {
+        (raw + (1i64 << (shift - 1))) >> shift
+    };
+    shifted.clamp(i8::MIN as i64, i8::MAX as i64) as i8
+}
+
+/// Saturates a raw value to a signed field of `bits` width, returning the
+/// saturated value. Used to model intermediate datapath fields such as the
+/// 12-bit square-LUT input or the 6-bit squash-LUT data input.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or greater than 63.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_fixed::saturate_to_bits;
+/// assert_eq!(saturate_to_bits(100, 6), 31);
+/// assert_eq!(saturate_to_bits(-100, 6), -32);
+/// assert_eq!(saturate_to_bits(7, 6), 7);
+/// ```
+#[inline]
+pub fn saturate_to_bits(raw: i64, bits: u32) -> i64 {
+    assert!(bits > 0 && bits < 64, "bit width must be in 1..=63");
+    let max = (1i64 << (bits - 1)) - 1;
+    let min = -(1i64 << (bits - 1));
+    raw.clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shift_zero_is_identity_with_saturation() {
+        assert_eq!(requantize(100, 0), 100);
+        assert_eq!(requantize(300, 0), 127);
+        assert_eq!(requantize(-300, 0), -128);
+    }
+
+    #[test]
+    fn round_half_up_positive_and_negative() {
+        // 3 >> 1 with round-half-up: (3 + 1) >> 1 = 2.
+        assert_eq!(requantize(3, 1), 2);
+        // -3: (-3 + 1) >> 1 = -1 (rounds toward +inf on ties).
+        assert_eq!(requantize(-3, 1), -1);
+        assert_eq!(requantize(-4, 1), -2);
+        assert_eq!(requantize(5, 1), 3);
+    }
+
+    #[test]
+    fn typical_mac_requantization() {
+        // data Q2.5 * weight Q1.6 accumulates at frac 11; back to Q2.5
+        // means shift 6.
+        let one = 1i64 << 11;
+        assert_eq!(requantize(one, 6), 32);
+        assert_eq!(requantize(one / 2, 6), 16);
+        assert_eq!(requantize(-one, 6), -32);
+    }
+
+    #[test]
+    fn saturate_to_bits_limits() {
+        assert_eq!(saturate_to_bits(31, 6), 31);
+        assert_eq!(saturate_to_bits(32, 6), 31);
+        assert_eq!(saturate_to_bits(-32, 6), -32);
+        assert_eq!(saturate_to_bits(-33, 6), -32);
+        assert_eq!(saturate_to_bits(2047, 12), 2047);
+        assert_eq!(saturate_to_bits(2048, 12), 2047);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width")]
+    fn saturate_to_bits_rejects_zero_width() {
+        saturate_to_bits(1, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn requantize_error_within_half_lsb(raw in -(1i64<<22)..(1i64<<22), shift in 1u32..12) {
+            let out = requantize(raw, shift) as i64;
+            let exact = raw as f64 / (1u64 << shift) as f64;
+            if out > i8::MIN as i64 && out < i8::MAX as i64 {
+                prop_assert!((out as f64 - exact).abs() <= 0.5);
+            }
+        }
+
+        #[test]
+        fn requantize_is_monotone(a in -(1i64<<22)..(1i64<<22), b in -(1i64<<22)..(1i64<<22), shift in 0u32..12) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(requantize(lo, shift) <= requantize(hi, shift));
+        }
+
+        #[test]
+        fn saturate_idempotent(raw in any::<i64>().prop_map(|v| v / 2), bits in 1u32..40) {
+            let once = saturate_to_bits(raw, bits);
+            prop_assert_eq!(saturate_to_bits(once, bits), once);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Hardware lookup tables of the CapsAcc activation unit (Fig. 11d–g).
+
+pub mod exp;
+pub mod sqrt;
+pub mod square;
+pub mod squash;

@@ -1,0 +1,312 @@
+//! 8-bit fixed-point values with compile-time fraction widths.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An 8-bit two's-complement fixed-point number with `F` fraction bits.
+///
+/// The represented real value is `raw / 2^F`, giving a range of
+/// `[-2^(7-F), 2^(7-F) - 2^-F]` with resolution `2^-F`. The paper's
+/// datapath carries 8-bit data and 8-bit weights (Sec. IV-A); the fraction
+/// width is a software-level interpretation that the hardware realizes via
+/// programmable shifts in the activation unit.
+///
+/// Commonly used aliases:
+///
+/// - [`Data8`] = `Fx8<5>` — Q2.5 activations, range ±4, resolution 1/32.
+/// - [`Weight8`] = `Fx8<6>` — Q1.6 weights, range ±2, resolution 1/64.
+/// - [`Coupling8`] = `Fx8<7>` — Q0.7 coupling coefficients in `[0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_fixed::Data8;
+/// let a = Data8::from_f32(1.5);
+/// let b = Data8::from_f32(-0.25);
+/// assert_eq!(a.saturating_add(b).to_f32(), 1.25);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx8<const F: u32>(i8);
+
+/// Q2.5 activation/data values (range ±4, resolution 1/32).
+pub type Data8 = Fx8<5>;
+/// Q1.6 weight values (range ±2, resolution 1/64).
+pub type Weight8 = Fx8<6>;
+/// Q0.7 coupling coefficients `c_ij` (range `[-1, 1)`, used in `[0, 1)`).
+pub type Coupling8 = Fx8<7>;
+
+impl<const F: u32> Fx8<F> {
+    /// Number of fraction bits in this format.
+    pub const FRAC_BITS: u32 = F;
+    /// Smallest representable value.
+    pub const MIN: Self = Self(i8::MIN);
+    /// Largest representable value.
+    pub const MAX: Self = Self(i8::MAX);
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+    /// One, saturated if `F == 7` (where the maximum is `127/128`).
+    pub const ONE: Self = Self(if F >= 7 { i8::MAX } else { 1 << F });
+
+    /// Creates a value from its raw two's-complement bit pattern.
+    ///
+    /// ```
+    /// use capsacc_fixed::Data8;
+    /// assert_eq!(Data8::from_raw(32).to_f32(), 1.0);
+    /// ```
+    #[inline]
+    pub const fn from_raw(raw: i8) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw two's-complement bit pattern.
+    #[inline]
+    pub const fn raw(self) -> i8 {
+        self.0
+    }
+
+    /// Quantizes an `f32`, rounding to nearest and saturating to the
+    /// representable range. `NaN` maps to zero, mirroring a hardware
+    /// quantizer that never produces an invalid code.
+    ///
+    /// ```
+    /// use capsacc_fixed::Weight8;
+    /// // Q1.6 saturates at 127/64 ≈ 1.984.
+    /// assert_eq!(Weight8::from_f32(7.3), Weight8::MAX);
+    /// ```
+    pub fn from_f32(x: f32) -> Self {
+        if x.is_nan() {
+            return Self::ZERO;
+        }
+        let scaled = (x * (1u32 << F) as f32).round();
+        let clamped = scaled.clamp(i8::MIN as f32, i8::MAX as f32);
+        Self(clamped as i8)
+    }
+
+    /// Converts back to `f32` (exact: every code has an `f32` image).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / (1u32 << F) as f32
+    }
+
+    /// Saturating addition in the same format.
+    #[inline]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction in the same format.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating negation (`-(-128)` saturates to `127`).
+    #[inline]
+    pub fn saturating_neg(self) -> Self {
+        Self(self.0.checked_neg().unwrap_or(i8::MAX))
+    }
+
+    /// Widening multiply with another 8-bit fixed-point value. The result
+    /// is an exact 16-bit product whose fraction width is the sum of the
+    /// operand fraction widths — this is precisely what the PE multiplier
+    /// produces before accumulation (Fig. 11b).
+    ///
+    /// ```
+    /// use capsacc_fixed::{Data8, Weight8};
+    /// let d = Data8::from_f32(1.5);
+    /// let w = Weight8::from_f32(-0.5);
+    /// // Product has 5 + 6 = 11 fraction bits.
+    /// assert_eq!(d.widening_mul(w), (-0.75 * (1 << 11) as f32) as i16);
+    /// ```
+    #[inline]
+    pub fn widening_mul<const G: u32>(self, rhs: Fx8<G>) -> i16 {
+        self.0 as i16 * rhs.0 as i16
+    }
+
+    /// The quantization step of this format (`2^-F`) as `f32`.
+    #[inline]
+    pub fn resolution() -> f32 {
+        1.0 / (1u32 << F) as f32
+    }
+
+    /// Rectified linear unit: negative codes clamp to zero. This is the
+    /// trivially simple ReLU of the activation unit (Sec. IV-C).
+    #[inline]
+    pub fn relu(self) -> Self {
+        if self.0 < 0 {
+            Self::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// Absolute value, saturating (`|-128|` saturates to `127`).
+    #[inline]
+    pub fn saturating_abs(self) -> Self {
+        Self(self.0.checked_abs().unwrap_or(i8::MAX))
+    }
+}
+
+impl<const F: u32> fmt::Debug for Fx8<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fx8<{}>({} = {})", F, self.0, self.to_f32())
+    }
+}
+
+impl<const F: u32> fmt::Display for Fx8<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl<const F: u32> From<Fx8<F>> for f32 {
+    fn from(v: Fx8<F>) -> f32 {
+        v.to_f32()
+    }
+}
+
+/// Error returned when parsing an [`Fx8`] from a string fails.
+///
+/// ```
+/// use capsacc_fixed::Data8;
+/// let err = "not-a-number".parse::<Data8>().unwrap_err();
+/// assert!(err.to_string().contains("invalid"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFxError {
+    input: String,
+}
+
+impl fmt::Display for ParseFxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fixed-point literal: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseFxError {}
+
+impl<const F: u32> FromStr for Fx8<F> {
+    type Err = ParseFxError;
+
+    /// Parses a decimal literal and quantizes it (round-to-nearest,
+    /// saturating).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseFxError`] when the input is not a valid decimal
+    /// number.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let x: f32 = s.parse().map_err(|_| ParseFxError {
+            input: s.to_owned(),
+        })?;
+        if x.is_nan() {
+            return Err(ParseFxError {
+                input: s.to_owned(),
+            });
+        }
+        Ok(Self::from_f32(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_exact_codes() {
+        for raw in i8::MIN..=i8::MAX {
+            let v = Data8::from_raw(raw);
+            assert_eq!(Data8::from_f32(v.to_f32()), v);
+        }
+    }
+
+    #[test]
+    fn one_is_saturated_in_q07() {
+        assert_eq!(Coupling8::ONE.raw(), 127);
+        assert_eq!(Data8::ONE.to_f32(), 1.0);
+        assert_eq!(Weight8::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn from_f32_saturates() {
+        assert_eq!(Data8::from_f32(100.0), Data8::MAX);
+        assert_eq!(Data8::from_f32(-100.0), Data8::MIN);
+        assert_eq!(Data8::from_f32(f32::INFINITY), Data8::MAX);
+        assert_eq!(Data8::from_f32(f32::NEG_INFINITY), Data8::MIN);
+        assert_eq!(Data8::from_f32(f32::NAN), Data8::ZERO);
+    }
+
+    #[test]
+    fn from_f32_rounds_to_nearest() {
+        // 1/64 is exactly between the Q2.5 codes 0 and 1/32: rounds away
+        // from zero in `f32::round` semantics.
+        assert_eq!(Data8::from_f32(1.0 / 64.0).raw(), 1);
+        assert_eq!(Data8::from_f32(-1.0 / 64.0).raw(), -1);
+        assert_eq!(Data8::from_f32(1.01 / 64.0).raw(), 1);
+        assert_eq!(Data8::from_f32(0.49 / 32.0).raw(), 0);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Data8::from_f32(-1.0).relu(), Data8::ZERO);
+        assert_eq!(Data8::from_f32(1.0).relu(), Data8::from_f32(1.0));
+        assert_eq!(Data8::ZERO.relu(), Data8::ZERO);
+    }
+
+    #[test]
+    fn widening_mul_is_exact() {
+        let d = Data8::from_raw(-128);
+        let w = Weight8::from_raw(-128);
+        assert_eq!(d.widening_mul(w), 16384);
+        let d = Data8::from_raw(127);
+        let w = Weight8::from_raw(-128);
+        assert_eq!(d.widening_mul(w), -16256);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Data8::MAX.saturating_add(Data8::from_raw(1)), Data8::MAX);
+        assert_eq!(Data8::MIN.saturating_sub(Data8::from_raw(1)), Data8::MIN);
+        assert_eq!(Data8::MIN.saturating_neg(), Data8::MAX);
+        assert_eq!(Data8::MIN.saturating_abs(), Data8::MAX);
+    }
+
+    #[test]
+    fn parse_roundtrip_and_error() {
+        let v: Data8 = "1.5".parse().unwrap();
+        assert_eq!(v.to_f32(), 1.5);
+        assert!("abc".parse::<Data8>().is_err());
+        assert!("NaN".parse::<Data8>().is_err());
+    }
+
+    #[test]
+    fn display_shows_real_value() {
+        assert_eq!(Data8::from_f32(0.5).to_string(), "0.5");
+        assert!(!format!("{:?}", Data8::from_f32(0.5)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn quantization_error_bounded(x in -3.9f32..3.9) {
+            let v = Data8::from_f32(x);
+            prop_assert!((v.to_f32() - x).abs() <= Data8::resolution() / 2.0 + f32::EPSILON);
+        }
+
+        #[test]
+        fn widening_mul_matches_float(a in any::<i8>(), b in any::<i8>()) {
+            let d = Data8::from_raw(a);
+            let w = Weight8::from_raw(b);
+            let exact = d.to_f32() * w.to_f32();
+            let got = d.widening_mul(w) as f32 / (1u32 << 11) as f32;
+            prop_assert_eq!(exact, got);
+        }
+
+        #[test]
+        fn saturating_add_never_wraps(a in any::<i8>(), b in any::<i8>()) {
+            let s = Data8::from_raw(a).saturating_add(Data8::from_raw(b));
+            let exact = a as i16 + b as i16;
+            prop_assert_eq!(s.raw() as i16, exact.clamp(-128, 127));
+        }
+    }
+}

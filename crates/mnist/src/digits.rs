@@ -1,0 +1,433 @@
+//! Procedural stroke-based digit rasterizer.
+
+use capsacc_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Side length of a synthetic image (28, matching MNIST).
+pub const IMAGE_SIDE: usize = 28;
+
+/// One dataset sample: a `[1, 28, 28]` grayscale image in `[0, 1]` and
+/// its class label.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Sample {
+    /// Grayscale image, shape `[1, IMAGE_SIDE, IMAGE_SIDE]`, values in
+    /// `[0, 1]`.
+    pub image: Tensor<f32>,
+    /// Digit class in `0..10`.
+    pub label: u8,
+}
+
+/// A stroke in the normalized `[0, 1]²` glyph space.
+#[derive(Copy, Clone, Debug)]
+enum Stroke {
+    /// Line segment from `p0` to `p1`.
+    Line { p0: (f32, f32), p1: (f32, f32) },
+    /// Elliptical arc centred at `c` with radii `(rx, ry)`, swept from
+    /// angle `a0` to `a1` (radians, counter-clockwise).
+    Arc {
+        c: (f32, f32),
+        rx: f32,
+        ry: f32,
+        a0: f32,
+        a1: f32,
+    },
+}
+
+use std::f32::consts::PI;
+
+/// Stroke templates for the ten digit classes, hand-drawn in glyph space.
+fn glyph(digit: u8) -> Vec<Stroke> {
+    use Stroke::*;
+    match digit {
+        0 => vec![Arc {
+            c: (0.5, 0.5),
+            rx: 0.24,
+            ry: 0.36,
+            a0: 0.0,
+            a1: 2.0 * PI,
+        }],
+        1 => vec![
+            Line {
+                p0: (0.55, 0.12),
+                p1: (0.55, 0.88),
+            },
+            Line {
+                p0: (0.40, 0.26),
+                p1: (0.55, 0.12),
+            },
+        ],
+        2 => vec![
+            Arc {
+                c: (0.5, 0.32),
+                rx: 0.24,
+                ry: 0.20,
+                a0: -PI,
+                a1: 0.25 * PI,
+            },
+            Line {
+                p0: (0.68, 0.45),
+                p1: (0.26, 0.86),
+            },
+            Line {
+                p0: (0.26, 0.86),
+                p1: (0.76, 0.86),
+            },
+        ],
+        3 => vec![
+            Arc {
+                c: (0.48, 0.31),
+                rx: 0.22,
+                ry: 0.18,
+                a0: -0.75 * PI,
+                a1: 0.5 * PI,
+            },
+            Arc {
+                c: (0.48, 0.67),
+                rx: 0.24,
+                ry: 0.20,
+                a0: -0.5 * PI,
+                a1: 0.75 * PI,
+            },
+        ],
+        4 => vec![
+            Line {
+                p0: (0.62, 0.12),
+                p1: (0.24, 0.60),
+            },
+            Line {
+                p0: (0.24, 0.60),
+                p1: (0.78, 0.60),
+            },
+            Line {
+                p0: (0.62, 0.12),
+                p1: (0.62, 0.88),
+            },
+        ],
+        5 => vec![
+            Line {
+                p0: (0.72, 0.14),
+                p1: (0.32, 0.14),
+            },
+            Line {
+                p0: (0.32, 0.14),
+                p1: (0.30, 0.48),
+            },
+            Arc {
+                c: (0.48, 0.66),
+                rx: 0.24,
+                ry: 0.21,
+                a0: -0.6 * PI,
+                a1: 0.8 * PI,
+            },
+        ],
+        6 => vec![
+            Arc {
+                c: (0.52, 0.30),
+                rx: 0.22,
+                ry: 0.24,
+                a0: -PI,
+                a1: -0.35 * PI,
+            },
+            Line {
+                p0: (0.30, 0.30),
+                p1: (0.28, 0.65),
+            },
+            Arc {
+                c: (0.50, 0.68),
+                rx: 0.22,
+                ry: 0.19,
+                a0: 0.0,
+                a1: 2.0 * PI,
+            },
+        ],
+        7 => vec![
+            Line {
+                p0: (0.24, 0.14),
+                p1: (0.76, 0.14),
+            },
+            Line {
+                p0: (0.76, 0.14),
+                p1: (0.42, 0.88),
+            },
+        ],
+        8 => vec![
+            Arc {
+                c: (0.5, 0.30),
+                rx: 0.19,
+                ry: 0.17,
+                a0: 0.0,
+                a1: 2.0 * PI,
+            },
+            Arc {
+                c: (0.5, 0.68),
+                rx: 0.23,
+                ry: 0.20,
+                a0: 0.0,
+                a1: 2.0 * PI,
+            },
+        ],
+        9 => vec![
+            Arc {
+                c: (0.50, 0.32),
+                rx: 0.21,
+                ry: 0.19,
+                a0: 0.0,
+                a1: 2.0 * PI,
+            },
+            Line {
+                p0: (0.71, 0.32),
+                p1: (0.66, 0.88),
+            },
+        ],
+        _ => panic!("digit class {digit} out of range 0..10"),
+    }
+}
+
+/// Samples an arc into a polyline in glyph space.
+fn arc_points(c: (f32, f32), rx: f32, ry: f32, a0: f32, a1: f32) -> Vec<(f32, f32)> {
+    const SEGMENTS: usize = 40;
+    (0..=SEGMENTS)
+        .map(|i| {
+            let t = a0 + (a1 - a0) * i as f32 / SEGMENTS as f32;
+            (c.0 + rx * t.cos(), c.1 + ry * t.sin())
+        })
+        .collect()
+}
+
+/// Squared distance from point `p` to segment `(a, b)`.
+fn dist2_to_segment(p: (f32, f32), a: (f32, f32), b: (f32, f32)) -> f32 {
+    let (px, py) = (p.0 - a.0, p.1 - a.1);
+    let (bx, by) = (b.0 - a.0, b.1 - a.1);
+    let len2 = bx * bx + by * by;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        ((px * bx + py * by) / len2).clamp(0.0, 1.0)
+    };
+    let (dx, dy) = (px - t * bx, py - t * by);
+    dx * dx + dy * dy
+}
+
+/// Per-sample geometric jitter applied to a glyph.
+#[derive(Copy, Clone, Debug)]
+struct Jitter {
+    dx: f32,
+    dy: f32,
+    scale: f32,
+    rot: f32,
+    sigma: f32,
+}
+
+/// Deterministic synthetic MNIST-style dataset.
+///
+/// Every sample is generated on demand from `(seed, index)` — there is no
+/// stored data, and two datasets with the same seed are identical. Labels
+/// cycle through the ten classes (`label = index % 10`) so any contiguous
+/// batch is class-balanced.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_mnist::SyntheticMnist;
+/// let ds = SyntheticMnist::new(7);
+/// let batch: Vec<_> = ds.iter().take(20).collect();
+/// assert_eq!(batch.iter().filter(|s| s.label == 3).count(), 2);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SyntheticMnist {
+    seed: u64,
+}
+
+impl SyntheticMnist {
+    /// Creates a dataset with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The seed this dataset was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates sample `index` (deterministic in `(seed, index)`).
+    pub fn sample(&self, index: u64) -> Sample {
+        let label = (index % 10) as u8;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let jitter = Jitter {
+            dx: rng.gen_range(-0.07..0.07),
+            dy: rng.gen_range(-0.07..0.07),
+            scale: rng.gen_range(0.85..1.12),
+            rot: rng.gen_range(-0.12..0.12),
+            sigma: rng.gen_range(0.030..0.048),
+        };
+        Sample {
+            image: rasterize(label, jitter),
+            label,
+        }
+    }
+
+    /// An infinite iterator over samples starting at index 0.
+    pub fn iter(&self) -> Iter {
+        Iter {
+            dataset: *self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over [`SyntheticMnist`] samples.
+#[derive(Copy, Clone, Debug)]
+pub struct Iter {
+    dataset: SyntheticMnist,
+    next: u64,
+}
+
+impl Iterator for Iter {
+    type Item = Sample;
+    fn next(&mut self) -> Option<Sample> {
+        let s = self.dataset.sample(self.next);
+        self.next += 1;
+        Some(s)
+    }
+}
+
+/// Renders a digit glyph under a jitter transform into a 28×28 image.
+fn rasterize(digit: u8, j: Jitter) -> Tensor<f32> {
+    // Collect all strokes as polylines in glyph space, then transform.
+    let mut polylines: Vec<Vec<(f32, f32)>> = Vec::new();
+    for stroke in glyph(digit) {
+        let pts = match stroke {
+            Stroke::Line { p0, p1 } => vec![p0, p1],
+            Stroke::Arc { c, rx, ry, a0, a1 } => arc_points(c, rx, ry, a0, a1),
+        };
+        let (sin, cos) = j.rot.sin_cos();
+        let transformed = pts
+            .into_iter()
+            .map(|(x, y)| {
+                // Rotate and scale about the glyph centre, then translate.
+                let (cx, cy) = (x - 0.5, y - 0.5);
+                let (rx, ry) = (cx * cos - cy * sin, cx * sin + cy * cos);
+                (0.5 + j.scale * rx + j.dx, 0.5 + j.scale * ry + j.dy)
+            })
+            .collect();
+        polylines.push(transformed);
+    }
+
+    Tensor::from_fn(&[1, IMAGE_SIDE, IMAGE_SIDE], |idx| {
+        let py = (idx[1] as f32 + 0.5) / IMAGE_SIDE as f32;
+        let px = (idx[2] as f32 + 0.5) / IMAGE_SIDE as f32;
+        let mut d2 = f32::MAX;
+        for line in &polylines {
+            for pair in line.windows(2) {
+                d2 = d2.min(dist2_to_segment((px, py), pair[0], pair[1]));
+            }
+        }
+        // Gaussian falloff from the stroke centreline; clip the faint tail
+        // so the background is exactly zero like thresholded MNIST.
+        let v = (-d2 / (2.0 * j.sigma * j.sigma)).exp();
+        if v < 0.05 {
+            0.0
+        } else {
+            v.min(1.0)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_shape_and_range() {
+        let ds = SyntheticMnist::new(1);
+        for i in 0..20 {
+            let s = ds.sample(i);
+            assert_eq!(s.image.shape(), &[1, IMAGE_SIDE, IMAGE_SIDE]);
+            assert!(s.image.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let ds = SyntheticMnist::new(1);
+        for i in 0..30 {
+            assert_eq!(ds.sample(i).label, (i % 10) as u8);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_index() {
+        let a = SyntheticMnist::new(9).sample(17);
+        let b = SyntheticMnist::new(9).sample(17);
+        assert_eq!(a.image, b.image);
+        let c = SyntheticMnist::new(10).sample(17);
+        assert_ne!(a.image, c.image, "different seeds must differ");
+    }
+
+    #[test]
+    fn jitter_makes_same_class_samples_differ() {
+        let ds = SyntheticMnist::new(3);
+        let a = ds.sample(0); // label 0
+        let b = ds.sample(10); // label 0 again, different jitter
+        assert_eq!(a.label, b.label);
+        assert_ne!(a.image, b.image);
+    }
+
+    #[test]
+    fn glyphs_have_plausible_ink_coverage() {
+        // Every digit renders a stroke: between 2% and 40% of pixels lit.
+        let ds = SyntheticMnist::new(5);
+        for i in 0..10 {
+            let s = ds.sample(i);
+            let lit = s.image.iter().filter(|&&v| v > 0.1).count();
+            let frac = lit as f32 / (IMAGE_SIDE * IMAGE_SIDE) as f32;
+            assert!(
+                (0.02..0.40).contains(&frac),
+                "digit {} has ink fraction {frac}",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn different_digits_have_different_images() {
+        let ds = SyntheticMnist::new(11);
+        let imgs: Vec<_> = (0..10).map(|i| ds.sample(i).image).collect();
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                assert_ne!(imgs[a], imgs[b], "digits {a} and {b} render equal");
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_matches_direct_sampling() {
+        let ds = SyntheticMnist::new(2);
+        for (i, s) in ds.iter().take(5).enumerate() {
+            assert_eq!(s, ds.sample(i as u64));
+        }
+    }
+
+    #[test]
+    fn ink_is_centered() {
+        // The glyph centroid stays within the middle half of the image
+        // despite jitter.
+        let ds = SyntheticMnist::new(8);
+        for i in 0..10 {
+            let s = ds.sample(i);
+            let (mut sx, mut sy, mut mass) = (0.0f32, 0.0f32, 0.0f32);
+            for y in 0..IMAGE_SIDE {
+                for x in 0..IMAGE_SIDE {
+                    let v = s.image[[0, y, x]];
+                    sx += x as f32 * v;
+                    sy += y as f32 * v;
+                    mass += v;
+                }
+            }
+            let (cx, cy) = (sx / mass, sy / mass);
+            assert!((7.0..21.0).contains(&cx), "digit {i} centroid x = {cx}");
+            assert!((7.0..21.0).contains(&cy), "digit {i} centroid y = {cy}");
+        }
+    }
+}

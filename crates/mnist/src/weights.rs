@@ -1,0 +1,136 @@
+//! Deterministic pseudo-trained weight generation.
+
+use capsacc_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic generator of fan-in-scaled network weights.
+///
+/// The paper's evaluation never depends on the trained weight *values* —
+/// only on tensor shapes and datapath behaviour — so this generator
+/// substitutes Xavier-style uniform initialization
+/// (`U(−√(3/fan_in), √(3/fan_in))`, matching the variance `1/fan_in` of
+/// trained layers) drawn from a seeded PRNG. The same seed always yields
+/// the same parameters, which is what makes the bit-exact
+/// simulator-vs-reference validation reproducible.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_mnist::WeightGen;
+/// let mut gen = WeightGen::new(1);
+/// let w = gen.conv_weights(8, 1, 3, 3);
+/// assert_eq!(w.shape(), &[8, 1, 3, 3]);
+/// // fan_in = 9 → all weights within ±√(3/9) ≈ 0.577.
+/// assert!(w.iter().all(|&v| v.abs() < 0.578));
+/// ```
+#[derive(Debug)]
+pub struct WeightGen {
+    rng: StdRng,
+}
+
+impl WeightGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws one value from `U(-bound, bound)`.
+    fn draw(&mut self, bound: f32) -> f32 {
+        if bound == 0.0 {
+            0.0
+        } else {
+            self.rng.gen_range(-bound..bound)
+        }
+    }
+
+    /// Generates `[out_ch, in_ch, k_h, k_w]` convolution weights with
+    /// fan-in `in_ch · k_h · k_w`.
+    pub fn conv_weights(
+        &mut self,
+        out_ch: usize,
+        in_ch: usize,
+        k_h: usize,
+        k_w: usize,
+    ) -> Tensor<f32> {
+        let fan_in = (in_ch * k_h * k_w) as f32;
+        let bound = (3.0 / fan_in).sqrt();
+        Tensor::from_fn(&[out_ch, in_ch, k_h, k_w], |_| self.draw(bound))
+    }
+
+    /// Generates per-channel biases in `U(-0.05, 0.05)`.
+    pub fn biases(&mut self, out_ch: usize) -> Vec<f32> {
+        (0..out_ch).map(|_| self.draw(0.05)).collect()
+    }
+
+    /// Generates a `[rows, cols]` dense matrix with fan-in `cols`.
+    pub fn dense(&mut self, rows: usize, cols: usize) -> Tensor<f32> {
+        let bound = (3.0 / cols as f32).sqrt();
+        Tensor::from_fn(&[rows, cols], |_| self.draw(bound))
+    }
+
+    /// Generates the ClassCaps transformation tensor
+    /// `[in_caps, out_caps, out_dim, in_dim]` (one `out_dim × in_dim`
+    /// matrix `W_ij` per (input capsule, output capsule) pair), fan-in
+    /// `in_dim`.
+    pub fn capsule_transform(
+        &mut self,
+        in_caps: usize,
+        out_caps: usize,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Tensor<f32> {
+        let bound = (3.0 / in_dim as f32).sqrt();
+        Tensor::from_fn(&[in_caps, out_caps, out_dim, in_dim], |_| self.draw(bound))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WeightGen::new(5).conv_weights(4, 2, 3, 3);
+        let b = WeightGen::new(5).conv_weights(4, 2, 3, 3);
+        assert_eq!(a, b);
+        let c = WeightGen::new(6).conv_weights(4, 2, 3, 3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fan_in_bounds_hold() {
+        let mut gen = WeightGen::new(1);
+        let w = gen.conv_weights(16, 4, 5, 5);
+        let bound = (3.0f32 / 100.0).sqrt();
+        assert!(w.iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn variance_is_roughly_xavier() {
+        let mut gen = WeightGen::new(2);
+        let w = gen.dense(64, 100);
+        let n = w.len() as f32;
+        let mean: f32 = w.iter().sum::<f32>() / n;
+        let var: f32 = w.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        // U(-b, b) has variance b²/3 = 1/fan_in = 0.01.
+        assert!((var - 0.01).abs() < 0.002, "var = {var}");
+    }
+
+    #[test]
+    fn capsule_transform_shape() {
+        let mut gen = WeightGen::new(3);
+        let w = gen.capsule_transform(6, 4, 8, 16);
+        assert_eq!(w.shape(), &[6, 4, 16, 8]);
+    }
+
+    #[test]
+    fn sequential_draws_differ() {
+        let mut gen = WeightGen::new(4);
+        let a = gen.biases(8);
+        let b = gen.biases(8);
+        assert_ne!(a, b, "consecutive draws must advance the stream");
+    }
+}

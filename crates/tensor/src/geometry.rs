@@ -1,0 +1,251 @@
+//! Convolution geometry — the loop-nest bounds of Fig. 13 in the paper.
+
+/// Geometry of a 2-D convolution over `[C_in, H, W]` inputs.
+///
+/// This is the shape algebra behind the paper's mapping algorithm
+/// (Fig. 13) and its per-layer mapping orders (Fig. 14): it answers how
+/// many output pixels a layer has, how long an im2col patch is, how many
+/// MACs the layer costs, and which input element each (patch, tap) pair
+/// reads — the exact addressing the accelerator's Data Buffer performs.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_tensor::ConvGeometry;
+/// // Conv1 of the CapsuleNet: 9×9, 256 channels, stride 1, no padding.
+/// let g = ConvGeometry::new(1, 28, 28, 256, 9, 9, 1);
+/// assert_eq!((g.out_h(), g.out_w()), (20, 20));
+/// assert_eq!(g.output_len(), 20 * 20 * 256);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both spatial dimensions, as in the paper's layers).
+    pub stride: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry, validating that at least one output pixel
+    /// exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride is zero or the kernel exceeds the input.
+    pub fn new(
+        in_ch: usize,
+        in_h: usize,
+        in_w: usize,
+        out_ch: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        assert!(
+            k_h <= in_h && k_w <= in_w,
+            "kernel {k_h}x{k_w} larger than input {in_h}x{in_w}"
+        );
+        assert!(in_ch > 0 && out_ch > 0 && k_h > 0 && k_w > 0);
+        Self {
+            in_ch,
+            in_h,
+            in_w,
+            out_ch,
+            k_h,
+            k_w,
+            stride,
+        }
+    }
+
+    /// Output height: `(in_h - k_h) / stride + 1` (valid convolution).
+    #[inline]
+    pub fn out_h(&self) -> usize {
+        (self.in_h - self.k_h) / self.stride + 1
+    }
+
+    /// Output width.
+    #[inline]
+    pub fn out_w(&self) -> usize {
+        (self.in_w - self.k_w) / self.stride + 1
+    }
+
+    /// Number of output pixels (im2col rows): `out_h · out_w`.
+    #[inline]
+    pub fn patches(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Length of one im2col patch (reduction dimension):
+    /// `in_ch · k_h · k_w`.
+    #[inline]
+    pub fn patch_len(&self) -> usize {
+        self.in_ch * self.k_h * self.k_w
+    }
+
+    /// Total elements in the output feature map.
+    #[inline]
+    pub fn output_len(&self) -> usize {
+        self.patches() * self.out_ch
+    }
+
+    /// Total elements in the input feature map.
+    #[inline]
+    pub fn input_len(&self) -> usize {
+        self.in_ch * self.in_h * self.in_w
+    }
+
+    /// Multiply-accumulate operations for the full layer.
+    #[inline]
+    pub fn macs(&self) -> u64 {
+        self.patches() as u64 * self.patch_len() as u64 * self.out_ch as u64
+    }
+
+    /// Number of trainable parameters (`out_ch` biases included when
+    /// `bias` is set) — the Table I accounting.
+    #[inline]
+    pub fn parameter_count(&self, bias: bool) -> usize {
+        self.out_ch * self.patch_len() + if bias { self.out_ch } else { 0 }
+    }
+
+    /// The flat input index (into a row-major `[C_in, H, W]` tensor) read
+    /// by tap `k` of patch `patch` — the Data-Buffer address generator.
+    ///
+    /// Tap order is `(channel, kernel_row, kernel_col)` row-major,
+    /// matching the r/c/i loops of Fig. 13.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch` or `k` are out of range.
+    #[inline]
+    pub fn input_index(&self, patch: usize, k: usize) -> usize {
+        assert!(patch < self.patches(), "patch {patch} out of range");
+        assert!(k < self.patch_len(), "tap {k} out of range");
+        let oy = patch / self.out_w();
+        let ox = patch % self.out_w();
+        let c = k / (self.k_h * self.k_w);
+        let rem = k % (self.k_h * self.k_w);
+        let ky = rem / self.k_w;
+        let kx = rem % self.k_w;
+        let iy = oy * self.stride + ky;
+        let ix = ox * self.stride + kx;
+        (c * self.in_h + iy) * self.in_w + ix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The three CapsuleNet layers as geometries.
+    fn conv1() -> ConvGeometry {
+        ConvGeometry::new(1, 28, 28, 256, 9, 9, 1)
+    }
+    fn primary_caps() -> ConvGeometry {
+        ConvGeometry::new(256, 20, 20, 256, 9, 9, 2)
+    }
+
+    #[test]
+    fn conv1_shapes_match_paper() {
+        let g = conv1();
+        assert_eq!(g.out_h(), 20);
+        assert_eq!(g.out_w(), 20);
+        // Table I: 784 inputs, 20992 parameters, 102400 outputs.
+        assert_eq!(g.input_len(), 784);
+        assert_eq!(g.parameter_count(true), 20_992);
+        assert_eq!(g.output_len(), 102_400);
+    }
+
+    #[test]
+    fn primarycaps_shapes_match_paper() {
+        let g = primary_caps();
+        assert_eq!(g.out_h(), 6);
+        assert_eq!(g.out_w(), 6);
+        // Table I: 102400 inputs, 5308672 parameters.
+        assert_eq!(g.input_len(), 102_400);
+        assert_eq!(g.parameter_count(true), 5_308_672);
+        // 6·6·32 capsules × 8 dims = 9216 output elements (the paper's
+        // Table I prints 102400 here — a documented erratum).
+        assert_eq!(g.output_len(), 9216);
+    }
+
+    #[test]
+    fn mac_counts() {
+        assert_eq!(conv1().macs(), 20 * 20 * 81 * 256);
+        assert_eq!(primary_caps().macs(), 6 * 6 * 81 * 256 * 256);
+    }
+
+    #[test]
+    fn input_index_first_and_last_patch() {
+        let g = ConvGeometry::new(2, 5, 5, 3, 3, 3, 2);
+        assert_eq!((g.out_h(), g.out_w()), (2, 2));
+        // Patch 0, tap 0 = channel 0, (0,0).
+        assert_eq!(g.input_index(0, 0), 0);
+        // Patch 0, last tap = channel 1, (2,2) → (1·5+2)·5+2 = 37.
+        assert_eq!(g.input_index(0, g.patch_len() - 1), 37);
+        // Patch 3 (oy=1, ox=1, stride 2) tap 0 = channel 0, (2,2) → 12.
+        assert_eq!(g.input_index(3, 0), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        ConvGeometry::new(1, 5, 5, 1, 3, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn oversized_kernel_rejected() {
+        ConvGeometry::new(1, 5, 5, 1, 7, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn input_index_bounds_checked() {
+        let g = ConvGeometry::new(1, 5, 5, 1, 3, 3, 1);
+        g.input_index(g.patches(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn input_index_always_in_bounds(
+            in_ch in 1usize..4, in_h in 3usize..10, in_w in 3usize..10,
+            k in 1usize..4, stride in 1usize..3,
+        ) {
+            let k_h = k.min(in_h);
+            let k_w = k.min(in_w);
+            let g = ConvGeometry::new(in_ch, in_h, in_w, 2, k_h, k_w, stride);
+            for p in 0..g.patches() {
+                for t in 0..g.patch_len() {
+                    prop_assert!(g.input_index(p, t) < g.input_len());
+                }
+            }
+        }
+
+        #[test]
+        fn stride_one_taps_are_contiguous_rows(
+            in_h in 3usize..8, in_w in 3usize..8,
+        ) {
+            let g = ConvGeometry::new(1, in_h, in_w, 1, 3, 3, 1);
+            // Within one kernel row the taps address consecutive inputs.
+            for p in 0..g.patches() {
+                for row in 0..3 {
+                    let base = g.input_index(p, row * 3);
+                    prop_assert_eq!(g.input_index(p, row * 3 + 1), base + 1);
+                    prop_assert_eq!(g.input_index(p, row * 3 + 2), base + 2);
+                }
+            }
+        }
+    }
+}

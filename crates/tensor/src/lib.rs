@@ -1,0 +1,34 @@
+//! # capsacc-tensor — minimal dense tensors and reference operators
+//!
+//! A small, dependency-light tensor library sized for the CapsAcc
+//! workload: row-major dense [`Tensor`]s of arbitrary rank, the
+//! convolution geometry helper the accelerator's Data-Buffer addressing
+//! uses ([`ConvGeometry`]), and reference operators in both `f32`
+//! ([`ops`]) and bit-exact 8-bit fixed point ([`qops`]).
+//!
+//! The fixed-point operators mirror the accelerator datapath exactly:
+//! widening 8×8-bit multiplies feeding a saturating 25-bit accumulator
+//! ([`capsacc_fixed::Acc25`]), then a shift/round/saturate requantization
+//! ([`capsacc_fixed::requantize`]). The cycle-accurate simulator in
+//! `capsacc-core` validates its outputs bit-for-bit against these.
+//!
+//! # Example
+//!
+//! ```
+//! use capsacc_tensor::Tensor;
+//!
+//! let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 3 + idx[1]) as f32);
+//! assert_eq!(t.shape(), &[2, 3]);
+//! assert_eq!(t[[1, 2]], 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod geometry;
+pub mod ops;
+pub mod qops;
+mod tensor;
+
+pub use geometry::ConvGeometry;
+pub use tensor::{ShapeError, Tensor};

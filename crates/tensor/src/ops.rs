@@ -1,0 +1,264 @@
+//! Floating-point reference operators.
+//!
+//! These are the "software prediction" side of the paper's validation
+//! flow (Fig. 15): straightforward, obviously-correct `f32`
+//! implementations used as the semantic baseline for both the quantized
+//! reference ([`crate::qops`]) and the cycle-accurate simulator.
+
+use crate::geometry::ConvGeometry;
+use crate::tensor::Tensor;
+
+/// Valid 2-D convolution of a `[C_in, H, W]` input with
+/// `[C_out, C_in, K_h, K_w]` weights and optional per-channel biases,
+/// producing `[C_out, OH, OW]`.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with `geometry` or the bias
+/// length is not `C_out`.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_tensor::{ConvGeometry, Tensor, ops::conv2d};
+/// let g = ConvGeometry::new(1, 3, 3, 1, 2, 2, 1);
+/// let input = Tensor::from_fn(&[1, 3, 3], |i| (i[1] * 3 + i[2]) as f32);
+/// let weight = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0; 4])?;
+/// let out = conv2d(&input, &weight, None, &g);
+/// assert_eq!(out.shape(), &[1, 2, 2]);
+/// assert_eq!(out.data()[0], 0.0 + 1.0 + 3.0 + 4.0);
+/// # Ok::<(), capsacc_tensor::ShapeError>(())
+/// ```
+pub fn conv2d(
+    input: &Tensor<f32>,
+    weight: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    geometry: &ConvGeometry,
+) -> Tensor<f32> {
+    let g = geometry;
+    assert_eq!(input.shape(), &[g.in_ch, g.in_h, g.in_w], "input shape");
+    assert_eq!(
+        weight.shape(),
+        &[g.out_ch, g.in_ch, g.k_h, g.k_w],
+        "weight shape"
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), g.out_ch, "bias length");
+    }
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let mut out = Tensor::zeros(&[g.out_ch, oh, ow]);
+    let patch_len = g.patch_len();
+    for oc in 0..g.out_ch {
+        let wbase = oc * patch_len;
+        for p in 0..g.patches() {
+            let mut acc = bias.map_or(0.0, |b| b[oc]);
+            for k in 0..patch_len {
+                acc += input.data()[g.input_index(p, k)] * weight.data()[wbase + k];
+            }
+            out.data_mut()[oc * oh * ow + p] = acc;
+        }
+    }
+    out
+}
+
+/// Dense matrix product of `[M, K] × [K, N] → [M, N]`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(a.shape().len(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.shape().len(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions {k} != {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a.data()[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out.data_mut()[i * n + j] += av * b.data()[kk * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// In-place rectified linear unit.
+pub fn relu_inplace(t: &mut Tensor<f32>) {
+    for v in t.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Euclidean norm of a slice.
+pub fn norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Numerically-stable softmax of a slice.
+///
+/// # Panics
+///
+/// Panics if `v` is empty.
+pub fn softmax(v: &[f32]) -> Vec<f32> {
+    assert!(!v.is_empty(), "softmax over an empty vector");
+    let max = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = v.iter().map(|x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// The squashing nonlinearity of Equation (1) applied to a vector,
+/// returning the squashed vector and the input norm.
+pub fn squash(v: &[f32]) -> (Vec<f32>, f32) {
+    let n = norm(v);
+    let gain = if n == 0.0 { 0.0 } else { n / (1.0 + n * n) };
+    (v.iter().map(|x| x * gain).collect(), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let g = ConvGeometry::new(1, 4, 4, 1, 1, 1, 1);
+        let input = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2]) as f32);
+        let weight = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]).unwrap();
+        let out = conv2d(&input, &weight, None, &g);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv2d_stride_two() {
+        let g = ConvGeometry::new(1, 4, 4, 1, 2, 2, 2);
+        let input = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2]) as f32);
+        let weight = Tensor::from_vec(&[1, 1, 2, 2], vec![0.25; 4]).unwrap();
+        let out = conv2d(&input, &weight, None, &g);
+        // Averages of the four 2×2 blocks.
+        assert_eq!(out.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn conv2d_multichannel_with_bias() {
+        let g = ConvGeometry::new(2, 2, 2, 2, 2, 2, 1);
+        let input = Tensor::from_vec(&[2, 2, 2], vec![1.0; 8]).unwrap();
+        let weight = Tensor::from_fn(&[2, 2, 2, 2], |i| if i[0] == 0 { 1.0 } else { 2.0 });
+        let out = conv2d(&input, &weight, Some(&[10.0, 20.0]), &g);
+        assert_eq!(out.data(), &[18.0, 36.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape")]
+    fn conv2d_validates_input_shape() {
+        let g = ConvGeometry::new(1, 4, 4, 1, 2, 2, 1);
+        let input: Tensor<f32> = Tensor::zeros(&[1, 3, 3]);
+        let weight: Tensor<f32> = Tensor::zeros(&[1, 1, 2, 2]);
+        conv2d(&input, &weight, None, &g);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_validates_dims() {
+        let a: Tensor<f32> = Tensor::zeros(&[2, 3]);
+        let b: Tensor<f32> = Tensor::zeros(&[2, 2]);
+        matmul(&a, &b);
+    }
+
+    #[test]
+    fn relu_zeros_negatives() {
+        let mut t = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -0.5]).unwrap();
+        relu_inplace(&mut t);
+        assert_eq!(t.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_matches_known() {
+        let s = softmax(&[0.0, 0.0]);
+        assert!((s[0] - 0.5).abs() < 1e-6);
+        let s = softmax(&[1000.0, 0.0]); // stability under large logits
+        assert!((s[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn squash_shrinks_and_keeps_direction() {
+        let (v, n) = squash(&[3.0, 4.0]);
+        assert!((n - 5.0).abs() < 1e-6);
+        // gain = 5/26; output norm = 25/26 < 1.
+        assert!((norm(&v) - 25.0 / 26.0).abs() < 1e-5);
+        assert!(v[0] > 0.0 && v[1] > 0.0);
+        assert!((v[1] / v[0] - 4.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn squash_zero_vector_is_zero() {
+        let (v, n) = squash(&[0.0, 0.0, 0.0]);
+        assert_eq!(n, 0.0);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_matches_im2col_matmul() {
+        // conv2d must equal the matmul of the im2col matrices — this is
+        // the equivalence the accelerator's mapping relies on.
+        let g = ConvGeometry::new(3, 6, 6, 4, 3, 3, 1);
+        let input = Tensor::from_fn(&[3, 6, 6], |i| ((i[0] * 37 + i[1] * 5 + i[2]) % 11) as f32);
+        let weight =
+            Tensor::from_fn(&[4, 3, 3, 3], |i| ((i[0] + i[1] * 2 + i[2] + i[3]) % 7) as f32 - 3.0);
+        let direct = conv2d(&input, &weight, None, &g);
+
+        let patches = Tensor::from_fn(&[g.patches(), g.patch_len()], |i| {
+            input.data()[g.input_index(i[0], i[1])]
+        });
+        let wmat = weight.clone().reshape(&[4, g.patch_len()]).unwrap();
+        // direct[oc][p] == Σ_k patches[p][k] · wmat[oc][k]
+        for oc in 0..4 {
+            for p in 0..g.patches() {
+                let mut acc = 0.0;
+                for k in 0..g.patch_len() {
+                    acc += patches.data()[p * g.patch_len() + k] * wmat.data()[oc * g.patch_len() + k];
+                }
+                assert_eq!(direct.data()[oc * g.patches() + p], acc);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_is_distribution(v in proptest::collection::vec(-10f32..10.0, 1..20)) {
+            let s = softmax(&v);
+            let sum: f32 = s.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+
+        #[test]
+        fn squash_norm_below_one(v in proptest::collection::vec(-100f32..100.0, 1..16)) {
+            let (sv, _) = squash(&v);
+            prop_assert!(norm(&sv) < 1.0 + 1e-4);
+        }
+
+        #[test]
+        fn matmul_identity(n in 1usize..6) {
+            let a = Tensor::from_fn(&[n, n], |i| (i[0] * n + i[1]) as f32);
+            let id = Tensor::from_fn(&[n, n], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+            let product = matmul(&a, &id);
+            prop_assert_eq!(product.data(), a.data());
+        }
+    }
+}

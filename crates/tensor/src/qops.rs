@@ -1,0 +1,263 @@
+//! Bit-exact 8-bit fixed-point operators.
+//!
+//! Every multiply–accumulate here follows the paper's PE datapath: an
+//! exact 8×8-bit widening multiply feeding a saturating 25-bit
+//! accumulator, then a shift/round/saturate requantization back to 8
+//! bits. The cycle-accurate simulator produces identical bit patterns; if
+//! these ever disagree, the simulator has a bug (or the accumulation
+//! saturated — see [`MacStats::saturations`]).
+
+use capsacc_fixed::{requantize, Acc25};
+
+use crate::geometry::ConvGeometry;
+use crate::tensor::Tensor;
+
+/// Statistics of a quantized operator invocation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MacStats {
+    /// Multiply–accumulate operations performed.
+    pub macs: u64,
+    /// Accumulator saturation events. Non-zero means the 25-bit datapath
+    /// clipped and bit-exactness against a differently-ordered
+    /// accumulation is no longer guaranteed.
+    pub saturations: u64,
+}
+
+impl MacStats {
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: MacStats) {
+        self.macs += other.macs;
+        self.saturations += other.saturations;
+    }
+}
+
+/// Quantized valid 2-D convolution.
+///
+/// `input` is `[C_in, H, W]`, `weight` is `[C_out, C_in, K_h, K_w]`, and
+/// `bias` (if any) is per-output-channel at the *product* fraction width
+/// (data_frac + weight_frac), exactly as a hardware bias would be staged
+/// into the accumulator. The 25-bit accumulation is requantized with
+/// `shift` and optionally rectified.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with `geometry` or the bias
+/// length is not `C_out`.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_tensor::{ConvGeometry, Tensor, qops::conv2d_q8};
+/// let g = ConvGeometry::new(1, 2, 2, 1, 2, 2, 1);
+/// let input = Tensor::from_vec(&[1, 2, 2], vec![32i8, 32, 32, 32])?; // 1.0 each (Q2.5)
+/// let weight = Tensor::from_vec(&[1, 1, 2, 2], vec![16i8, 16, 16, 16])?; // 0.25 each (Q1.6)
+/// let (out, stats) = conv2d_q8(&input, &weight, None, &g, 6, false);
+/// assert_eq!(out.data(), &[32]); // 4 · (1.0 · 0.25) = 1.0 → Q2.5 code 32
+/// assert_eq!(stats.macs, 4);
+/// # Ok::<(), capsacc_tensor::ShapeError>(())
+/// ```
+pub fn conv2d_q8(
+    input: &Tensor<i8>,
+    weight: &Tensor<i8>,
+    bias: Option<&[i32]>,
+    geometry: &ConvGeometry,
+    shift: u32,
+    relu: bool,
+) -> (Tensor<i8>, MacStats) {
+    let g = geometry;
+    assert_eq!(input.shape(), &[g.in_ch, g.in_h, g.in_w], "input shape");
+    assert_eq!(
+        weight.shape(),
+        &[g.out_ch, g.in_ch, g.k_h, g.k_w],
+        "weight shape"
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), g.out_ch, "bias length");
+    }
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let mut out = Tensor::zeros(&[g.out_ch, oh, ow]);
+    let mut stats = MacStats::default();
+    let patch_len = g.patch_len();
+    for oc in 0..g.out_ch {
+        let wbase = oc * patch_len;
+        for p in 0..g.patches() {
+            let mut acc = Acc25::from_raw(bias.map_or(0, |b| b[oc] as i64));
+            for k in 0..patch_len {
+                let d = input.data()[g.input_index(p, k)] as i64;
+                let w = weight.data()[wbase + k] as i64;
+                acc.add_product(d * w);
+            }
+            stats.macs += patch_len as u64;
+            stats.saturations += acc.saturation_events() as u64;
+            let mut v = requantize(acc.raw(), shift);
+            if relu && v < 0 {
+                v = 0;
+            }
+            out.data_mut()[oc * oh * ow + p] = v;
+        }
+    }
+    (out, stats)
+}
+
+/// Quantized dense matrix product `[M, K] × [K, N] → [M, N]`, requantized
+/// with `shift`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or either tensor is not rank 2.
+pub fn matmul_q8(a: &Tensor<i8>, b: &Tensor<i8>, shift: u32) -> (Tensor<i8>, MacStats) {
+    assert_eq!(a.shape().len(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.shape().len(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions {k} != {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let mut stats = MacStats::default();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = Acc25::new();
+            for kk in 0..k {
+                acc.add_product(a.data()[i * k + kk] as i64 * b.data()[kk * n + j] as i64);
+            }
+            stats.macs += k as u64;
+            stats.saturations += acc.saturation_events() as u64;
+            out.data_mut()[i * n + j] = requantize(acc.raw(), shift);
+        }
+    }
+    (out, stats)
+}
+
+/// Quantized dot product of two `i8` slices, returning the raw 25-bit
+/// accumulator value (before requantization) and its saturation count.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_q8(a: &[i8], b: &[i8]) -> (i64, u32) {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let mut acc = Acc25::new();
+    for (&x, &y) in a.iter().zip(b) {
+        acc.add_product(x as i64 * y as i64);
+    }
+    (acc.raw(), acc.saturation_events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conv_q8_matches_f32_when_exact() {
+        // Inputs/weights chosen so every product and sum is exactly
+        // representable: the quantized conv must equal the f32 conv.
+        let g = ConvGeometry::new(2, 4, 4, 3, 3, 3, 1);
+        let input = Tensor::from_fn(&[2, 4, 4], |i| ((i[0] + i[1] + i[2]) % 5) as i8 * 8);
+        let weight = Tensor::from_fn(&[3, 2, 3, 3], |i| ((i[0] * 3 + i[1] + i[2] * i[3]) % 7) as i8 - 3);
+        let (out, stats) = conv2d_q8(&input, &weight, None, &g, 6, false);
+
+        let inf = input.map(|&v| v as f32 / 32.0);
+        let wf = weight.map(|&v| v as f32 / 64.0);
+        let outf = crate::ops::conv2d(&inf, &wf, None, &g);
+        for (q, f) in out.data().iter().zip(outf.data()) {
+            let fq = (f * 32.0).round().clamp(-128.0, 127.0);
+            assert_eq!(*q as f32, fq);
+        }
+        assert_eq!(stats.saturations, 0);
+        assert_eq!(stats.macs, g.macs());
+    }
+
+    #[test]
+    fn conv_q8_bias_is_staged_at_product_frac() {
+        let g = ConvGeometry::new(1, 1, 1, 1, 1, 1, 1);
+        let input = Tensor::from_vec(&[1, 1, 1], vec![0i8]).unwrap();
+        let weight = Tensor::from_vec(&[1, 1, 1, 1], vec![0i8]).unwrap();
+        // Bias of 1.0 at frac 11 = 2048 → requantized by 6 → Q2.5 code 32.
+        let (out, _) = conv2d_q8(&input, &weight, Some(&[2048]), &g, 6, false);
+        assert_eq!(out.data(), &[32]);
+    }
+
+    #[test]
+    fn conv_q8_relu() {
+        let g = ConvGeometry::new(1, 1, 1, 1, 1, 1, 1);
+        let input = Tensor::from_vec(&[1, 1, 1], vec![32i8]).unwrap();
+        let weight = Tensor::from_vec(&[1, 1, 1, 1], vec![-64i8]).unwrap();
+        let (out, _) = conv2d_q8(&input, &weight, None, &g, 6, true);
+        assert_eq!(out.data(), &[0]);
+        let (out, _) = conv2d_q8(&input, &weight, None, &g, 6, false);
+        assert_eq!(out.data(), &[-32]);
+    }
+
+    #[test]
+    fn matmul_q8_small_exact() {
+        // 1.0 (Q2.5) × 1.0 (Q1.6) with K=2 → 2.0 → Q2.5 code 64.
+        let a = Tensor::from_vec(&[1, 2], vec![32i8, 32]).unwrap();
+        let b = Tensor::from_vec(&[2, 1], vec![64i8, 64]).unwrap();
+        let (c, stats) = matmul_q8(&a, &b, 6);
+        assert_eq!(c.data(), &[64]);
+        assert_eq!(stats.macs, 2);
+    }
+
+    #[test]
+    fn matmul_q8_requantization_saturates() {
+        let a = Tensor::from_vec(&[1, 4], vec![127i8; 4]).unwrap();
+        let b = Tensor::from_vec(&[4, 1], vec![127i8; 4]).unwrap();
+        let (c, stats) = matmul_q8(&a, &b, 6);
+        // 4 · 127 · 127 = 64516 ≫ 127 << 6: output saturates to 127,
+        // but the 25-bit accumulator itself did not.
+        assert_eq!(c.data(), &[127]);
+        assert_eq!(stats.saturations, 0);
+    }
+
+    #[test]
+    fn dot_q8_raw_accumulator() {
+        let (raw, sat) = dot_q8(&[1, 2, 3], &[4, 5, 6]);
+        assert_eq!(raw, 32);
+        assert_eq!(sat, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_q8_validates_lengths() {
+        dot_q8(&[1, 2], &[1]);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_q8_matches_i64_reference(
+            m in 1usize..4, k in 1usize..8, n in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as i8
+            };
+            let a = Tensor::from_fn(&[m, k], |_| next());
+            let b = Tensor::from_fn(&[k, n], |_| next());
+            let (c, stats) = matmul_q8(&a, &b, 6);
+            prop_assert_eq!(stats.saturations, 0); // K ≤ 8 cannot saturate 25 bits
+            for i in 0..m {
+                for j in 0..n {
+                    let exact: i64 = (0..k)
+                        .map(|kk| a.data()[i * k + kk] as i64 * b.data()[kk * n + j] as i64)
+                        .sum();
+                    prop_assert_eq!(c.data()[i * n + j], capsacc_fixed::requantize(exact, 6));
+                }
+            }
+        }
+
+        #[test]
+        fn conv_q8_never_panics_on_valid_geometry(
+            in_ch in 1usize..3, size in 3usize..8, out_ch in 1usize..3, kk in 2usize..4,
+        ) {
+            let g = ConvGeometry::new(in_ch, size, size, out_ch, kk, kk, 1);
+            let input = Tensor::from_fn(&[in_ch, size, size], |i| (i[1] as i8).wrapping_sub(i[2] as i8));
+            let weight = Tensor::from_fn(&[out_ch, in_ch, kk, kk], |i| i[3] as i8 - 1);
+            let (out, stats) = conv2d_q8(&input, &weight, None, &g, 6, true);
+            prop_assert_eq!(out.len(), g.output_len());
+            prop_assert_eq!(stats.macs, g.macs());
+            prop_assert!(out.iter().all(|&v| v >= 0)); // ReLU applied
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # capsacc — facade crate
+//!
+//! Re-exports the public API of the CapsAcc reproduction workspace. See the
+//! individual crates for details:
+//!
+//! - [`fixed`] — fixed-point arithmetic and hardware lookup tables
+//! - [`tensor`] — minimal dense tensors with conv/matmul reference ops
+//! - [`mnist`] — synthetic MNIST-style data and deterministic weights
+//! - [`capsnet`] — reference CapsuleNet with routing-by-agreement
+//! - [`core`] — the cycle-accurate CapsAcc accelerator simulator
+//! - [`gpu`] — analytical GPU baseline timing model
+//! - [`power`] — analytical 32nm area/power model
+//!
+//! # Example
+//!
+//! ```
+//! use capsacc::capsnet::CapsNetConfig;
+//! let cfg = CapsNetConfig::mnist();
+//! assert_eq!(cfg.total_parameters(), 6_804_224);
+//! ```
+pub use capsacc_capsnet as capsnet;
+pub use capsacc_core as core;
+pub use capsacc_fixed as fixed;
+pub use capsacc_gpu_model as gpu;
+pub use capsacc_mnist as mnist;
+pub use capsacc_power as power;
+pub use capsacc_tensor as tensor;

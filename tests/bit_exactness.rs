@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: the cycle-accurate simulator must be
+//! bit-exact against the quantized reference model — the reproduction of
+//! the paper's functional-validation flow (Fig. 15) — across seeds,
+//! routing variants, array sizes and network configurations.
+
+use capsacc::capsnet::{
+    infer_q8_traced, CapsNetConfig, CapsNetParams, QuantPipeline, RoutingVariant,
+};
+use capsacc::core::{Accelerator, AcceleratorConfig};
+use capsacc::mnist::SyntheticMnist;
+use capsacc::tensor::Tensor;
+
+fn image_for(net: &CapsNetConfig, seed: usize) -> Tensor<f32> {
+    Tensor::from_fn(&[1, net.input_side, net.input_side], |i| {
+        ((i[1] * (seed + 2) + i[2] * 7 + seed) % 11) as f32 / 11.0
+    })
+}
+
+fn variant_of(cfg: &AcceleratorConfig) -> RoutingVariant {
+    if cfg.dataflow.skip_first_softmax {
+        RoutingVariant::SkipFirstSoftmax
+    } else {
+        RoutingVariant::Original
+    }
+}
+
+fn assert_bit_exact(net: &CapsNetConfig, cfg: AcceleratorConfig, seed: u64) {
+    let qparams = CapsNetParams::generate(net, seed).quantize(cfg.numeric);
+    let pipeline = QuantPipeline::new(cfg.numeric);
+    let image = image_for(net, seed as usize);
+    let reference = infer_q8_traced(net, &qparams, &pipeline, &image, variant_of(&cfg));
+    let mut acc = Accelerator::new(cfg);
+    let run = acc.run_inference(net, &qparams, &image);
+    assert_eq!(run.accumulator_saturations, 0, "saturation voids bit-exactness");
+    assert_eq!(run.trace, reference, "seed {seed}");
+}
+
+#[test]
+fn tiny_network_across_seeds() {
+    for seed in [1u64, 2, 3, 42, 1234] {
+        assert_bit_exact(&CapsNetConfig::tiny(), AcceleratorConfig::test_4x4(), seed);
+    }
+}
+
+#[test]
+fn both_routing_variants() {
+    let mut cfg = AcceleratorConfig::test_4x4();
+    assert_bit_exact(&CapsNetConfig::tiny(), cfg, 7);
+    cfg.dataflow.skip_first_softmax = false;
+    assert_bit_exact(&CapsNetConfig::tiny(), cfg, 7);
+}
+
+#[test]
+fn array_size_does_not_change_results() {
+    // The tiling is a pure re-association of the same 25-bit arithmetic:
+    // any array size must produce identical outputs (absent saturation).
+    let net = CapsNetConfig::tiny();
+    let qparams = CapsNetParams::generate(&net, 5).quantize(AcceleratorConfig::paper().numeric);
+    let image = image_for(&net, 5);
+
+    let mut runs = Vec::new();
+    for size in [2usize, 4, 8, 16] {
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.rows = size;
+        cfg.cols = size;
+        cfg.activation_units = size;
+        let mut acc = Accelerator::new(cfg);
+        runs.push(acc.run_inference(&net, &qparams, &image));
+    }
+    for pair in runs.windows(2) {
+        assert_eq!(pair[0].trace, pair[1].trace);
+    }
+    // But cycle counts differ: bigger arrays finish sooner overall.
+    let cycles: Vec<u64> = runs
+        .iter()
+        .map(|r| r.layers.iter().map(|l| l.cycles()).sum())
+        .collect();
+    assert!(
+        cycles[0] > cycles[3],
+        "2x2 ({}) should need more cycles than 16x16 ({})",
+        cycles[0],
+        cycles[3]
+    );
+}
+
+#[test]
+fn synthetic_digit_through_simulator() {
+    // End-to-end: a procedurally rendered digit, centre-cropped to the
+    // tiny network, through both models.
+    let net = CapsNetConfig::tiny();
+    let cfg = AcceleratorConfig::test_4x4();
+    let qparams = CapsNetParams::generate(&net, 8).quantize(cfg.numeric);
+    let pipeline = QuantPipeline::new(cfg.numeric);
+    let sample = SyntheticMnist::new(3).sample(4);
+    let off = (28 - net.input_side) / 2;
+    let image = Tensor::from_fn(&[1, net.input_side, net.input_side], |i| {
+        sample.image[[0, i[1] + off, i[2] + off]]
+    });
+
+    let reference =
+        infer_q8_traced(&net, &qparams, &pipeline, &image, RoutingVariant::SkipFirstSoftmax);
+    let mut acc = Accelerator::new(cfg);
+    let run = acc.run_inference(&net, &qparams, &image);
+    assert_eq!(run.trace, reference);
+    assert!(run.trace.output.predicted < net.num_classes);
+}
+
+#[test]
+fn dataflow_ablations_preserve_functionality() {
+    // Every dataflow switch changes timing/traffic only — never results.
+    let net = CapsNetConfig::tiny();
+    let base = AcceleratorConfig::test_4x4();
+    let qparams = CapsNetParams::generate(&net, 21).quantize(base.numeric);
+    let image = image_for(&net, 21);
+
+    let mut baseline = Accelerator::new(base);
+    let want = baseline.run_inference(&net, &qparams, &image).trace;
+
+    for flip in 0..3 {
+        let mut cfg = base;
+        match flip {
+            0 => cfg.dataflow.weight_reuse = false,
+            1 => cfg.dataflow.pipelined_tiles = false,
+            _ => cfg.dataflow.routing_feedback = false,
+        }
+        let mut acc = Accelerator::new(cfg);
+        let got = acc.run_inference(&net, &qparams, &image).trace;
+        assert_eq!(got, want, "ablation {flip} changed functional results");
+    }
+}

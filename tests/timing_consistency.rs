@@ -1,0 +1,124 @@
+//! Integration tests for the timing models: the analytical formulas and
+//! the cycle-accurate engine must agree wherever their domains overlap,
+//! and every dataflow optimization must help (or at least not hurt).
+
+use capsacc::capsnet::CapsNetConfig;
+use capsacc::core::{timing, Accelerator, AcceleratorConfig, ActivationKind};
+
+#[test]
+fn engine_matches_serial_formula_across_shapes() {
+    let mut cfg = AcceleratorConfig::test_4x4();
+    cfg.dataflow.pipelined_tiles = false;
+    for (m, k, n) in [
+        (1usize, 1usize, 1usize),
+        (1, 4, 4),
+        (5, 4, 4),
+        (3, 9, 7),
+        (10, 5, 13),
+        (2, 17, 2),
+    ] {
+        let mut acc = Accelerator::new(cfg);
+        let before = acc.array_cycles();
+        acc.matmul(
+            &|mi, ki| ((mi * 3 + ki) % 50) as i8,
+            &|ki, ni| ((ki + ni * 5) % 60) as i8,
+            m,
+            k,
+            n,
+            None,
+            6,
+            ActivationKind::Identity,
+        );
+        let got = acc.array_cycles() - before;
+        let want = timing::matmul_cycles(
+            timing::MatmulShape {
+                m: m as u64,
+                k: k as u64,
+                n: n as u64,
+            },
+            &cfg,
+        );
+        assert_eq!(got, want, "cycle mismatch for ({m},{k},{n})");
+    }
+}
+
+#[test]
+fn every_optimization_reduces_or_preserves_total_cycles() {
+    let net = CapsNetConfig::mnist();
+    let base = AcceleratorConfig::paper();
+    let total = |cfg: &AcceleratorConfig| timing::full_inference(cfg, &net).total_cycles();
+    let baseline = total(&base);
+
+    let mut c = base;
+    c.dataflow.skip_first_softmax = false;
+    assert!(total(&c) >= baseline, "skip-first-softmax should help");
+    let mut c = base;
+    c.dataflow.routing_feedback = false;
+    assert!(total(&c) >= baseline, "feedback reuse should help");
+    let mut c = base;
+    c.dataflow.pipelined_tiles = false;
+    assert!(total(&c) > baseline, "tile pipelining should help");
+    let mut c = base;
+    c.dataflow.weight_reuse = false;
+    assert!(total(&c) > baseline, "weight reuse should help");
+}
+
+#[test]
+fn routing_step_sequence_consistent_between_models() {
+    // The analytical model and the engine must report the same step
+    // sequence (Fig. 17 x-axis).
+    let net = CapsNetConfig::tiny();
+    let cfg = AcceleratorConfig::test_4x4();
+    let analytical: Vec<String> = timing::routing_steps(&net, &cfg)
+        .iter()
+        .map(|s| s.step.to_string())
+        .collect();
+
+    let qparams = capsacc::capsnet::CapsNetParams::generate(&net, 1).quantize(cfg.numeric);
+    let image = capsacc::tensor::Tensor::from_fn(&[1, 12, 12], |i| (i[1] + i[2]) as f32 / 24.0);
+    let mut acc = Accelerator::new(cfg);
+    let run = acc.run_inference(&net, &qparams, &image);
+    let simulated: Vec<String> = run.steps.iter().map(|(s, _)| s.to_string()).collect();
+    assert_eq!(analytical, simulated);
+}
+
+#[test]
+fn clock_frequency_scales_wall_time_not_cycles() {
+    let net = CapsNetConfig::mnist();
+    let base = AcceleratorConfig::paper();
+    let mut fast = base;
+    fast.clock_mhz = 500;
+    let t_base = timing::full_inference(&base, &net);
+    let t_fast = timing::full_inference(&fast, &net);
+    assert_eq!(t_base.total_cycles(), t_fast.total_cycles());
+    let ratio = t_base.total_time_us(&base) / t_fast.total_time_us(&fast);
+    assert!((ratio - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn wider_memory_helps_primarycaps_only_up_to_compute() {
+    let net = CapsNetConfig::mnist();
+    let mut narrow = AcceleratorConfig::paper();
+    narrow.weight_mem_bw = 4;
+    let mut wide = AcceleratorConfig::paper();
+    wide.weight_mem_bw = 64;
+    let t_narrow = timing::full_inference(&narrow, &net);
+    let t_wide = timing::full_inference(&wide, &net);
+    assert!(t_narrow.primary_caps.cycles > t_wide.primary_caps.cycles);
+    // Once memory is fast enough, compute is the floor.
+    assert_eq!(
+        t_wide.primary_caps.cycles,
+        t_wide.primary_caps.compute_cycles + t_wide.primary_caps.activation_cycles
+    );
+}
+
+#[test]
+fn mnist_inference_in_milliseconds_regime() {
+    let cfg = AcceleratorConfig::paper();
+    let t = timing::full_inference(&cfg, &CapsNetConfig::mnist());
+    let ms = t.total_time_us(&cfg) / 1000.0;
+    assert!((1.0..10.0).contains(&ms), "{ms} ms");
+    // Layer ordering sanity: PrimaryCaps > ClassCaps > Conv1.
+    assert!(t.primary_caps.cycles > t.class_caps_cycles());
+    assert!(t.class_caps_cycles() > t.conv1.cycles);
+}
