@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full verification gate. Everything here must pass before a PR
+# merges; .github/workflows/ci.yml runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+run cargo test --workspace -q
+# Benches are excluded from `cargo test`; make sure they still compile.
+run cargo bench -p capsacc-bench --no-run
+RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
+
+echo
+echo "ci.sh: all checks passed"

@@ -18,7 +18,10 @@ fn image_for(net: &CapsNetConfig) -> Tensor<f32> {
 }
 
 fn bench_infer(c: &mut Criterion) {
-    for (label, net) in [("tiny", CapsNetConfig::tiny()), ("small", CapsNetConfig::small())] {
+    for (label, net) in [
+        ("tiny", CapsNetConfig::tiny()),
+        ("small", CapsNetConfig::small()),
+    ] {
         let params = CapsNetParams::generate(&net, 42);
         let ncfg = NumericConfig::default();
         let qparams = params.quantize(ncfg);

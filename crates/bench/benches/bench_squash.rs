@@ -14,7 +14,9 @@ fn bench_squash(c: &mut Criterion) {
     let v16_q: Vec<i8> = (0..16).map(|i| (i * 7 - 50) as i8).collect();
     let v16_f: Vec<f32> = v16_q.iter().map(|&x| x as f32 / 32.0).collect();
 
-    c.bench_function("squash/f32/16d", |b| b.iter(|| ops::squash(black_box(&v16_f))));
+    c.bench_function("squash/f32/16d", |b| {
+        b.iter(|| ops::squash(black_box(&v16_f)))
+    });
     c.bench_function("squash/lut/16d", |b| {
         b.iter(|| pipe.squash_vec(black_box(&v16_q)))
     });

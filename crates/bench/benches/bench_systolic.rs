@@ -16,25 +16,21 @@ fn bench_tile_matmul(c: &mut Criterion) {
         cfg.rows = size;
         cfg.cols = size;
         cfg.activation_units = size;
-        group.bench_with_input(
-            BenchmarkId::new("square", size),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| {
-                    let mut acc = Accelerator::new(*cfg);
-                    acc.matmul(
-                        &|m, k| ((m * 7 + k) % 100) as i8,
-                        &|k, n| ((k * 3 + n) % 50) as i8,
-                        black_box(32),
-                        black_box(32),
-                        black_box(32),
-                        None,
-                        6,
-                        ActivationKind::Identity,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("square", size), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut acc = Accelerator::new(*cfg);
+                acc.matmul(
+                    &|m, k| ((m * 7 + k) % 100) as i8,
+                    &|k, n| ((k * 3 + n) % 50) as i8,
+                    black_box(32),
+                    black_box(32),
+                    black_box(32),
+                    None,
+                    6,
+                    ActivationKind::Identity,
+                )
+            })
+        });
     }
     group.finish();
 }
@@ -52,5 +48,9 @@ fn bench_full_cycle_accurate_inference(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tile_matmul, bench_full_cycle_accurate_inference);
+criterion_group!(
+    benches,
+    bench_tile_matmul,
+    bench_full_cycle_accurate_inference
+);
 criterion_main!(benches);

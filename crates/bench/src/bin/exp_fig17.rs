@@ -27,7 +27,11 @@ fn main() {
     let net = CapsNetConfig::mnist();
     let acc_steps = timing::routing_steps(&net, &acc_cfg);
     let gpu_steps = GpuModel::gtx1070().routing_steps_us(&net);
-    assert_eq!(acc_steps.len(), gpu_steps.len(), "step sequences must align");
+    assert_eq!(
+        acc_steps.len(),
+        gpu_steps.len(),
+        "step sequences must align"
+    );
 
     let rows: Vec<Vec<String>> = acc_steps
         .iter()
@@ -48,7 +52,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 17 — CapsAcc vs GPU per routing step",
-        &["Step", "CapsAcc cycles", "CapsAcc", "GPU", "Measured", "Paper"],
+        &[
+            "Step",
+            "CapsAcc cycles",
+            "CapsAcc",
+            "GPU",
+            "Measured",
+            "Paper",
+        ],
         &rows,
     );
 

@@ -4,13 +4,16 @@
 //! the convolutional weight reuse and tile pipelining of Sec. IV-A.
 
 use capsacc_bench::{fmt_us, print_table};
-use capsacc_capsnet::{CapsNetConfig, CapsNetParams, QuantPipeline, RoutingVariant};
 use capsacc_capsnet::infer_q8;
+use capsacc_capsnet::{CapsNetConfig, CapsNetParams, QuantPipeline, RoutingVariant};
 use capsacc_core::{timing, Accelerator, AcceleratorConfig, MemoryKind};
 use capsacc_tensor::Tensor;
 
 fn classcaps_cycles(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> u64 {
-    timing::routing_steps(net, cfg).iter().map(|s| s.cycles).sum()
+    timing::routing_steps(net, cfg)
+        .iter()
+        .map(|s| s.cycles)
+        .sum()
 }
 
 fn main() {
@@ -45,7 +48,13 @@ fn main() {
     push("no conv weight reuse", c);
     print_table(
         "Sec. V ablations — ClassCaps and total inference cycles",
-        &["Configuration", "ClassCaps cyc", "ClassCaps", "Total cyc", "Total"],
+        &[
+            "Configuration",
+            "ClassCaps cyc",
+            "ClassCaps",
+            "Total cyc",
+            "Total",
+        ],
         &rows,
     );
 
@@ -57,11 +66,16 @@ fn main() {
     let pipe = QuantPipeline::new(ncfg);
     let image = Tensor::from_fn(&[1, 12, 12], |i| ((i[1] * i[2]) % 7) as f32 / 7.0);
     let original = infer_q8(&tiny, &qparams, &pipe, &image, RoutingVariant::Original);
-    let optimized = infer_q8(&tiny, &qparams, &pipe, &image, RoutingVariant::SkipFirstSoftmax);
+    let optimized = infer_q8(
+        &tiny,
+        &qparams,
+        &pipe,
+        &image,
+        RoutingVariant::SkipFirstSoftmax,
+    );
     println!(
         "\nSkip-first-softmax functional equivalence (bit-exact): {}",
-        if original.class_caps == optimized.class_caps
-            && original.couplings == optimized.couplings
+        if original.class_caps == optimized.class_caps && original.couplings == optimized.couplings
         {
             "PASS — identical class capsules and couplings"
         } else {

@@ -11,11 +11,31 @@ fn main() {
         "Table II — Parameters of the synthesized CapsAcc accelerator",
         &["Parameter", "Measured", "Paper"],
         &[
-            vec!["Tech. node [nm]".into(), t2.tech_node_nm.to_string(), "32".into()],
-            vec!["Voltage [V]".into(), format!("{:.2}", t2.voltage_v), "1.05".into()],
-            vec!["Area [mm2]".into(), format!("{:.2}", t2.area_mm2), "2.90".into()],
-            vec!["Power [mW]".into(), format!("{:.0}", t2.power_mw), "202".into()],
-            vec!["Clk Freq. [MHz]".into(), t2.clock_mhz.to_string(), "250".into()],
+            vec![
+                "Tech. node [nm]".into(),
+                t2.tech_node_nm.to_string(),
+                "32".into(),
+            ],
+            vec![
+                "Voltage [V]".into(),
+                format!("{:.2}", t2.voltage_v),
+                "1.05".into(),
+            ],
+            vec![
+                "Area [mm2]".into(),
+                format!("{:.2}", t2.area_mm2),
+                "2.90".into(),
+            ],
+            vec![
+                "Power [mW]".into(),
+                format!("{:.0}", t2.power_mw),
+                "202".into(),
+            ],
+            vec![
+                "Clk Freq. [MHz]".into(),
+                t2.clock_mhz.to_string(),
+                "250".into(),
+            ],
             vec!["Bit width".into(), t2.bit_width.to_string(), "8".into()],
             vec![
                 "On-Chip Mem. [MB]".into(),

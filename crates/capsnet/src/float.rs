@@ -169,7 +169,12 @@ mod tests {
     fn tiny_inference_runs_end_to_end() {
         let cfg = CapsNetConfig::tiny();
         let params = CapsNetParams::generate(&cfg, 2);
-        let out = infer_f32(&cfg, &params, &test_image(12), RoutingVariant::SkipFirstSoftmax);
+        let out = infer_f32(
+            &cfg,
+            &params,
+            &test_image(12),
+            RoutingVariant::SkipFirstSoftmax,
+        );
         assert_eq!(out.conv1_out.shape(), &[8, 10, 10]);
         assert_eq!(out.capsules.shape(), &[32, 4]);
         assert_eq!(out.u_hat.shape(), &[32, 4, 4]);
@@ -189,7 +194,12 @@ mod tests {
     fn capsule_norms_bounded_by_squash() {
         let cfg = CapsNetConfig::tiny();
         let params = CapsNetParams::generate(&cfg, 4);
-        let out = infer_f32(&cfg, &params, &test_image(12), RoutingVariant::SkipFirstSoftmax);
+        let out = infer_f32(
+            &cfg,
+            &params,
+            &test_image(12),
+            RoutingVariant::SkipFirstSoftmax,
+        );
         for caps in out.capsules.data().chunks(cfg.pc_caps_dim) {
             assert!(ops::norm(caps) < 1.0);
         }
@@ -237,7 +247,12 @@ mod tests {
     fn different_images_give_different_outputs() {
         let cfg = CapsNetConfig::tiny();
         let params = CapsNetParams::generate(&cfg, 7);
-        let a = infer_f32(&cfg, &params, &test_image(12), RoutingVariant::SkipFirstSoftmax);
+        let a = infer_f32(
+            &cfg,
+            &params,
+            &test_image(12),
+            RoutingVariant::SkipFirstSoftmax,
+        );
         let blank: Tensor<f32> = Tensor::zeros(&[1, 12, 12]);
         let b = infer_f32(&cfg, &params, &blank, RoutingVariant::SkipFirstSoftmax);
         assert_ne!(a.routing.class_caps, b.routing.class_caps);

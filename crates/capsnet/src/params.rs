@@ -91,7 +91,10 @@ impl CapsNetParams {
     /// Total parameter count (weights + biases), matching
     /// [`CapsNetConfig::total_parameters`].
     pub fn parameter_count(&self) -> usize {
-        self.conv1_w.len() + self.conv1_b.len() + self.pc_w.len() + self.pc_b.len()
+        self.conv1_w.len()
+            + self.conv1_b.len()
+            + self.pc_w.len()
+            + self.pc_b.len()
             + self.w_class.len()
     }
 
@@ -150,7 +153,10 @@ impl QuantizedParams {
     /// Total byte count of the stored weights and biases (biases counted
     /// at one byte, as the paper's 8-bit memory estimate does).
     pub fn weight_bytes(&self) -> usize {
-        self.conv1_w.len() + self.conv1_b.len() + self.pc_w.len() + self.pc_b.len()
+        self.conv1_w.len()
+            + self.conv1_b.len()
+            + self.pc_w.len()
+            + self.pc_b.len()
             + self.w_class.len()
     }
 }

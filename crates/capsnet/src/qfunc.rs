@@ -65,10 +65,7 @@ impl QuantPipeline {
     /// (Sec. IV-C); the cycle cost lives in the simulator, the arithmetic
     /// lives here.
     pub fn norm8(&self, v: &[i8]) -> u8 {
-        let sum: u64 = v
-            .iter()
-            .map(|&x| self.square.lookup(x as i16) as u64)
-            .sum();
+        let sum: u64 = v.iter().map(|&x| self.square.lookup(x as i16) as u64).sum();
         norm_code(sum, self.cfg.square_frac, self.cfg.norm_frac)
     }
 
@@ -138,7 +135,7 @@ mod tests {
         let p = pipe();
         let (v, norm) = p.squash_vec(&[32, 32, 32, 32]); // each 1.0, norm 2.0
         assert_eq!(norm, 32); // 2.0 in Q4.4
-        // gain g(2) = 0.4: each element → 0.4 in Q2.5 ≈ 13.
+                              // gain g(2) = 0.4: each element → 0.4 in Q2.5 ≈ 13.
         for x in v {
             assert!((11..=14).contains(&x), "element {x}");
         }

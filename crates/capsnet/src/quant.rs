@@ -212,7 +212,7 @@ pub fn infer_q8_traced(
         // 25-bit accumulation, requantized into the data format), then
         // squash through the LUTs.
         let mut s_t: Tensor<i8> = Tensor::zeros(&[classes, out_dim]);
-        for j in 0..classes {
+        for (j, class_norm) in class_norms.iter_mut().enumerate() {
             for e in 0..out_dim {
                 let mut acc = Acc25::new();
                 for i in 0..in_caps {
@@ -225,10 +225,9 @@ pub fn infer_q8_traced(
                 stats.saturations += acc.saturation_events() as u64;
                 s_t.data_mut()[j * out_dim + e] = requantize(acc.raw(), ncfg.coupling_mac_shift());
             }
-            let (v, norm) =
-                pipeline.squash_vec(&s_t.data()[j * out_dim..(j + 1) * out_dim]);
+            let (v, norm) = pipeline.squash_vec(&s_t.data()[j * out_dim..(j + 1) * out_dim]);
             class_caps.data_mut()[j * out_dim..(j + 1) * out_dim].copy_from_slice(&v);
-            class_norms[j] = norm;
+            *class_norm = norm;
         }
 
         // Logit update on all but the last iteration:
@@ -303,10 +302,7 @@ mod tests {
     use crate::routing::RoutingVariant;
     use capsacc_fixed::NumericConfig;
 
-    fn setup(
-        cfg: &CapsNetConfig,
-        seed: u64,
-    ) -> (QuantizedParams, QuantPipeline, Tensor<f32>) {
+    fn setup(cfg: &CapsNetConfig, seed: u64) -> (QuantizedParams, QuantPipeline, Tensor<f32>) {
         let params = CapsNetParams::generate(cfg, seed);
         let ncfg = NumericConfig::default();
         let image = Tensor::from_fn(&[1, cfg.input_side, cfg.input_side], |i| {
@@ -357,10 +353,7 @@ mod tests {
         let qq = infer_q8(&cfg, &qp, &pipe, &image, RoutingVariant::SkipFirstSoftmax);
         for (fnorm, &qnorm) in qf.class_norms().iter().zip(&qq.class_norms) {
             let q = qnorm as f32 / (1u32 << ncfg.norm_frac) as f32;
-            assert!(
-                (fnorm - q).abs() < 0.25,
-                "float norm {fnorm} vs quant {q}"
-            );
+            assert!((fnorm - q).abs() < 0.25, "float norm {fnorm} vs quant {q}");
         }
     }
 
@@ -382,7 +375,10 @@ mod tests {
         }
         // Iteration r+1 couplings are the softmax of iteration r logits.
         for r in 0..t.iterations.len() - 1 {
-            let logits = t.iterations[r].logits_after_update.as_ref().expect("updated");
+            let logits = t.iterations[r]
+                .logits_after_update
+                .as_ref()
+                .expect("updated");
             let classes = cfg.num_classes;
             for i in 0..cfg.num_primary_caps() {
                 let row = &logits.data()[i * classes..(i + 1) * classes];
@@ -417,8 +413,7 @@ mod tests {
         let per_iter_sum = classes * od * caps;
         let per_update = caps * classes * od;
         let iters = cfg.routing_iterations as u64;
-        let expected =
-            g1.macs() + gp.macs() + fc + per_iter_sum * iters + per_update * (iters - 1);
+        let expected = g1.macs() + gp.macs() + fc + per_iter_sum * iters + per_update * (iters - 1);
         assert_eq!(t.output.stats.macs, expected);
     }
 

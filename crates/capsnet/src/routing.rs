@@ -38,11 +38,7 @@ impl RoutingResult {
     /// Per-class capsule norms (the classification scores).
     pub fn class_norms(&self) -> Vec<f32> {
         let dim = self.class_caps.shape()[1];
-        self.class_caps
-            .data()
-            .chunks(dim)
-            .map(ops::norm)
-            .collect()
+        self.class_caps.data().chunks(dim).map(ops::norm).collect()
     }
 
     /// Index of the class with the largest capsule norm.

@@ -193,12 +193,7 @@ impl ControlUnit {
     /// Compiles a convolutional layer (Fig. 12a / Fig. 13 mapping):
     /// weight-stationary filter tiles from the Weight Buffer, im2col
     /// data rows from the Data Buffer, ReLU or identity at the output.
-    pub fn conv_program(
-        &self,
-        g: &ConvGeometry,
-        relu: bool,
-        cfg: &AcceleratorConfig,
-    ) -> Program {
+    pub fn conv_program(&self, g: &ConvGeometry, relu: bool, cfg: &AcceleratorConfig) -> Program {
         let mut p = Program::default();
         p.push(ControlOp::SetMux {
             data: DataSource::DataBuffer,
@@ -317,7 +312,10 @@ impl ControlUnit {
             }
             for _class in 0..classes {
                 p.push(ControlOp::LoadWeightTile { k: out_dim, n: 1 });
-                p.push(ControlOp::StreamData { m: caps, k: out_dim });
+                p.push(ControlOp::StreamData {
+                    m: caps,
+                    k: out_dim,
+                });
             }
             p.push(ControlOp::Activate {
                 kind: ActivationKind::Softmax,

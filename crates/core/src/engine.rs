@@ -366,7 +366,8 @@ impl Accelerator {
                 couplings
                     .data_mut()
                     .fill(self.activation.pipeline().uniform_coupling(classes));
-                self.traffic.write(MemoryKind::RoutingBuffer, coupling_bytes);
+                self.traffic
+                    .write(MemoryKind::RoutingBuffer, coupling_bytes);
                 steps.push((
                     RoutingStep::Softmax(r + 1),
                     coupling_bytes.div_ceil(self.cfg.routing_buf_bw),
@@ -378,7 +379,8 @@ impl Accelerator {
                     couplings.data_mut()[i * classes..(i + 1) * classes].copy_from_slice(&sm);
                 }
                 self.traffic.read(MemoryKind::RoutingBuffer, coupling_bytes);
-                self.traffic.write(MemoryKind::RoutingBuffer, coupling_bytes);
+                self.traffic
+                    .write(MemoryKind::RoutingBuffer, coupling_bytes);
                 let cycles = (in_caps as u64).div_ceil(self.cfg.activation_units as u64)
                     * ActivationUnit::softmax_cycles(classes as u64);
                 self.activation_cycles += cycles;
@@ -417,12 +419,12 @@ impl Accelerator {
             steps.push((RoutingStep::Sum(r + 1), self.array.cycles() - c0));
 
             // Squash through the activation units.
-            for j in 0..classes {
+            for (j, s_norm) in s_norms.iter_mut().enumerate() {
                 let (v, norm) = self
                     .activation
                     .squash(&s_t.data()[j * out_dim..(j + 1) * out_dim]);
                 class_caps.data_mut()[j * out_dim..(j + 1) * out_dim].copy_from_slice(&v);
-                s_norms[j] = norm;
+                *s_norm = norm;
             }
             let squash_cycles = (classes as u64).div_ceil(self.cfg.activation_units as u64)
                 * ActivationUnit::squash_cycles(out_dim as u64);
@@ -453,13 +455,13 @@ impl Accelerator {
                     );
                     for i in 0..in_caps {
                         let cur = logits.data()[i * classes + j];
-                        logits.data_mut()[i * classes + j] =
-                            cur.saturating_add(deltas.data()[i]);
+                        logits.data_mut()[i * classes + j] = cur.saturating_add(deltas.data()[i]);
                     }
                 }
                 stats.macs += (classes * in_caps * out_dim) as u64;
                 self.traffic.read(MemoryKind::RoutingBuffer, coupling_bytes);
-                self.traffic.write(MemoryKind::RoutingBuffer, coupling_bytes);
+                self.traffic
+                    .write(MemoryKind::RoutingBuffer, coupling_bytes);
                 steps.push((RoutingStep::Update(r + 1), self.array.cycles() - c0));
                 Some(logits.clone())
             } else {
@@ -735,7 +737,10 @@ mod tests {
         // ...but more Data Memory reads without the feedback path.
         let dm_on = run_on.traffic.counter(MemoryKind::DataMemory).read_bytes;
         let dm_off = run_off.traffic.counter(MemoryKind::DataMemory).read_bytes;
-        assert!(dm_off > dm_on, "feedback off should re-read û ({dm_off} vs {dm_on})");
+        assert!(
+            dm_off > dm_on,
+            "feedback off should re-read û ({dm_off} vs {dm_on})"
+        );
         // 2 extra Sum re-reads + 2 Update re-reads of û (tiny: 32·4·4).
         assert_eq!(dm_off - dm_on, 4 * (32 * 4 * 4));
     }

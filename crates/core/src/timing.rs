@@ -306,8 +306,7 @@ pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<Routin
         });
 
         // Squash: one class capsule per activation unit.
-        let squash_compute =
-            ceil_div(classes, au) * ActivationUnit::squash_cycles(out_dim);
+        let squash_compute = ceil_div(classes, au) * ActivationUnit::squash_cycles(out_dim);
         let squash_traffic = ceil_div(classes * out_dim, cfg.routing_buf_bw); // write v_j
         steps.push(RoutingStepTiming {
             step: RoutingStep::Squash(iter),
@@ -549,7 +548,10 @@ pub fn traffic_estimate(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> crate::
     t.write(MemoryKind::RoutingBuffer, 2 * coupling_bytes * (iters - 1));
     if !cfg.dataflow.routing_feedback {
         // Re-read û from Data Memory for every later sum and update.
-        t.read(MemoryKind::DataMemory, u_hat_bytes * (iters - 1 + iters - 1));
+        t.read(
+            MemoryKind::DataMemory,
+            u_hat_bytes * (iters - 1 + iters - 1),
+        );
     }
     t
 }
@@ -621,7 +623,12 @@ mod tests {
 
     #[test]
     fn conv1_is_compute_bound() {
-        let t = conv_layer("Conv1", &CapsNetConfig::mnist().conv1_geometry(), true, &cfg());
+        let t = conv_layer(
+            "Conv1",
+            &CapsNetConfig::mnist().conv1_geometry(),
+            true,
+            &cfg(),
+        );
         assert!(t.compute_cycles > t.weight_stream_cycles);
         assert_eq!(t.macs, 400 * 81 * 256);
     }
@@ -645,12 +652,24 @@ mod tests {
         let mut c = cfg();
         c.dataflow.skip_first_softmax = false;
         let without = routing_steps(&CapsNetConfig::mnist(), &c);
-        let s_with = with.iter().find(|s| s.step == RoutingStep::Softmax(1)).expect("step");
-        let s_without = without.iter().find(|s| s.step == RoutingStep::Softmax(1)).expect("step");
+        let s_with = with
+            .iter()
+            .find(|s| s.step == RoutingStep::Softmax(1))
+            .expect("step");
+        let s_without = without
+            .iter()
+            .find(|s| s.step == RoutingStep::Softmax(1))
+            .expect("step");
         assert!(s_with.cycles < s_without.cycles);
         // Later softmaxes are unaffected.
-        let l_with = with.iter().find(|s| s.step == RoutingStep::Softmax(2)).expect("step");
-        let l_without = without.iter().find(|s| s.step == RoutingStep::Softmax(2)).expect("step");
+        let l_with = with
+            .iter()
+            .find(|s| s.step == RoutingStep::Softmax(2))
+            .expect("step");
+        let l_without = without
+            .iter()
+            .find(|s| s.step == RoutingStep::Softmax(2))
+            .expect("step");
         assert_eq!(l_with.cycles, l_without.cycles);
     }
 
@@ -748,10 +767,7 @@ mod tests {
         let t = traffic_estimate(&cfg(), &CapsNetConfig::mnist());
         use crate::MemoryKind;
         // All trainable weights read exactly once (full reuse).
-        assert_eq!(
-            t.counter(MemoryKind::WeightMemory).read_bytes,
-            6_804_224
-        );
+        assert_eq!(t.counter(MemoryKind::WeightMemory).read_bytes, 6_804_224);
         // Feedback reuse: Data Memory reads = inputs + û staging only.
         let dm = t.counter(MemoryKind::DataMemory).read_bytes;
         let mut no_fb = cfg();
@@ -776,12 +792,22 @@ mod tests {
 
     #[test]
     fn bigger_arrays_do_not_slow_compute_bound_layers() {
-        let base = conv_layer("Conv1", &CapsNetConfig::mnist().conv1_geometry(), true, &cfg());
+        let base = conv_layer(
+            "Conv1",
+            &CapsNetConfig::mnist().conv1_geometry(),
+            true,
+            &cfg(),
+        );
         let mut big = cfg();
         big.rows = 32;
         big.cols = 32;
         big.activation_units = 32;
-        let t = conv_layer("Conv1", &CapsNetConfig::mnist().conv1_geometry(), true, &big);
+        let t = conv_layer(
+            "Conv1",
+            &CapsNetConfig::mnist().conv1_geometry(),
+            true,
+            &big,
+        );
         assert!(t.compute_cycles < base.compute_cycles);
     }
 }

@@ -139,7 +139,9 @@ impl NumericConfig {
         ];
         for (name, v) in fields {
             if v > 7 {
-                return Err(format!("{name} = {v} exceeds 7 fraction bits for an 8-bit field"));
+                return Err(format!(
+                    "{name} = {v} exceeds 7 fraction bits for an 8-bit field"
+                ));
             }
         }
         if self.data6_frac > self.data_frac {

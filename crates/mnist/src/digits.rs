@@ -253,7 +253,8 @@ impl SyntheticMnist {
     /// Generates sample `index` (deterministic in `(seed, index)`).
     pub fn sample(&self, index: u64) -> Sample {
         let label = (index % 10) as u8;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         let jitter = Jitter {
             dx: rng.gen_range(-0.07..0.07),
             dy: rng.gen_range(-0.07..0.07),

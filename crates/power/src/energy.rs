@@ -156,14 +156,12 @@ mod tests {
         let traffic = timing::traffic_estimate(&cfg, &net);
         let macs = net.conv1_geometry().macs()
             + net.primary_caps_geometry().macs()
-            + (net.num_primary_caps() * net.num_classes * net.class_caps_dim
+            + (net.num_primary_caps()
+                * net.num_classes
+                * net.class_caps_dim
                 * (net.pc_caps_dim + 2 * net.routing_iterations - 1)) as u64;
-        let report = EnergyModel::cmos_32nm().inference_energy(
-            &cfg,
-            macs,
-            &traffic,
-            t.total_time_us(&cfg),
-        );
+        let report =
+            EnergyModel::cmos_32nm().inference_energy(&cfg, macs, &traffic, t.total_time_us(&cfg));
         let implied = report.average_power_mw();
         assert!(
             (130.0..275.0).contains(&implied),
@@ -178,8 +176,12 @@ mod tests {
         let net = CapsNetConfig::mnist();
         let t = timing::full_inference(&cfg, &net);
         let traffic = timing::traffic_estimate(&cfg, &net);
-        let report =
-            EnergyModel::cmos_32nm().inference_energy(&cfg, 200_000_000, &traffic, t.total_time_us(&cfg));
+        let report = EnergyModel::cmos_32nm().inference_energy(
+            &cfg,
+            200_000_000,
+            &traffic,
+            t.total_time_us(&cfg),
+        );
         let sum: f64 = report.breakdown().iter().map(|(_, f)| f).sum();
         assert!((sum - 1.0).abs() < 1e-9);
         assert_eq!(report.components.len(), 4);

@@ -362,7 +362,10 @@ mod tests {
         big.rows = 32;
         big.cols = 32;
         big.activation_units = 32;
-        let base = paper_report().component("Systolic Array").expect("sa").area_um2;
+        let base = paper_report()
+            .component("Systolic Array")
+            .expect("sa")
+            .area_um2;
         let s = model.estimate(&small);
         let b = model.estimate(&big);
         assert!((s.component("Systolic Array").expect("sa").area_um2 / base - 0.25).abs() < 1e-9);

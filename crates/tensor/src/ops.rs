@@ -218,8 +218,9 @@ mod tests {
         // the equivalence the accelerator's mapping relies on.
         let g = ConvGeometry::new(3, 6, 6, 4, 3, 3, 1);
         let input = Tensor::from_fn(&[3, 6, 6], |i| ((i[0] * 37 + i[1] * 5 + i[2]) % 11) as f32);
-        let weight =
-            Tensor::from_fn(&[4, 3, 3, 3], |i| ((i[0] + i[1] * 2 + i[2] + i[3]) % 7) as f32 - 3.0);
+        let weight = Tensor::from_fn(&[4, 3, 3, 3], |i| {
+            ((i[0] + i[1] * 2 + i[2] + i[3]) % 7) as f32 - 3.0
+        });
         let direct = conv2d(&input, &weight, None, &g);
 
         let patches = Tensor::from_fn(&[g.patches(), g.patch_len()], |i| {
@@ -231,7 +232,8 @@ mod tests {
             for p in 0..g.patches() {
                 let mut acc = 0.0;
                 for k in 0..g.patch_len() {
-                    acc += patches.data()[p * g.patch_len() + k] * wmat.data()[oc * g.patch_len() + k];
+                    acc +=
+                        patches.data()[p * g.patch_len() + k] * wmat.data()[oc * g.patch_len() + k];
                 }
                 assert_eq!(direct.data()[oc * g.patches() + p], acc);
             }

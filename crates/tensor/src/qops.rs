@@ -153,7 +153,9 @@ mod tests {
         // representable: the quantized conv must equal the f32 conv.
         let g = ConvGeometry::new(2, 4, 4, 3, 3, 3, 1);
         let input = Tensor::from_fn(&[2, 4, 4], |i| ((i[0] + i[1] + i[2]) % 5) as i8 * 8);
-        let weight = Tensor::from_fn(&[3, 2, 3, 3], |i| ((i[0] * 3 + i[1] + i[2] * i[3]) % 7) as i8 - 3);
+        let weight = Tensor::from_fn(&[3, 2, 3, 3], |i| {
+            ((i[0] * 3 + i[1] + i[2] * i[3]) % 7) as i8 - 3
+        });
         let (out, stats) = conv2d_q8(&input, &weight, None, &g, 6, false);
 
         let inf = input.map(|&v| v as f32 / 32.0);

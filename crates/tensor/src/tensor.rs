@@ -74,7 +74,10 @@ impl<T: Default + Clone> Tensor<T> {
 
 impl<T> Tensor<T> {
     fn validate_shape(shape: &[usize]) {
-        assert!(!shape.is_empty(), "tensor shape must have at least one axis");
+        assert!(
+            !shape.is_empty(),
+            "tensor shape must have at least one axis"
+        );
         assert!(
             shape.iter().all(|&d| d > 0),
             "tensor axes must be non-zero, got {shape:?}"

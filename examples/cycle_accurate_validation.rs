@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --example cycle_accurate_validation`
 
-use capsacc::capsnet::{infer_q8_traced, CapsNetConfig, CapsNetParams, QuantPipeline, RoutingVariant};
+use capsacc::capsnet::{
+    infer_q8_traced, CapsNetConfig, CapsNetParams, QuantPipeline, RoutingVariant,
+};
 use capsacc::core::{Accelerator, AcceleratorConfig, MemoryKind};
 use capsacc::tensor::Tensor;
 
@@ -42,7 +44,10 @@ fn main() {
         );
         checked += 1;
 
-        println!("seed {seed:>3}: bit-exact ✓  predicted class {}", run.trace.output.predicted);
+        println!(
+            "seed {seed:>3}: bit-exact ✓  predicted class {}",
+            run.trace.output.predicted
+        );
         println!(
             "          layer cycles: {}",
             run.layers

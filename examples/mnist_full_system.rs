@@ -25,7 +25,10 @@ fn main() {
     // The engine executes tiles serially; use the matching timing mode.
     cfg.dataflow.pipelined_tiles = false;
 
-    println!("Generating pseudo-trained parameters ({} weights)…", net.total_parameters());
+    println!(
+        "Generating pseudo-trained parameters ({} weights)…",
+        net.total_parameters()
+    );
     let params = CapsNetParams::generate(&net, 2019);
     let qparams = params.quantize(cfg.numeric);
     let pipeline = QuantPipeline::new(cfg.numeric);
@@ -40,7 +43,11 @@ fn main() {
         &sample.image,
         RoutingVariant::SkipFirstSoftmax,
     );
-    println!("  reference done in {:.1?} ({} MACs)", t0.elapsed(), reference.output.stats.macs);
+    println!(
+        "  reference done in {:.1?} ({} MACs)",
+        t0.elapsed(),
+        reference.output.stats.macs
+    );
 
     println!("Running the cycle-accurate engine (16×16 array, every PE ticked)…");
     let t0 = Instant::now();
@@ -50,7 +57,10 @@ fn main() {
 
     // Bit-exactness at full scale.
     assert_eq!(run.trace, reference, "engine diverged from the reference");
-    println!("\nBit-exact at MNIST scale ✓ (predicted class {})", run.trace.output.predicted);
+    println!(
+        "\nBit-exact at MNIST scale ✓ (predicted class {})",
+        run.trace.output.predicted
+    );
 
     // Engine cycles vs the serial analytical model, layer by layer.
     let analytic = timing::full_inference(&cfg, &net);
@@ -66,14 +76,23 @@ fn main() {
             layer.name,
             layer.array_cycles,
             model,
-            if layer.array_cycles == model { "exact" } else { "≠" }
+            if layer.array_cycles == model {
+                "exact"
+            } else {
+                "≠"
+            }
         );
         assert_eq!(layer.array_cycles, model, "{} cycle mismatch", layer.name);
     }
 
     println!("\nRouting step cycles (engine):");
     for (step, cycles) in &run.steps {
-        println!("  {:<9} {:>8} cycles = {:>10.3} µs", step.to_string(), cycles, cfg.cycles_to_us(*cycles));
+        println!(
+            "  {:<9} {:>8} cycles = {:>10.3} µs",
+            step.to_string(),
+            cycles,
+            cfg.cycles_to_us(*cycles)
+        );
     }
 
     println!("\nTraffic:");
@@ -85,8 +104,14 @@ fn main() {
         MemoryKind::WeightBuffer,
     ] {
         let c = run.traffic.counter(kind);
-        println!("  {kind}: {} B read, {} B written", c.read_bytes, c.write_bytes);
+        println!(
+            "  {kind}: {} B read, {} B written",
+            c.read_bytes, c.write_bytes
+        );
     }
-    println!("\nAccumulator saturations: {} (must be 0)", run.accumulator_saturations);
+    println!(
+        "\nAccumulator saturations: {} (must be 0)",
+        run.accumulator_saturations
+    );
     assert_eq!(run.accumulator_saturations, 0);
 }

@@ -46,7 +46,13 @@ fn main() {
     });
 
     let float_out = infer_f32(&net, &params, &image, RoutingVariant::SkipFirstSoftmax);
-    let quant_out = infer_q8(&net, &qparams, &pipeline, &image, RoutingVariant::SkipFirstSoftmax);
+    let quant_out = infer_q8(
+        &net,
+        &qparams,
+        &pipeline,
+        &image,
+        RoutingVariant::SkipFirstSoftmax,
+    );
     println!("\nFloat class norms:  {:?}", float_out.class_norms());
     println!(
         "8-bit class norms:  {:?}",

@@ -47,7 +47,13 @@ fn main() {
         let image = Tensor::from_fn(&[1, net.input_side, net.input_side], |ix| {
             sample.image[[0, ix[1] + off, ix[2] + off]]
         });
-        let out = infer_q8(&net, &qparams, &pipeline, &image, RoutingVariant::SkipFirstSoftmax);
+        let out = infer_q8(
+            &net,
+            &qparams,
+            &pipeline,
+            &image,
+            RoutingVariant::SkipFirstSoftmax,
+        );
         println!(
             "  sample {i} (label {}): predicted {}  norms {:?}",
             sample.label, out.predicted, out.class_norms

@@ -31,7 +31,10 @@ fn assert_bit_exact(net: &CapsNetConfig, cfg: AcceleratorConfig, seed: u64) {
     let reference = infer_q8_traced(net, &qparams, &pipeline, &image, variant_of(&cfg));
     let mut acc = Accelerator::new(cfg);
     let run = acc.run_inference(net, &qparams, &image);
-    assert_eq!(run.accumulator_saturations, 0, "saturation voids bit-exactness");
+    assert_eq!(
+        run.accumulator_saturations, 0,
+        "saturation voids bit-exactness"
+    );
     assert_eq!(run.trace, reference, "seed {seed}");
 }
 
@@ -97,8 +100,13 @@ fn synthetic_digit_through_simulator() {
         sample.image[[0, i[1] + off, i[2] + off]]
     });
 
-    let reference =
-        infer_q8_traced(&net, &qparams, &pipeline, &image, RoutingVariant::SkipFirstSoftmax);
+    let reference = infer_q8_traced(
+        &net,
+        &qparams,
+        &pipeline,
+        &image,
+        RoutingVariant::SkipFirstSoftmax,
+    );
     let mut acc = Accelerator::new(cfg);
     let run = acc.run_inference(&net, &qparams, &image);
     assert_eq!(run.trace, reference);

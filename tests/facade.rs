@@ -1,0 +1,64 @@
+//! Facade-crate surface test: every `capsacc::<module>` re-export path
+//! must resolve, and the headline invariant documented in the crate-root
+//! doctest (the Table I parameter count) must hold through the facade.
+
+use capsacc::capsnet::{CapsNetConfig, CapsNetParams};
+use capsacc::core::{timing, Accelerator, AcceleratorConfig};
+use capsacc::fixed::{requantize, Fx8, NumericConfig};
+use capsacc::gpu::GpuModel;
+use capsacc::mnist::{SyntheticMnist, WeightGen};
+use capsacc::power::PowerModel;
+use capsacc::tensor::{ConvGeometry, Tensor};
+
+#[test]
+fn reexport_paths_resolve_and_interoperate() {
+    // fixed
+    let x: Fx8<5> = Fx8::from_f32(0.5);
+    assert_eq!(x.to_f32(), 0.5);
+    assert_eq!(requantize(64, 6), 1);
+    let ncfg = NumericConfig::default();
+
+    // tensor
+    let t = Tensor::from_fn(&[2, 2], |i| (i[0] + i[1]) as f32);
+    assert_eq!(t.shape(), &[2, 2]);
+    let _: &ConvGeometry = &CapsNetConfig::mnist().conv1_geometry();
+
+    // mnist
+    assert!(SyntheticMnist::new(1).sample(0).label < 10);
+    assert_eq!(WeightGen::new(1).biases(4).len(), 4);
+
+    // capsnet ← fixed (types from one re-export feed another)
+    let net = CapsNetConfig::tiny();
+    let qparams = CapsNetParams::generate(&net, 7).quantize(ncfg);
+    assert_eq!(qparams.conv1_w.shape().len(), 4);
+
+    // core ← capsnet
+    let acc_cfg = AcceleratorConfig::test_4x4();
+    let _ = Accelerator::new(acc_cfg);
+    let report = timing::full_inference(&AcceleratorConfig::paper(), &CapsNetConfig::mnist());
+    assert!(report.total_cycles() > 0);
+
+    // gpu ← capsnet
+    assert!(
+        GpuModel::gtx1070()
+            .layer_times_us(&CapsNetConfig::mnist())
+            .total()
+            > 0.0
+    );
+
+    // power ← core
+    let table2 = PowerModel::cmos_32nm().table2(&AcceleratorConfig::paper());
+    assert_eq!(table2.tech_node_nm, 32);
+}
+
+#[test]
+fn table1_parameter_count_holds_through_facade() {
+    // The invariant stated in the `capsacc` crate-root doctest.
+    let cfg = CapsNetConfig::mnist();
+    assert_eq!(cfg.total_parameters(), 6_804_224);
+    // And its Table I decomposition (conv1 + primary + class caps).
+    assert_eq!(
+        cfg.conv1_parameters() + cfg.primary_caps_parameters() + cfg.class_caps_parameters(),
+        cfg.total_parameters()
+    );
+}

@@ -93,22 +93,34 @@ fn fig16_layer_comparison_shapes() {
 
     // Conv1: CapsAcc wins big (paper: 6×).
     let conv1_ratio = gpu.conv1 / acc_cfg.cycles_to_us(acc.conv1.cycles);
-    assert!((3.0..12.0).contains(&conv1_ratio), "Conv1 ratio {conv1_ratio}");
+    assert!(
+        (3.0..12.0).contains(&conv1_ratio),
+        "Conv1 ratio {conv1_ratio}"
+    );
 
     // PrimaryCaps: the GPU wins (paper: CapsAcc 46% slower).
     let pc_acc = acc_cfg.cycles_to_us(acc.primary_caps.cycles);
-    assert!(pc_acc > gpu.primary_caps, "PrimaryCaps should favour the GPU");
+    assert!(
+        pc_acc > gpu.primary_caps,
+        "PrimaryCaps should favour the GPU"
+    );
     assert!(pc_acc < 2.5 * gpu.primary_caps, "but not by more than ~2×");
 
     // ClassCaps: CapsAcc wins by an order of magnitude (paper: 12×).
     let cc_ratio = gpu.class_caps / acc_cfg.cycles_to_us(acc.class_caps_cycles());
-    assert!((6.0..20.0).contains(&cc_ratio), "ClassCaps ratio {cc_ratio}");
+    assert!(
+        (6.0..20.0).contains(&cc_ratio),
+        "ClassCaps ratio {cc_ratio}"
+    );
 
     // Overall: CapsAcc clearly faster (paper: 6×; our PrimaryCaps
     // weight-stream bound keeps us nearer 3×, recorded in
     // EXPERIMENTS.md).
     let total_ratio = gpu.total() / acc.total_time_us(&acc_cfg);
-    assert!((2.0..10.0).contains(&total_ratio), "total ratio {total_ratio}");
+    assert!(
+        (2.0..10.0).contains(&total_ratio),
+        "total ratio {total_ratio}"
+    );
 }
 
 #[test]

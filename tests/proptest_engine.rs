@@ -9,7 +9,9 @@ use proptest::prelude::*;
 fn random_tensor(shape: &[usize], seed: u64) -> Tensor<i8> {
     let mut s = seed | 1;
     Tensor::from_fn(shape, move |_| {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (s >> 56) as i8
     })
 }

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in an environment without crates.io access, so
+//! the small slice of the `rand 0.8` API the workspace uses is
+//! implemented here: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`]
+//! and [`Rng::gen_range`] over floating-point ranges.
+//!
+//! The generator is a deterministic splitmix64 stream. It does **not**
+//! match the byte stream of the real `rand::rngs::StdRng` — only the
+//! properties the workspace relies on (seed-determinism, uniformity,
+//! stream independence per seed) are preserved. Swap this crate for the
+//! real one by editing `[workspace.dependencies]` once a registry is
+//! reachable; regenerated weights/datasets will differ but every test in
+//! the workspace is written against properties, not stored values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Seedable random number generators (the `rand 0.8` trait surface the
+/// workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws one value from `[low, high)` given a uniform `u64`.
+    fn from_uniform_u64(bits: u64, range: &Range<Self>) -> Self;
+}
+
+impl SampleUniform for f32 {
+    fn from_uniform_u64(bits: u64, range: &Range<Self>) -> Self {
+        // 24 explicit mantissa-ish bits are plenty for a [0, 1) grid.
+        let unit = (bits >> 40) as f32 / (1u64 << 24) as f32;
+        let v = range.start + unit * (range.end - range.start);
+        // Rounding in the affine map can land exactly on the excluded
+        // upper bound when |start| dwarfs the width; keep [low, high).
+        if v < range.end {
+            v
+        } else {
+            range.end.next_down().max(range.start)
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn from_uniform_u64(bits: u64, range: &Range<Self>) -> Self {
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        let v = range.start + unit * (range.end - range.start);
+        if v < range.end {
+            v
+        } else {
+            range.end.next_down().max(range.start)
+        }
+    }
+}
+
+/// Core RNG interface: raw `u64` output plus uniform range sampling.
+pub trait Rng {
+    /// Returns the next raw `u64` from the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value uniformly from `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range: empty range");
+        T::from_uniform_u64(self.next_u64(), &range)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic stand-in for `rand::rngs::StdRng` (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix so that nearby seeds give unrelated streams.
+            let mut rng = StdRng { state: seed };
+            let _ = super::Rng::next_u64(&mut rng);
+            rng
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo_half = 0usize;
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&v));
+            if v < 0.5 {
+                lo_half += 1;
+            }
+        }
+        // Uniformity sanity: the lower half gets roughly half the mass.
+        assert!((4000..6000).contains(&lo_half), "lo_half = {lo_half}");
+    }
+
+    #[test]
+    fn narrow_range_far_from_zero_stays_half_open() {
+        // |start| ≫ width makes the affine map round toward the excluded
+        // bound; every draw must still land strictly below it.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(1000.0f32..1000.0001);
+            assert!((1000.0..1000.0001).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn f64_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(1.0f32..1.0);
+    }
+}
