@@ -16,6 +16,10 @@ run cargo build --release
 run cargo test --workspace -q
 # Benches are excluded from `cargo test`; make sure they still compile.
 run cargo bench -p capsacc-bench --no-run
+# Batched-serving smoke run: validates run_batch bit-exactness at the
+# tiny scale and refreshes BENCH_batch.json so the perf trajectory of
+# the batch path is recorded with every CI run.
+run cargo run --release -q -p capsacc-bench --bin exp_batch
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 
 echo

@@ -1,0 +1,345 @@
+//! Batched, weight-resident inference.
+//!
+//! The paper's second weight register lets one inference reuse resident
+//! weights *within* a layer (Fig. 12 "reuse weights"); this module
+//! generalizes that residency *across* a batch of inferences, the way
+//! multi-user serving traffic arrives. [`BatchScheduler`] reorders the
+//! work of `N` images **layer-major**: for every layer, each weight tile
+//! is loaded into the array once and all `N` images' data rows stream
+//! back-to-back against it, so the whole batch pays for one weight load
+//! — `N×` fewer Weight Buffer bytes and `(N−1)` fewer tile-load stalls
+//! per tile than `N` sequential [`Accelerator::run_inference`] calls.
+//!
+//! Functionally nothing changes: per-row arithmetic is untouched, each
+//! image keeps its own accumulator FIFOs, and the routing phase (whose
+//! "weights" are the per-image predictions `û`, so it has nothing to
+//! share across images) runs through the exact code path the sequential
+//! engine uses. Every per-image [`QuantTrace`] is therefore **bit-exact**
+//! against a fresh-accelerator sequential run of the same image —
+//! enforced by `tests/batch_equivalence.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use capsacc_core::{AcceleratorConfig, BatchScheduler};
+//! use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
+//! use capsacc_tensor::Tensor;
+//!
+//! let net = CapsNetConfig::tiny();
+//! let cfg = AcceleratorConfig::test_4x4();
+//! let qparams = CapsNetParams::generate(&net, 1).quantize(cfg.numeric);
+//! let images: Vec<_> = (0..3)
+//!     .map(|s| Tensor::from_fn(&[1, 12, 12], |i| ((i[1] * (s + 2) + i[2]) % 7) as f32 / 7.0))
+//!     .collect();
+//! let mut sched = BatchScheduler::new(cfg);
+//! let run = sched.run(&net, &qparams, &images);
+//! assert_eq!(run.traces.len(), 3);
+//! assert!(run.cycles_per_image() > 0.0);
+//! ```
+
+use capsacc_capsnet::{CapsNetConfig, QuantOutput, QuantTrace, QuantizedParams};
+use capsacc_tensor::{qops::MacStats, Tensor};
+
+use crate::activation::ActivationKind;
+use crate::config::AcceleratorConfig;
+use crate::engine::{to_chw, Accelerator, LayerRun};
+use crate::timing::RoutingStep;
+use crate::traffic::{MemoryKind, TrafficReport};
+
+/// Result of one batched, cycle-accurate inference pass.
+///
+/// Per-image functional results ride in [`BatchRun::traces`]; the cycle
+/// and traffic accounting is shared, because the whole point of the
+/// batch is that the images are *not* independent on the hardware: they
+/// split the weight-load bill.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BatchRun {
+    /// One full functional trace per image, in input order — each
+    /// bit-exact against a sequential run of that image on a fresh
+    /// accelerator (including the per-image `MacStats`).
+    pub traces: Vec<QuantTrace>,
+    /// Per-layer cycle counts for the whole batch.
+    pub layers: Vec<LayerRun>,
+    /// ClassCaps step cycles summed over the batch (per-image routing
+    /// steps are identical in sequence, so they aggregate elementwise).
+    pub steps: Vec<(RoutingStep, u64)>,
+    /// Traffic across all memories and buffers for this batch alone
+    /// (deltas against the accelerator's counters at batch start, so
+    /// per-image metrics stay correct on a reused scheduler).
+    pub traffic: TrafficReport,
+    /// Accumulator-unit saturation events during this batch alone.
+    pub accumulator_saturations: u64,
+    /// Number of images in the batch.
+    pub batch: usize,
+}
+
+impl BatchRun {
+    /// Total cycles consumed by the batch.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(LayerRun::cycles).sum()
+    }
+
+    /// Amortized cycles per image.
+    pub fn cycles_per_image(&self) -> f64 {
+        self.total_cycles() as f64 / self.batch as f64
+    }
+
+    /// Amortized Weight Buffer read bytes per image — the headline
+    /// data-reuse metric: with residency across the batch this shrinks
+    /// as the batch grows.
+    pub fn weight_buffer_bytes_per_image(&self) -> f64 {
+        self.traffic.counter(MemoryKind::WeightBuffer).read_bytes as f64 / self.batch as f64
+    }
+}
+
+/// Runs batches of inferences through one [`Accelerator`], layer-major,
+/// so weights loaded for a layer stay resident across all images.
+///
+/// The scheduler owns the accelerator; the accelerator's *internal*
+/// counters accumulate across [`BatchScheduler::run`] calls exactly as
+/// a long-lived serving process would accumulate them, while each
+/// returned [`BatchRun`] reports only its own batch's traffic and
+/// saturation deltas.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    acc: Accelerator,
+}
+
+impl BatchScheduler {
+    /// Builds a scheduler around a fresh accelerator instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`AcceleratorConfig::validate`].
+    pub fn new(cfg: AcceleratorConfig) -> Self {
+        Self {
+            acc: Accelerator::new(cfg),
+        }
+    }
+
+    /// The accelerator driven by this scheduler.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.acc
+    }
+
+    /// Runs one batch. See [`Accelerator::run_batch`].
+    pub fn run(
+        &mut self,
+        net: &CapsNetConfig,
+        qparams: &QuantizedParams,
+        images: &[Tensor<f32>],
+    ) -> BatchRun {
+        self.acc.run_batch(net, qparams, images)
+    }
+}
+
+impl Accelerator {
+    /// Runs a batch of CapsuleNet inferences cycle-accurately with the
+    /// work reordered layer-major: every weight tile of Conv1,
+    /// PrimaryCaps and the ClassCaps FC is loaded once and reused by all
+    /// images; the routing phase (per-image operands on both array
+    /// ports) runs per image through the sequential code path.
+    ///
+    /// Each returned trace is bit-exact against
+    /// [`Accelerator::run_inference`] of the same image on a fresh
+    /// accelerator, including the per-image saturation counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or any image is not
+    /// `[1, input_side, input_side]`.
+    pub fn run_batch(
+        &mut self,
+        net: &CapsNetConfig,
+        qparams: &QuantizedParams,
+        images: &[Tensor<f32>],
+    ) -> BatchRun {
+        assert!(!images.is_empty(), "empty batch");
+        let batch = images.len();
+        let ncfg = self.cfg.numeric;
+        // Snapshot the accelerator counters so the returned report
+        // covers this batch alone even on a reused scheduler.
+        let traffic_at_start = self.traffic;
+        let saturations_at_start = self.accumulator_saturations;
+        let mut layers = Vec::new();
+        let mut stats = vec![MacStats::default(); batch];
+
+        // ------------------------------------------------- Conv1 + ReLU
+        let g1 = net.conv1_geometry();
+        let inputs_q: Vec<Tensor<i8>> =
+            images.iter().map(|im| qparams.quantize_image(im)).collect();
+        self.traffic
+            .read(MemoryKind::DataMemory, (batch * g1.input_len()) as u64);
+        let c0 = self.array.cycles();
+        let a0 = self.activation_cycles;
+        let inputs_ref = &inputs_q;
+        let w1 = &qparams.conv1_w;
+        let (conv1_mns, conv1_sats) = self.matmul_batch(
+            batch,
+            &|img, mi, ki| inputs_ref[img].data()[g1.input_index(mi, ki)],
+            &|ki, oc| w1.data()[oc * g1.patch_len() + ki],
+            g1.patches(),
+            g1.patch_len(),
+            g1.out_ch,
+            Some(&qparams.conv1_b),
+            ncfg.mac_shift(),
+            ActivationKind::Relu,
+        );
+        let conv1_outs: Vec<Tensor<i8>> = conv1_mns.iter().map(|mn| to_chw(mn, &g1)).collect();
+        self.traffic
+            .write(MemoryKind::DataMemory, (batch * conv1_outs[0].len()) as u64);
+        for (s, sat) in stats.iter_mut().zip(&conv1_sats) {
+            s.macs += g1.macs();
+            s.saturations += sat;
+        }
+        layers.push(LayerRun {
+            name: "Conv1",
+            array_cycles: self.array.cycles() - c0,
+            activation_cycles: self.activation_cycles - a0,
+        });
+
+        // ------------------------------------------- PrimaryCaps + squash
+        let gp = net.primary_caps_geometry();
+        let c0 = self.array.cycles();
+        let a0 = self.activation_cycles;
+        let conv1_ref = &conv1_outs;
+        let wp = &qparams.pc_w;
+        let (pc_mns, pc_sats) = self.matmul_batch(
+            batch,
+            &|img, mi, ki| conv1_ref[img].data()[gp.input_index(mi, ki)],
+            &|ki, oc| wp.data()[oc * gp.patch_len() + ki],
+            gp.patches(),
+            gp.patch_len(),
+            gp.out_ch,
+            Some(&qparams.pc_b),
+            ncfg.mac_shift(),
+            ActivationKind::Identity,
+        );
+        let pc_outs: Vec<Tensor<i8>> = pc_mns.iter().map(|mn| to_chw(mn, &gp)).collect();
+        let capsules: Vec<Tensor<i8>> = pc_outs
+            .iter()
+            .map(|pc| self.squash_primary(net, pc))
+            .collect();
+        self.traffic
+            .write(MemoryKind::DataMemory, (batch * capsules[0].len()) as u64);
+        for (s, sat) in stats.iter_mut().zip(&pc_sats) {
+            s.macs += gp.macs();
+            s.saturations += sat;
+        }
+        layers.push(LayerRun {
+            name: "PrimaryCaps",
+            array_cycles: self.array.cycles() - c0,
+            activation_cycles: self.activation_cycles - a0,
+        });
+
+        // ------------------------------------------------ ClassCaps: Load
+        let (in_caps, classes, out_dim, in_dim) = (
+            net.num_primary_caps(),
+            net.num_classes,
+            net.class_caps_dim,
+            net.pc_caps_dim,
+        );
+        let u_hat_bytes = (in_caps * classes * out_dim) as u64;
+        let mut steps = Vec::new();
+        self.traffic
+            .read(MemoryKind::DataMemory, batch as u64 * u_hat_bytes);
+        self.traffic
+            .write(MemoryKind::DataBuffer, batch as u64 * u_hat_bytes);
+        steps.push((
+            RoutingStep::Load,
+            batch as u64 * u_hat_bytes.div_ceil(self.cfg.data_mem_bw),
+        ));
+
+        // -------------------------------------------------- ClassCaps: FC
+        // Per input capsule, its `W_ij` block is the resident operand and
+        // all images' capsule vectors stream against it — the batch
+        // generalization of the paper's weight reuse, and the biggest
+        // ClassCaps win (the FC weights are read once per *batch*).
+        let c0 = self.array.cycles();
+        let wc = &qparams.w_class;
+        let caps_ref = &capsules;
+        let mut u_hats: Vec<Tensor<i8>> = (0..batch)
+            .map(|_| Tensor::zeros(&[in_caps, classes, out_dim]))
+            .collect();
+        for cap in 0..in_caps {
+            let (fc, fc_sats) = self.matmul_batch(
+                batch,
+                &|img, _mi, d| caps_ref[img].data()[cap * in_dim + d],
+                &|d, col| {
+                    let (class, e) = (col / out_dim, col % out_dim);
+                    wc.data()[((cap * classes + class) * out_dim + e) * in_dim + d]
+                },
+                1,
+                in_dim,
+                classes * out_dim,
+                None,
+                ncfg.mac_shift(),
+                ActivationKind::Identity,
+            );
+            for (img, row) in fc.iter().enumerate() {
+                u_hats[img].data_mut()[cap * classes * out_dim..(cap + 1) * classes * out_dim]
+                    .copy_from_slice(row.data());
+            }
+            for (s, sat) in stats.iter_mut().zip(&fc_sats) {
+                s.saturations += sat;
+            }
+        }
+        for s in stats.iter_mut() {
+            s.macs += (in_caps * classes * out_dim * in_dim) as u64;
+        }
+        steps.push((RoutingStep::Fc, self.array.cycles() - c0));
+
+        // ------------------------------------------- Routing-by-agreement
+        // The routing "weights" are the per-image predictions û — there
+        // is nothing to share across the batch, so each image runs the
+        // exact sequential code path; step cycles aggregate elementwise.
+        let mut traces = Vec::with_capacity(batch);
+        for (img, u_hat) in u_hats.into_iter().enumerate() {
+            let sat_before = self.accumulator_saturations;
+            let mut image_steps = Vec::new();
+            let routing = self.route_class_caps(net, &u_hat, &mut image_steps);
+            stats[img].saturations += self.accumulator_saturations - sat_before;
+            stats[img].macs += routing.macs;
+            if img == 0 {
+                steps.extend(image_steps);
+            } else {
+                // Same network ⇒ same step sequence for every image.
+                for ((step, cycles), (s2, c2)) in steps[2..].iter_mut().zip(&image_steps) {
+                    debug_assert_eq!(*step, *s2, "routing step sequences diverged");
+                    *cycles += c2;
+                }
+            }
+            traces.push(QuantTrace {
+                input_q: inputs_q[img].clone(),
+                conv1_out: conv1_outs[img].clone(),
+                pc_out: pc_outs[img].clone(),
+                capsules: capsules[img].clone(),
+                u_hat,
+                iterations: routing.iterations,
+                output: QuantOutput {
+                    class_norms: routing.final_norms,
+                    predicted: routing.predicted,
+                    class_caps: routing.class_caps,
+                    couplings: routing.couplings,
+                    stats: stats[img],
+                },
+            });
+        }
+
+        let class_caps_cycles: u64 = steps.iter().map(|(_, c)| *c).sum();
+        layers.push(LayerRun {
+            name: "ClassCaps",
+            array_cycles: class_caps_cycles,
+            activation_cycles: 0,
+        });
+
+        BatchRun {
+            traces,
+            layers,
+            steps,
+            traffic: self.traffic.since(&traffic_at_start),
+            accumulator_saturations: self.accumulator_saturations - saturations_at_start,
+            batch,
+        }
+    }
+}

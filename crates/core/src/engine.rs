@@ -16,10 +16,10 @@
 //! cross-checked against the serial engine with pipelining disabled.
 
 use capsacc_capsnet::{
-    primary_capsules, CapsNetConfig, QuantOutput, QuantPipeline, QuantTrace, QuantizedParams,
+    primary_capsules, CapsNetConfig, QuantPipeline, QuantTrace, QuantizedParams,
     RoutingIterationTrace, RoutingVariant,
 };
-use capsacc_tensor::{qops::MacStats, Tensor};
+use capsacc_tensor::Tensor;
 
 use crate::accumulator::AccumulatorUnit;
 use crate::activation::{ActivationKind, ActivationUnit};
@@ -56,9 +56,10 @@ pub struct InferenceRun {
     pub layers: Vec<LayerRun>,
     /// Per-routing-step cycle counts (Fig. 17 rows).
     pub steps: Vec<(RoutingStep, u64)>,
-    /// Traffic across all memories and buffers.
+    /// Traffic across all memories and buffers during this run.
     pub traffic: TrafficReport,
-    /// Accumulator-unit saturation events (zero in correct operation).
+    /// Accumulator-unit saturation events during this run (zero in
+    /// correct operation).
     pub accumulator_saturations: u64,
 }
 
@@ -85,12 +86,31 @@ pub struct InferenceRun {
 /// ```
 #[derive(Debug)]
 pub struct Accelerator {
-    cfg: AcceleratorConfig,
-    array: SystolicArray,
-    activation: ActivationUnit,
-    traffic: TrafficReport,
-    activation_cycles: u64,
-    accumulator_saturations: u64,
+    pub(crate) cfg: AcceleratorConfig,
+    pub(crate) array: SystolicArray,
+    pub(crate) activation: ActivationUnit,
+    pub(crate) traffic: TrafficReport,
+    pub(crate) activation_cycles: u64,
+    pub(crate) accumulator_saturations: u64,
+}
+
+/// Reshapes a `[patches, out_ch]` matmul result into the `[out_ch, oh,
+/// ow]` layout the next layer consumes.
+pub(crate) fn to_chw(mn: &Tensor<i8>, g: &capsacc_tensor::ConvGeometry) -> Tensor<i8> {
+    Tensor::from_fn(&[g.out_ch, g.out_h(), g.out_w()], |i| {
+        mn[[i[1] * g.out_w() + i[2], i[0]]]
+    })
+}
+
+/// Everything the routing-by-agreement phase produces for one image —
+/// the trace pieces plus the MAC count of the Sum/Update matmuls.
+pub(crate) struct RoutingOutcome {
+    pub(crate) iterations: Vec<RoutingIterationTrace>,
+    pub(crate) couplings: Tensor<i8>,
+    pub(crate) class_caps: Tensor<i8>,
+    pub(crate) final_norms: Vec<u8>,
+    pub(crate) predicted: usize,
+    pub(crate) macs: u64,
 }
 
 impl Accelerator {
@@ -155,21 +175,80 @@ impl Accelerator {
         shift: u32,
         kind: ActivationKind,
     ) -> Tensor<i8> {
+        let (mut outs, _) = self.matmul_batch(
+            1,
+            &|_img, mi, ki| data(mi, ki),
+            weight,
+            m,
+            k,
+            n,
+            bias,
+            shift,
+            kind,
+        );
+        outs.pop().expect("batch of one")
+    }
+
+    /// Executes the same tiled matmul for a whole batch of data operands
+    /// sharing one weight operand — the paper's "reuse weights" scenario
+    /// (Fig. 12) generalized across inferences.
+    ///
+    /// Every weight tile is loaded into the resident registers **once**
+    /// and all `batch` images' data rows stream back-to-back against it,
+    /// so the Weight Buffer traffic and the per-tile load cycles are paid
+    /// once per batch instead of once per image. `data(img, m, k)`
+    /// supplies image `img`'s operands.
+    ///
+    /// Returns one `[m, n]` output tensor per image plus the per-image
+    /// accumulator-saturation counts (attribution is exact because each
+    /// image keeps its own accumulator FIFOs, mirroring a sequential
+    /// run). Per-row arithmetic is identical to [`Accelerator::matmul`],
+    /// so outputs are bit-exact against `batch` independent calls.
+    ///
+    /// Like the single-image engine, this always executes the real
+    /// design point — the second weight register exists, so tiles *are*
+    /// resident. The `DataflowOptions::weight_reuse` ablation is
+    /// modelled analytically only
+    /// ([`crate::timing::batch_matmul_cycles`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or a bias slice shorter than `n` is
+    /// supplied.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_batch(
+        &mut self,
+        batch: usize,
+        data: &dyn Fn(usize, usize, usize) -> i8,
+        weight: &dyn Fn(usize, usize) -> i8,
+        m: usize,
+        k: usize,
+        n: usize,
+        bias: Option<&[i32]>,
+        shift: u32,
+        kind: ActivationKind,
+    ) -> (Vec<Tensor<i8>>, Vec<u64>) {
+        assert!(batch > 0, "batch must be non-empty");
         if let Some(b) = bias {
             assert!(b.len() >= n, "bias shorter than output width");
         }
         let (rows, cols) = (self.cfg.rows, self.cfg.cols);
-        let mut out: Tensor<i8> = Tensor::zeros(&[m, n]);
+        let mut outs: Vec<Tensor<i8>> = (0..batch).map(|_| Tensor::zeros(&[m, n])).collect();
+        let mut saturations = vec![0u64; batch];
 
         for n0 in (0..n).step_by(cols) {
             let nt = cols.min(n - n0);
-            let mut accs: Vec<AccumulatorUnit> =
-                (0..nt).map(|_| AccumulatorUnit::new(m.max(1))).collect();
+            // One accumulator set per image: keeps K-tile folding — and
+            // therefore saturation attribution — identical to a
+            // sequential per-image run.
+            let mut accs: Vec<Vec<AccumulatorUnit>> = (0..batch)
+                .map(|_| (0..nt).map(|_| AccumulatorUnit::new(m.max(1))).collect())
+                .collect();
 
             for (kt_idx, k0) in (0..k).step_by(rows).enumerate() {
                 let kt = rows.min(k - k0);
                 // Weight tile rows (zero-padded to the array width by the
-                // array itself).
+                // array itself), loaded once for the whole batch.
                 let tile: Vec<Vec<i8>> = (0..kt)
                     .map(|kr| (0..nt).map(|nc| weight(k0 + kr, n0 + nc)).collect())
                     .collect();
@@ -178,15 +257,20 @@ impl Accelerator {
                 self.traffic
                     .read(MemoryKind::WeightBuffer, (kt * nt) as u64);
 
-                // Stream the data rows for this K-slice.
-                let rows_data: Vec<Vec<i8>> = (0..m)
-                    .map(|mi| (0..kt).map(|ki| data(mi, k0 + ki)).collect())
+                // Stream every image's data rows for this K-slice
+                // against the resident tile, image-major.
+                let rows_data: Vec<Vec<i8>> = (0..batch * m)
+                    .map(|ri| {
+                        let (img, mi) = (ri / m.max(1), ri % m.max(1));
+                        (0..kt).map(|ki| data(img, mi, k0 + ki)).collect()
+                    })
                     .collect();
-                self.traffic.read(MemoryKind::DataBuffer, (m * kt) as u64);
+                self.traffic
+                    .read(MemoryKind::DataBuffer, (batch * m * kt) as u64);
                 let psums = self.array.stream(&rows_data);
 
-                for prow in &psums {
-                    for (c, acc) in accs.iter_mut().enumerate() {
+                for (ri, prow) in psums.iter().enumerate() {
+                    for (c, acc) in accs[ri / m.max(1)].iter_mut().enumerate() {
                         if kt_idx == 0 {
                             acc.push_new(prow[c]);
                         } else {
@@ -196,95 +280,31 @@ impl Accelerator {
                 }
             }
 
-            // Drain through the activation units.
-            for (c, acc) in accs.iter_mut().enumerate() {
-                self.accumulator_saturations += acc.saturation_events();
-                let b = bias.map_or(0i64, |b| b[n0 + c] as i64);
-                for (mi, raw) in acc.drain().into_iter().enumerate() {
-                    out[[mi, n0 + c]] = self.activation.reduce(raw + b, shift, kind);
+            // Drain through the activation units, image by image.
+            for (img, image_accs) in accs.iter_mut().enumerate() {
+                for (c, acc) in image_accs.iter_mut().enumerate() {
+                    let events = acc.saturation_events();
+                    saturations[img] += events;
+                    self.accumulator_saturations += events;
+                    let b = bias.map_or(0i64, |b| b[n0 + c] as i64);
+                    for (mi, raw) in acc.drain().into_iter().enumerate() {
+                        outs[img][[mi, n0 + c]] = self.activation.reduce(raw + b, shift, kind);
+                    }
                 }
+                self.activation_cycles += ActivationUnit::reduce_cycles(m as u64);
             }
-            self.activation_cycles += ActivationUnit::reduce_cycles(m as u64);
         }
-        out
+        (outs, saturations)
     }
 
-    /// Runs a complete CapsuleNet inference cycle-accurately.
-    ///
-    /// The returned [`InferenceRun::trace`] is bit-exact against
-    /// [`capsacc_capsnet::infer_q8_traced`] with the same parameters,
-    /// pipeline and routing variant (derived from
-    /// `dataflow.skip_first_softmax`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `image` is not `[1, input_side, input_side]`.
-    pub fn run_inference(
+    /// Squashes every primary capsule of one image through the
+    /// activation units, charging the Sec. IV-C cycle cost.
+    pub(crate) fn squash_primary(
         &mut self,
         net: &CapsNetConfig,
-        qparams: &QuantizedParams,
-        image: &Tensor<f32>,
-    ) -> InferenceRun {
-        let ncfg = self.cfg.numeric;
-        let mut layers = Vec::new();
-        let mut steps = Vec::new();
-        let mut stats = MacStats::default();
-
-        // ------------------------------------------------- Conv1 + ReLU
-        let g1 = net.conv1_geometry();
-        let input_q = qparams.quantize_image(image);
-        self.traffic
-            .read(MemoryKind::DataMemory, g1.input_len() as u64);
-        let c0 = self.array.cycles();
-        let a0 = self.activation_cycles;
-        let input_ref = &input_q;
-        let w1 = &qparams.conv1_w;
-        let conv1_mn = self.matmul(
-            &|mi, ki| input_ref.data()[g1.input_index(mi, ki)],
-            &|ki, oc| w1.data()[oc * g1.patch_len() + ki],
-            g1.patches(),
-            g1.patch_len(),
-            g1.out_ch,
-            Some(&qparams.conv1_b),
-            ncfg.mac_shift(),
-            ActivationKind::Relu,
-        );
-        stats.macs += g1.macs();
-        // Transpose [patches, out_ch] → [out_ch, oh, ow].
-        let conv1_out = Tensor::from_fn(&[g1.out_ch, g1.out_h(), g1.out_w()], |i| {
-            conv1_mn[[i[1] * g1.out_w() + i[2], i[0]]]
-        });
-        self.traffic
-            .write(MemoryKind::DataMemory, conv1_out.len() as u64);
-        layers.push(LayerRun {
-            name: "Conv1",
-            array_cycles: self.array.cycles() - c0,
-            activation_cycles: self.activation_cycles - a0,
-        });
-
-        // ------------------------------------------- PrimaryCaps + squash
-        let gp = net.primary_caps_geometry();
-        let c0 = self.array.cycles();
-        let a0 = self.activation_cycles;
-        let conv1_ref = &conv1_out;
-        let wp = &qparams.pc_w;
-        let pc_mn = self.matmul(
-            &|mi, ki| conv1_ref.data()[gp.input_index(mi, ki)],
-            &|ki, oc| wp.data()[oc * gp.patch_len() + ki],
-            gp.patches(),
-            gp.patch_len(),
-            gp.out_ch,
-            Some(&qparams.pc_b),
-            ncfg.mac_shift(),
-            ActivationKind::Identity,
-        );
-        stats.macs += gp.macs();
-        let pc_out = Tensor::from_fn(&[gp.out_ch, gp.out_h(), gp.out_w()], |i| {
-            pc_mn[[i[1] * gp.out_w() + i[2], i[0]]]
-        });
-
-        // Squash every primary capsule through the activation units.
-        let raw_caps = primary_capsules(&pc_out, net.pc_channels, net.pc_caps_dim);
+        pc_out: &Tensor<i8>,
+    ) -> Tensor<i8> {
+        let raw_caps = primary_capsules(pc_out, net.pc_channels, net.pc_caps_dim);
         let dim = net.pc_caps_dim;
         let mut capsules: Tensor<i8> = Tensor::zeros(raw_caps.shape());
         for (dst, src) in capsules
@@ -299,55 +319,24 @@ impl Accelerator {
         let au = self.cfg.activation_units as u64;
         self.activation_cycles +=
             caps_count.div_ceil(au) * ActivationUnit::squash_cycles(dim as u64);
-        self.traffic
-            .write(MemoryKind::DataMemory, capsules.len() as u64);
-        layers.push(LayerRun {
-            name: "PrimaryCaps",
-            array_cycles: self.array.cycles() - c0,
-            activation_cycles: self.activation_cycles - a0,
-        });
+        capsules
+    }
 
-        // ------------------------------------------------ ClassCaps: Load
-        let (in_caps, classes, out_dim, in_dim) = (
-            net.num_primary_caps(),
-            net.num_classes,
-            net.class_caps_dim,
-            net.pc_caps_dim,
-        );
+    /// Runs the routing-by-agreement phase for one image's predictions,
+    /// appending the per-step cycle counts to `steps`. Shared verbatim by
+    /// [`Accelerator::run_inference`] and the batched path, which is what
+    /// keeps the two bit-identical.
+    pub(crate) fn route_class_caps(
+        &mut self,
+        net: &CapsNetConfig,
+        u_hat: &Tensor<i8>,
+        steps: &mut Vec<(RoutingStep, u64)>,
+    ) -> RoutingOutcome {
+        let ncfg = self.cfg.numeric;
+        let (in_caps, classes, out_dim) =
+            (net.num_primary_caps(), net.num_classes, net.class_caps_dim);
         let u_hat_bytes = (in_caps * classes * out_dim) as u64;
-        self.traffic.read(MemoryKind::DataMemory, u_hat_bytes);
-        self.traffic.write(MemoryKind::DataBuffer, u_hat_bytes);
-        steps.push((
-            RoutingStep::Load,
-            u_hat_bytes.div_ceil(self.cfg.data_mem_bw),
-        ));
-
-        // -------------------------------------------------- ClassCaps: FC
-        let c0 = self.array.cycles();
-        let wc = &qparams.w_class;
-        let caps_ref = &capsules;
-        let mut u_hat: Tensor<i8> = Tensor::zeros(&[in_caps, classes, out_dim]);
-        for cap in 0..in_caps {
-            let fc = self.matmul(
-                &|_mi, d| caps_ref.data()[cap * in_dim + d],
-                &|d, col| {
-                    let (class, e) = (col / out_dim, col % out_dim);
-                    wc.data()[((cap * classes + class) * out_dim + e) * in_dim + d]
-                },
-                1,
-                in_dim,
-                classes * out_dim,
-                None,
-                ncfg.mac_shift(),
-                ActivationKind::Identity,
-            );
-            u_hat.data_mut()[cap * classes * out_dim..(cap + 1) * classes * out_dim]
-                .copy_from_slice(fc.data());
-        }
-        stats.macs += (in_caps * classes * out_dim * in_dim) as u64;
-        steps.push((RoutingStep::Fc, self.array.cycles() - c0));
-
-        // ------------------------------------------- Routing-by-agreement
+        let mut macs = 0u64;
         let variant = if self.cfg.dataflow.skip_first_softmax {
             RoutingVariant::SkipFirstSoftmax
         } else {
@@ -415,7 +404,7 @@ impl Accelerator {
                 );
                 s_t.data_mut()[j * out_dim..(j + 1) * out_dim].copy_from_slice(s_row.data());
             }
-            stats.macs += (classes * out_dim * in_caps) as u64;
+            macs += (classes * out_dim * in_caps) as u64;
             steps.push((RoutingStep::Sum(r + 1), self.array.cycles() - c0));
 
             // Squash through the activation units.
@@ -458,7 +447,7 @@ impl Accelerator {
                         logits.data_mut()[i * classes + j] = cur.saturating_add(deltas.data()[i]);
                     }
                 }
-                stats.macs += (classes * in_caps * out_dim) as u64;
+                macs += (classes * in_caps * out_dim) as u64;
                 self.traffic.read(MemoryKind::RoutingBuffer, coupling_bytes);
                 self.traffic
                     .write(MemoryKind::RoutingBuffer, coupling_bytes);
@@ -493,36 +482,43 @@ impl Accelerator {
             .map(|(i, _)| i)
             .expect("at least one class");
 
-        let class_caps_cycles: u64 = steps.iter().map(|(_, c)| *c).sum();
-        layers.push(LayerRun {
-            name: "ClassCaps",
-            array_cycles: class_caps_cycles,
-            activation_cycles: 0,
-        });
-
-        stats.saturations += self.accumulator_saturations;
-        let trace = QuantTrace {
-            input_q,
-            conv1_out,
-            pc_out,
-            capsules,
-            u_hat,
+        RoutingOutcome {
             iterations,
-            output: QuantOutput {
-                class_norms: final_norms,
-                predicted,
-                class_caps,
-                couplings,
-                stats,
-            },
-        };
+            couplings,
+            class_caps,
+            final_norms,
+            predicted,
+            macs,
+        }
+    }
 
+    /// Runs a complete CapsuleNet inference cycle-accurately.
+    ///
+    /// The returned [`InferenceRun::trace`] is bit-exact against
+    /// [`capsacc_capsnet::infer_q8_traced`] with the same parameters,
+    /// pipeline and routing variant (derived from
+    /// `dataflow.skip_first_softmax`).
+    ///
+    /// Implemented as [`Accelerator::run_batch`] with a batch of one —
+    /// there is a single layer-orchestration code path, so the
+    /// sequential and batched engines cannot drift apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not `[1, input_side, input_side]`.
+    pub fn run_inference(
+        &mut self,
+        net: &CapsNetConfig,
+        qparams: &QuantizedParams,
+        image: &Tensor<f32>,
+    ) -> InferenceRun {
+        let mut run = self.run_batch(net, qparams, std::slice::from_ref(image));
         InferenceRun {
-            trace,
-            layers,
-            steps,
-            traffic: self.traffic,
-            accumulator_saturations: self.accumulator_saturations,
+            trace: run.traces.pop().expect("batch of one"),
+            layers: run.layers,
+            steps: run.steps,
+            traffic: run.traffic,
+            accumulator_saturations: run.accumulator_saturations,
         }
     }
 }

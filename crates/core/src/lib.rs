@@ -18,6 +18,15 @@
 //!   benchmark harness at MNIST scale; unit tests assert it agrees with
 //!   the cycle-accurate engine exactly on small workloads.
 //!
+//! Both models come in a single-inference and a **batched** form: the
+//! [`batch`] subsystem ([`BatchScheduler`] /
+//! [`engine::Accelerator::run_batch`] /
+//! [`timing::full_inference_batch`]) reorders a batch of inferences
+//! layer-major so weights loaded into the second weight register stay
+//! resident across all images — the paper's "reuse weights" scenario
+//! generalized across inferences — while every per-image trace stays
+//! bit-identical to a sequential run.
+//!
 //! # Example
 //!
 //! ```
@@ -37,6 +46,7 @@
 
 mod accumulator;
 mod activation;
+pub mod batch;
 mod config;
 pub mod control;
 pub mod engine;
@@ -48,10 +58,13 @@ mod traffic;
 
 pub use accumulator::AccumulatorUnit;
 pub use activation::{ActivationKind, ActivationUnit};
+pub use batch::{BatchRun, BatchScheduler};
 pub use config::{AcceleratorConfig, DataflowOptions};
 pub use control::{ControlOp, ControlUnit, DataSource, Program, WeightSource};
 pub use engine::{Accelerator, InferenceRun, LayerRun};
 pub use pe::{Pe, PeControl, PeInput, PeOutput, WeightSelect};
 pub use systolic::SystolicArray;
-pub use timing::{InferenceTiming, LayerTiming, RoutingStep, RoutingStepTiming};
+pub use timing::{
+    BatchInferenceTiming, InferenceTiming, LayerTiming, RoutingStep, RoutingStepTiming,
+};
 pub use traffic::{MemoryKind, TrafficCounter, TrafficReport};

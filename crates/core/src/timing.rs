@@ -82,6 +82,42 @@ pub fn matmul_weight_bytes(shape: MatmulShape, cfg: &AcceleratorConfig) -> u64 {
     }
 }
 
+/// Cycles to execute the same matmul for `batch` data operands sharing
+/// one weight operand, with the tiles held resident across the batch
+/// (the engine's [`crate::Accelerator::matmul_batch`] schedule).
+///
+/// With weight reuse, all `batch · M` data rows stream against each
+/// resident tile, so the batched run is exactly a single matmul with
+/// `M' = batch · M` — every tile load (and, when pipelining, every
+/// fill/drain) is paid once per batch instead of once per image. With
+/// the reuse ablation there is no residency to exploit and the batch
+/// degenerates to `batch` independent runs — an analytical-only
+/// scenario: the engine always simulates the real design point with the
+/// second weight register present, so engine↔model agreement holds for
+/// reuse-enabled configurations (the ones the engine can execute).
+pub fn batch_matmul_cycles(shape: MatmulShape, batch: u64, cfg: &AcceleratorConfig) -> u64 {
+    if !cfg.dataflow.weight_reuse {
+        return batch * matmul_cycles(shape, cfg);
+    }
+    matmul_cycles(
+        MatmulShape {
+            m: shape.m * batch,
+            ..shape
+        },
+        cfg,
+    )
+}
+
+/// Weight bytes a batched matmul reads from the weight store: once per
+/// *batch* with reuse, once per data row of every image without.
+pub fn batch_matmul_weight_bytes(shape: MatmulShape, batch: u64, cfg: &AcceleratorConfig) -> u64 {
+    if cfg.dataflow.weight_reuse {
+        matmul_weight_bytes(shape, cfg)
+    } else {
+        batch * matmul_weight_bytes(shape, cfg)
+    }
+}
+
 /// Timing of one layer (or layer-level phase).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct LayerTiming {
@@ -459,6 +495,188 @@ pub fn working_set_check(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Vec<St
     warnings
 }
 
+/// Timing of a convolutional layer executed for a whole batch with the
+/// filter tiles held resident across images (layer-major schedule).
+pub fn conv_layer_batch(
+    name: &'static str,
+    g: &ConvGeometry,
+    relu: bool,
+    batch: u64,
+    cfg: &AcceleratorConfig,
+) -> LayerTiming {
+    let shape = MatmulShape {
+        m: g.patches() as u64,
+        k: g.patch_len() as u64,
+        n: g.out_ch as u64,
+    };
+    let compute = batch_matmul_cycles(shape, batch, cfg);
+    let biases = if cfg.dataflow.weight_reuse {
+        g.out_ch as u64
+    } else {
+        batch * g.out_ch as u64
+    };
+    let weight_bytes = batch_matmul_weight_bytes(shape, batch, cfg) + biases;
+    let act = if relu {
+        // ReLU is pipelined behind the output stream: latency only.
+        ActivationUnit::reduce_cycles(0)
+    } else {
+        0
+    };
+    LayerTiming::new(name, compute, weight_bytes, act, batch * g.macs(), cfg)
+}
+
+/// Batched PrimaryCaps timing: the weight-resident convolution plus the
+/// per-capsule squash, which is per-image work and scales with the
+/// batch.
+pub fn primary_caps_layer_batch(
+    net: &CapsNetConfig,
+    batch: u64,
+    cfg: &AcceleratorConfig,
+) -> LayerTiming {
+    let g = net.primary_caps_geometry();
+    let conv = conv_layer_batch("PrimaryCaps", &g, false, batch, cfg);
+    let caps = net.num_primary_caps() as u64;
+    let au = cfg.activation_units as u64;
+    let squash = batch * ceil_div(caps, au) * ActivationUnit::squash_cycles(net.pc_caps_dim as u64);
+    LayerTiming::new(
+        "PrimaryCaps",
+        conv.compute_cycles,
+        conv.weight_bytes,
+        squash,
+        conv.macs,
+        cfg,
+    )
+}
+
+/// The ClassCaps steps for a whole batch.
+///
+/// Only the FC step amortizes: its `W_ij` blocks stay resident while
+/// every image's capsule vectors stream against them, so the 1.47 MB
+/// weight stream is paid once per batch. Everything else (Load, softmax,
+/// sums, squashes, updates) operates on per-image state and scales
+/// linearly with the batch.
+pub fn batch_routing_steps(
+    net: &CapsNetConfig,
+    batch: u64,
+    cfg: &AcceleratorConfig,
+) -> Vec<RoutingStepTiming> {
+    let mut steps = routing_steps(net, cfg);
+    for s in steps.iter_mut() {
+        if s.step == RoutingStep::Fc && cfg.dataflow.weight_reuse {
+            let caps = net.num_primary_caps() as u64;
+            let classes = net.num_classes as u64;
+            let out_dim = net.class_caps_dim as u64;
+            let in_dim = net.pc_caps_dim as u64;
+            let fc_weight_bytes = caps * classes * out_dim * in_dim;
+            let fc_tiles = caps * ceil_div(classes * out_dim, cfg.cols as u64);
+            let load = cfg.rows as u64 + 1;
+            // M = batch rows per capsule-tile instead of 1.
+            let fc_compute = if cfg.dataflow.pipelined_tiles {
+                load + batch + (fc_tiles - 1) * batch.max(load) + (cfg.rows + cfg.cols) as u64
+            } else {
+                fc_tiles * (load + batch + (cfg.rows + cfg.cols) as u64)
+            };
+            let fc_stream = ceil_div(fc_weight_bytes, cfg.weight_mem_bw);
+            s.cycles = fc_compute.max(fc_stream);
+            s.data_mem_bytes = batch * caps * classes * out_dim;
+        } else {
+            s.cycles *= batch;
+            s.data_mem_bytes *= batch;
+        }
+    }
+    steps
+}
+
+/// Closed-form timing of a layer-major batched inference pass — the
+/// analytical counterpart of the engine's
+/// [`crate::Accelerator::run_batch`], with the weight-load terms
+/// amortized over the batch.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BatchInferenceTiming {
+    /// Batch size the totals cover.
+    pub batch: u64,
+    /// Conv1 timing for the whole batch.
+    pub conv1: LayerTiming,
+    /// PrimaryCaps timing for the whole batch.
+    pub primary_caps: LayerTiming,
+    /// ClassCaps step-by-step timing for the whole batch.
+    pub class_caps_steps: Vec<RoutingStepTiming>,
+    /// ClassCaps FC weight bytes for the whole batch (not part of a
+    /// [`LayerTiming`], tracked here for the per-image accounting).
+    pub fc_weight_bytes: u64,
+}
+
+impl BatchInferenceTiming {
+    /// Total ClassCaps cycles for the batch.
+    pub fn class_caps_cycles(&self) -> u64 {
+        self.class_caps_steps.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Total cycles for the batch.
+    pub fn total_cycles(&self) -> u64 {
+        self.conv1.cycles + self.primary_caps.cycles + self.class_caps_cycles()
+    }
+
+    /// Amortized cycles per image.
+    pub fn cycles_per_image(&self) -> f64 {
+        self.total_cycles() as f64 / self.batch as f64
+    }
+
+    /// Amortized wall-clock time per image in microseconds.
+    pub fn time_per_image_us(&self, cfg: &AcceleratorConfig) -> f64 {
+        cfg.cycles_to_us(self.total_cycles()) / self.batch as f64
+    }
+
+    /// Amortized weight bytes read per image (conv layers + FC).
+    pub fn weight_bytes_per_image(&self) -> f64 {
+        (self.conv1.weight_bytes + self.primary_caps.weight_bytes + self.fc_weight_bytes) as f64
+            / self.batch as f64
+    }
+}
+
+/// Computes the batched-inference timing: `batch` images through the
+/// layer-major weight-resident schedule.
+///
+/// With `batch == 1` this reduces exactly to [`full_inference`].
+///
+/// # Example
+///
+/// ```
+/// use capsacc_core::{timing, AcceleratorConfig};
+/// use capsacc_capsnet::CapsNetConfig;
+/// let cfg = AcceleratorConfig::paper();
+/// let net = CapsNetConfig::mnist();
+/// let b1 = timing::full_inference_batch(&cfg, &net, 1);
+/// let b16 = timing::full_inference_batch(&cfg, &net, 16);
+/// // 16 images pay for one weight load: fewer cycles per image.
+/// assert!(b16.cycles_per_image() < b1.cycles_per_image());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn full_inference_batch(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    batch: u64,
+) -> BatchInferenceTiming {
+    assert!(batch > 0, "batch must be non-zero");
+    let fc_once =
+        (net.num_primary_caps() * net.num_classes * net.class_caps_dim * net.pc_caps_dim) as u64;
+    let fc_weight_bytes = if cfg.dataflow.weight_reuse {
+        fc_once
+    } else {
+        batch * fc_once
+    };
+    BatchInferenceTiming {
+        batch,
+        conv1: conv_layer_batch("Conv1", &net.conv1_geometry(), true, batch, cfg),
+        primary_caps: primary_caps_layer_batch(net, batch, cfg),
+        class_caps_steps: batch_routing_steps(net, batch, cfg),
+        fc_weight_bytes,
+    }
+}
+
 /// Steady-state batch throughput in inferences per second, assuming the
 /// three layer phases pipeline across consecutive images (each phase's
 /// resources are distinct: the array time-multiplexes, so the bottleneck
@@ -494,7 +712,26 @@ pub fn batch_throughput(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> f64 {
 /// disabled); routing-buffer traffic for couplings, logits and class
 /// capsules per iteration.
 pub fn traffic_estimate(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> crate::TrafficReport {
+    batch_traffic_estimate(cfg, net, 1)
+}
+
+/// Analytical traffic estimate of a layer-major batched pass: weight
+/// reads are charged once per *batch* (the residency amortization),
+/// while everything keyed to per-image state — data streams, the û
+/// staging, all routing traffic — scales linearly with the batch.
+///
+/// With `batch == 1` this is exactly [`traffic_estimate`].
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn batch_traffic_estimate(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    batch: u64,
+) -> crate::TrafficReport {
     use crate::{MemoryKind, TrafficReport};
+    assert!(batch > 0, "batch must be non-zero");
     let mut t = TrafficReport::default();
     let (r, c) = (cfg.rows as u64, cfg.cols as u64);
 
@@ -504,14 +741,20 @@ pub fn traffic_estimate(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> crate::
             k: g.patch_len() as u64,
             n: g.out_ch as u64,
         };
-        let wbytes = matmul_weight_bytes(shape, cfg) + g.out_ch as u64;
+        let biases = if cfg.dataflow.weight_reuse {
+            g.out_ch as u64
+        } else {
+            batch * g.out_ch as u64
+        };
+        let wbytes = batch_matmul_weight_bytes(shape, batch, cfg) + biases;
         t.read(MemoryKind::WeightMemory, wbytes);
         t.read(MemoryKind::WeightBuffer, wbytes);
-        // Every N-tile re-streams all data rows over each K-slice.
+        // Every N-tile re-streams all data rows over each K-slice, for
+        // every image.
         let nn = ceil_div(shape.n, c);
-        t.read(MemoryKind::DataBuffer, nn * shape.m * shape.k);
-        t.read(MemoryKind::DataMemory, g.input_len() as u64);
-        t.write(MemoryKind::DataMemory, g.output_len() as u64);
+        t.read(MemoryKind::DataBuffer, batch * nn * shape.m * shape.k);
+        t.read(MemoryKind::DataMemory, batch * g.input_len() as u64);
+        t.write(MemoryKind::DataMemory, batch * g.output_len() as u64);
     };
     conv(&mut t, &net.conv1_geometry());
     conv(&mut t, &net.primary_caps_geometry());
@@ -523,34 +766,47 @@ pub fn traffic_estimate(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> crate::
     let u_hat_bytes = caps * classes * out_dim;
     let coupling_bytes = caps * classes;
 
-    // FC: each W_ij read once; capsule inputs streamed per N-tile.
-    let fc_weights = caps * classes * out_dim * in_dim;
+    // FC: each W_ij read once per batch (its block stays resident while
+    // every image streams); capsule inputs streamed per N-tile per image.
+    let fc_once = caps * classes * out_dim * in_dim;
+    let fc_weights = if cfg.dataflow.weight_reuse {
+        fc_once
+    } else {
+        batch * fc_once
+    };
     t.read(MemoryKind::WeightMemory, fc_weights);
     t.read(MemoryKind::WeightBuffer, fc_weights);
     t.read(
         MemoryKind::DataBuffer,
-        caps * ceil_div(classes * out_dim, c) * in_dim,
+        batch * caps * ceil_div(classes * out_dim, c) * in_dim,
     );
-    t.write(MemoryKind::DataMemory, u_hat_bytes);
-    // û staged into the Data Buffer once (the Load step).
-    t.read(MemoryKind::DataMemory, u_hat_bytes);
-    t.write(MemoryKind::DataBuffer, u_hat_bytes);
+    t.write(MemoryKind::DataMemory, batch * u_hat_bytes);
+    // û staged into the Data Buffer once per image (the Load step).
+    t.read(MemoryKind::DataMemory, batch * u_hat_bytes);
+    t.write(MemoryKind::DataBuffer, batch * u_hat_bytes);
 
     let iters = net.routing_iterations as u64;
     // Sums: û tiles read from the Data Buffer each iteration; couplings
     // read per iteration. Ceil the capsule chunking like the mapping.
+    // All routing state is per-image, so the batch scales it linearly.
     let sum_tile_reads = classes * ceil_div(caps, r) * r * out_dim.min(c);
-    t.read(MemoryKind::DataBuffer, sum_tile_reads * iters);
-    t.read(MemoryKind::RoutingBuffer, coupling_bytes * iters);
-    t.write(MemoryKind::RoutingBuffer, classes * out_dim * iters);
+    t.read(MemoryKind::DataBuffer, batch * sum_tile_reads * iters);
+    t.read(MemoryKind::RoutingBuffer, batch * coupling_bytes * iters);
+    t.write(MemoryKind::RoutingBuffer, batch * classes * out_dim * iters);
     // Updates: v read, logits updated, couplings rewritten.
-    t.read(MemoryKind::RoutingBuffer, (classes * out_dim) * (iters - 1));
-    t.write(MemoryKind::RoutingBuffer, 2 * coupling_bytes * (iters - 1));
+    t.read(
+        MemoryKind::RoutingBuffer,
+        batch * (classes * out_dim) * (iters - 1),
+    );
+    t.write(
+        MemoryKind::RoutingBuffer,
+        batch * 2 * coupling_bytes * (iters - 1),
+    );
     if !cfg.dataflow.routing_feedback {
         // Re-read û from Data Memory for every later sum and update.
         t.read(
             MemoryKind::DataMemory,
-            u_hat_bytes * (iters - 1 + iters - 1),
+            batch * u_hat_bytes * (iters - 1 + iters - 1),
         );
     }
     t
@@ -788,6 +1044,135 @@ mod tests {
             without.counter(MemoryKind::WeightMemory).read_bytes
                 > 10 * with.counter(MemoryKind::WeightMemory).read_bytes
         );
+    }
+
+    #[test]
+    fn batch_of_one_reduces_to_single_inference() {
+        let c = cfg();
+        let net = CapsNetConfig::mnist();
+        let single = full_inference(&c, &net);
+        let batched = full_inference_batch(&c, &net, 1);
+        assert_eq!(batched.conv1, single.conv1);
+        assert_eq!(batched.primary_caps, single.primary_caps);
+        assert_eq!(batched.class_caps_steps, single.class_caps_steps);
+        assert_eq!(batched.total_cycles(), single.total_cycles());
+        assert_eq!(
+            batch_traffic_estimate(&c, &net, 1),
+            traffic_estimate(&c, &net)
+        );
+    }
+
+    #[test]
+    fn batched_matmul_amortizes_tile_loads() {
+        let c = cfg();
+        let shape = MatmulShape {
+            m: 36,
+            k: 2304,
+            n: 256,
+        };
+        // Residency across the batch: strictly cheaper than N independent
+        // runs, and exactly the M' = B·M schedule.
+        for batch in [2u64, 4, 16] {
+            let b = batch_matmul_cycles(shape, batch, &c);
+            assert!(b < batch * matmul_cycles(shape, &c));
+            assert_eq!(
+                b,
+                matmul_cycles(
+                    MatmulShape {
+                        m: shape.m * batch,
+                        ..shape
+                    },
+                    &c
+                )
+            );
+            // Weight bytes are paid once per batch.
+            assert_eq!(
+                batch_matmul_weight_bytes(shape, batch, &c),
+                matmul_weight_bytes(shape, &c)
+            );
+        }
+        // Without the second weight register there is nothing to hold
+        // resident: the batch degenerates to independent runs.
+        let mut no_reuse = c;
+        no_reuse.dataflow.weight_reuse = false;
+        assert_eq!(
+            batch_matmul_cycles(shape, 8, &no_reuse),
+            8 * matmul_cycles(shape, &no_reuse)
+        );
+        assert_eq!(
+            batch_matmul_weight_bytes(shape, 8, &no_reuse),
+            8 * matmul_weight_bytes(shape, &no_reuse)
+        );
+    }
+
+    #[test]
+    fn batched_primarycaps_amortizes_weight_stream() {
+        // PrimaryCaps moves 5.3 MB of weights, running neck-and-neck
+        // with compute at batch 1. Layer-major batching pays that stream
+        // once per batch, so at batch 16 compute dominates outright and
+        // per-image cycles strictly fall.
+        let c = cfg();
+        let net = CapsNetConfig::mnist();
+        let b1 = primary_caps_layer_batch(&net, 1, &c);
+        let b16 = primary_caps_layer_batch(&net, 16, &c);
+        assert_eq!(b16.weight_stream_cycles, b1.weight_stream_cycles);
+        assert_eq!(b16.weight_bytes, b1.weight_bytes);
+        assert!(b16.compute_cycles > 10 * b16.weight_stream_cycles);
+        assert!((b16.cycles as f64 / 16.0) < b1.cycles as f64);
+    }
+
+    #[test]
+    fn batched_fc_amortizes_weight_stream() {
+        let c = cfg();
+        let net = CapsNetConfig::mnist();
+        let fc = |steps: &[RoutingStepTiming]| {
+            steps
+                .iter()
+                .find(|s| s.step == RoutingStep::Fc)
+                .expect("fc step")
+                .cycles
+        };
+        let b1 = fc(&batch_routing_steps(&net, 1, &c));
+        let b16 = fc(&batch_routing_steps(&net, 16, &c));
+        // The 1.47 MB of W_ij stream once per batch.
+        assert!((b16 as f64 / 16.0) < 0.2 * b1 as f64);
+        // Per-image routing steps scale linearly.
+        let sum1: u64 = batch_routing_steps(&net, 1, &c)
+            .iter()
+            .filter(|s| matches!(s.step, RoutingStep::Sum(_)))
+            .map(|s| s.cycles)
+            .sum();
+        let sum16: u64 = batch_routing_steps(&net, 16, &c)
+            .iter()
+            .filter(|s| matches!(s.step, RoutingStep::Sum(_)))
+            .map(|s| s.cycles)
+            .sum();
+        assert_eq!(sum16, 16 * sum1);
+    }
+
+    #[test]
+    fn batch_traffic_amortizes_weight_memory_only() {
+        let c = cfg();
+        let net = CapsNetConfig::mnist();
+        use crate::MemoryKind;
+        let b1 = batch_traffic_estimate(&c, &net, 1);
+        let b16 = batch_traffic_estimate(&c, &net, 16);
+        // All trainable weights still read exactly once for the batch.
+        assert_eq!(
+            b16.counter(MemoryKind::WeightMemory).read_bytes,
+            b1.counter(MemoryKind::WeightMemory).read_bytes
+        );
+        // Data-side traffic scales with the batch.
+        assert_eq!(
+            b16.counter(MemoryKind::DataMemory).read_bytes,
+            16 * b1.counter(MemoryKind::DataMemory).read_bytes
+        );
+        assert_eq!(
+            b16.counter(MemoryKind::RoutingBuffer).total(),
+            16 * b1.counter(MemoryKind::RoutingBuffer).total()
+        );
+        // Per-image totals therefore fall.
+        assert!(b16.total_bytes_per_image(16) < b1.total_bytes_per_image(1));
     }
 
     #[test]

@@ -107,12 +107,66 @@ impl TrafficReport {
         self.counters.iter().map(TrafficCounter::total).sum()
     }
 
+    /// Returns the difference `self − earlier`, counter by counter: the
+    /// traffic that occurred after `earlier` was snapshotted from the
+    /// same counter stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter of `earlier` exceeds its counterpart in
+    /// `self` (`earlier` is not a prior snapshot).
+    pub fn since(&self, earlier: &TrafficReport) -> TrafficReport {
+        let mut out = TrafficReport::default();
+        for ((o, a), b) in out
+            .counters
+            .iter_mut()
+            .zip(&self.counters)
+            .zip(&earlier.counters)
+        {
+            o.read_bytes = a
+                .read_bytes
+                .checked_sub(b.read_bytes)
+                .expect("snapshot is not a prior state");
+            o.write_bytes = a
+                .write_bytes
+                .checked_sub(b.write_bytes)
+                .expect("snapshot is not a prior state");
+        }
+        out
+    }
+
     /// Merges another report into this one.
     pub fn merge(&mut self, other: &TrafficReport) {
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {
             a.read_bytes += b.read_bytes;
             a.write_bytes += b.write_bytes;
         }
+    }
+
+    /// Amortized bytes (read + write) per image for one storage
+    /// structure, for a report that covers a batch of `batch` images.
+    ///
+    /// This is the metric the batched schedule improves: weight-side
+    /// counters shrink per image as the batch grows, data-side counters
+    /// stay flat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn bytes_per_image(&self, kind: MemoryKind, batch: u64) -> f64 {
+        assert!(batch > 0, "batch must be non-zero");
+        self.counter(kind).total() as f64 / batch as f64
+    }
+
+    /// Amortized total bytes per image across all structures for a
+    /// report covering `batch` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn total_bytes_per_image(&self, batch: u64) -> f64 {
+        assert!(batch > 0, "batch must be non-zero");
+        self.total_bytes() as f64 / batch as f64
     }
 }
 

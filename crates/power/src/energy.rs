@@ -49,6 +49,22 @@ impl EnergyReport {
         self.total_uj() / self.latency_us * 1000.0
     }
 
+    /// Amortized energy per inference in microjoules for a report that
+    /// covers a batch of `batch` inferences (traffic and latency summed
+    /// over the batch).
+    ///
+    /// Batched weight residency shows up directly here: the weight-side
+    /// traffic term is paid once per batch, so energy per inference
+    /// falls as the batch grows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn per_inference_uj(&self, batch: u64) -> f64 {
+        assert!(batch > 0, "batch must be non-zero");
+        self.total_uj() / batch as f64
+    }
+
     /// Breakdown fractions.
     pub fn breakdown(&self) -> Vec<(&'static str, f64)> {
         let total = self.total_uj();

@@ -3,7 +3,7 @@
 //! doctest (the Table I parameter count) must hold through the facade.
 
 use capsacc::capsnet::{CapsNetConfig, CapsNetParams};
-use capsacc::core::{timing, Accelerator, AcceleratorConfig};
+use capsacc::core::{timing, Accelerator, AcceleratorConfig, BatchRun, BatchScheduler};
 use capsacc::fixed::{requantize, Fx8, NumericConfig};
 use capsacc::gpu::GpuModel;
 use capsacc::mnist::{SyntheticMnist, WeightGen};
@@ -37,6 +37,21 @@ fn reexport_paths_resolve_and_interoperate() {
     let _ = Accelerator::new(acc_cfg);
     let report = timing::full_inference(&AcceleratorConfig::paper(), &CapsNetConfig::mnist());
     assert!(report.total_cycles() > 0);
+
+    // core batch subsystem ← capsnet + tensor
+    let image = Tensor::from_fn(&[1, net.input_side, net.input_side], |i| {
+        (i[1] + i[2]) as f32 / 24.0
+    });
+    let mut sched = BatchScheduler::new(acc_cfg);
+    let run: BatchRun = sched.run(&net, &qparams, &[image.clone(), image]);
+    assert_eq!(run.traces.len(), 2);
+    assert_eq!(run.traces[0], run.traces[1]);
+    assert!(run.cycles_per_image() > 0.0);
+    let batched =
+        timing::full_inference_batch(&AcceleratorConfig::paper(), &CapsNetConfig::mnist(), 16);
+    assert!(batched.cycles_per_image() < report.total_cycles() as f64);
+    let _ =
+        timing::batch_traffic_estimate(&AcceleratorConfig::paper(), &CapsNetConfig::mnist(), 16);
 
     // gpu ← capsnet
     assert!(

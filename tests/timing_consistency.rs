@@ -43,6 +43,99 @@ fn engine_matches_serial_formula_across_shapes() {
 }
 
 #[test]
+fn batched_engine_matches_batched_serial_formula() {
+    // The batched closed-form model must agree with the ticked engine
+    // *exactly* wherever their domains overlap: serial tiles, resident
+    // weights, any shape × batch size.
+    let mut cfg = AcceleratorConfig::test_4x4();
+    cfg.dataflow.pipelined_tiles = false;
+    for (m, k, n) in [(1usize, 4usize, 4usize), (3, 9, 7), (5, 17, 3), (2, 5, 13)] {
+        for batch in [1usize, 2, 3, 5, 8] {
+            let mut acc = Accelerator::new(cfg);
+            let before = acc.array_cycles();
+            acc.matmul_batch(
+                batch,
+                &|img, mi, ki| ((img * 11 + mi * 3 + ki) % 50) as i8,
+                &|ki, ni| ((ki + ni * 5) % 60) as i8,
+                m,
+                k,
+                n,
+                None,
+                6,
+                ActivationKind::Identity,
+            );
+            let got = acc.array_cycles() - before;
+            let want = timing::batch_matmul_cycles(
+                timing::MatmulShape {
+                    m: m as u64,
+                    k: k as u64,
+                    n: n as u64,
+                },
+                batch as u64,
+                &cfg,
+            );
+            assert_eq!(
+                got, want,
+                "cycle mismatch for ({m},{k},{n}) × batch {batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_cycles_per_image_decrease_monotonically_at_mnist_scale() {
+    let net = CapsNetConfig::mnist();
+    let cfg = AcceleratorConfig::paper();
+    let mut prev = f64::INFINITY;
+    for batch in [1u64, 2, 4, 8, 16, 32, 64] {
+        let t = timing::full_inference_batch(&cfg, &net, batch);
+        let per_image = t.cycles_per_image();
+        assert!(
+            per_image < prev,
+            "cycles/image must fall with batch size: {per_image} at batch {batch} \
+             vs {prev} before"
+        );
+        prev = per_image;
+    }
+    // And the amortization is material, not marginal: batch 16 beats
+    // batch 1 by more than 15% on cycles and ~16x on weight bytes.
+    let b1 = timing::full_inference_batch(&cfg, &net, 1);
+    let b16 = timing::full_inference_batch(&cfg, &net, 16);
+    assert!(b16.cycles_per_image() < 0.85 * b1.cycles_per_image());
+    assert!(b16.weight_bytes_per_image() * 15.9 < b1.weight_bytes_per_image());
+    assert!((b16.weight_bytes_per_image() - b1.weight_bytes_per_image() / 16.0).abs() < 1.0);
+}
+
+#[test]
+fn batched_engine_and_model_agree_on_amortization_direction() {
+    // Cycle-accurate cross-check at the tiny scale: engine run_batch and
+    // the closed-form batched model must both report falling per-image
+    // cost, and the engine's weight-buffer bytes must amortize exactly
+    // (conv + FC tiles once per batch, routing per image).
+    let net = CapsNetConfig::tiny();
+    let cfg = AcceleratorConfig::test_4x4();
+    let qparams = capsacc::capsnet::CapsNetParams::generate(&net, 1).quantize(cfg.numeric);
+    let images: Vec<capsacc::tensor::Tensor<f32>> = (0..8)
+        .map(|s| {
+            capsacc::tensor::Tensor::from_fn(&[1, 12, 12], |i| {
+                ((i[1] * (s + 2) + i[2]) % 9) as f32 / 9.0
+            })
+        })
+        .collect();
+    let run_at = |b: usize| {
+        let mut sched = capsacc::core::BatchScheduler::new(cfg);
+        sched.run(&net, &qparams, &images[..b])
+    };
+    let b1 = run_at(1);
+    let b8 = run_at(8);
+    assert!(b8.cycles_per_image() < b1.cycles_per_image());
+    assert!(b8.weight_buffer_bytes_per_image() < b1.weight_buffer_bytes_per_image());
+    let m1 = timing::full_inference_batch(&cfg, &net, 1);
+    let m8 = timing::full_inference_batch(&cfg, &net, 8);
+    assert!(m8.cycles_per_image() < m1.cycles_per_image());
+}
+
+#[test]
 fn every_optimization_reduces_or_preserves_total_cycles() {
     let net = CapsNetConfig::mnist();
     let base = AcceleratorConfig::paper();
