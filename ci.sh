@@ -20,6 +20,10 @@ run cargo bench -p capsacc-bench --no-run
 # tiny scale and refreshes BENCH_batch.json so the perf trajectory of
 # the batch path is recorded with every CI run.
 run cargo run --release -q -p capsacc-bench --bin exp_batch
+# Memory design-space smoke run: asserts the IdealMemory equivalence
+# (engine ≡ closed-form memory replay, zero ideal stalls) and the
+# prefetch-recovery bound, and refreshes BENCH_mem.json.
+run cargo run --release -q -p capsacc-bench --bin exp_memdse
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 
 echo

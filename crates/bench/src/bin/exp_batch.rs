@@ -28,12 +28,7 @@ struct Row {
 
 fn mnist_sweep(cfg: &AcceleratorConfig, net: &CapsNetConfig, batches: &[u64]) -> Vec<Row> {
     let model = EnergyModel::cmos_32nm();
-    let macs_per_image = net.conv1_geometry().macs()
-        + net.primary_caps_geometry().macs()
-        + (net.num_primary_caps()
-            * net.num_classes
-            * net.class_caps_dim
-            * (net.pc_caps_dim + 2 * net.routing_iterations - 1)) as u64;
+    let macs_per_image = capsacc_bench::inference_macs(net);
     batches
         .iter()
         .map(|&b| {

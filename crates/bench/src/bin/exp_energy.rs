@@ -8,14 +8,7 @@ use capsacc_capsnet::CapsNetConfig;
 use capsacc_core::{timing, AcceleratorConfig};
 use capsacc_power::EnergyModel;
 
-fn total_macs(net: &CapsNetConfig) -> u64 {
-    let routing = (net.num_primary_caps() * net.num_classes * net.class_caps_dim) as u64;
-    net.conv1_geometry().macs()
-        + net.primary_caps_geometry().macs()
-        + routing * net.pc_caps_dim as u64
-        + routing * net.routing_iterations as u64
-        + routing * (net.routing_iterations as u64 - 1)
-}
+use capsacc_bench::inference_macs as total_macs;
 
 fn main() {
     let net = CapsNetConfig::mnist();

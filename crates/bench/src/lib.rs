@@ -13,6 +13,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// MAC operations of one full inference: the two convolutions, the
+/// ClassCaps FC, and the routing Sum/Update sweeps (`Σ c·û` per
+/// iteration, `û·v` per non-final iteration). Shared by the
+/// energy-reporting experiment binaries so their accounting cannot
+/// drift apart.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_capsnet::CapsNetConfig;
+/// let macs = capsacc_bench::inference_macs(&CapsNetConfig::mnist());
+/// assert!(macs > 100_000_000);
+/// ```
+pub fn inference_macs(net: &capsacc_capsnet::CapsNetConfig) -> u64 {
+    let routing = (net.num_primary_caps() * net.num_classes * net.class_caps_dim) as u64;
+    net.conv1_geometry().macs()
+        + net.primary_caps_geometry().macs()
+        + routing * (net.pc_caps_dim as u64 + 2 * net.routing_iterations as u64 - 1)
+}
+
 /// Prints a fixed-width ASCII table with a title line.
 ///
 /// # Example

@@ -38,6 +38,7 @@
 //! ```
 
 use capsacc_capsnet::{CapsNetConfig, QuantOutput, QuantTrace, QuantizedParams};
+use capsacc_memory::MemReport;
 use capsacc_tensor::{qops::MacStats, Tensor};
 
 use crate::activation::ActivationKind;
@@ -67,6 +68,9 @@ pub struct BatchRun {
     /// (deltas against the accelerator's counters at batch start, so
     /// per-image metrics stay correct on a reused scheduler).
     pub traffic: TrafficReport,
+    /// Memory-hierarchy counters for this batch alone (same delta
+    /// scoping as [`BatchRun::traffic`]).
+    pub memory: MemReport,
     /// Accumulator-unit saturation events during this batch alone.
     pub accumulator_saturations: u64,
     /// Number of images in the batch.
@@ -160,6 +164,7 @@ impl Accelerator {
         // Snapshot the accelerator counters so the returned report
         // covers this batch alone even on a reused scheduler.
         let traffic_at_start = self.traffic;
+        let memory_at_start = self.memory.report();
         let saturations_at_start = self.accumulator_saturations;
         let mut layers = Vec::new();
         let mut stats = vec![MacStats::default(); batch];
@@ -168,13 +173,21 @@ impl Accelerator {
         let g1 = net.conv1_geometry();
         let inputs_q: Vec<Tensor<i8>> =
             images.iter().map(|im| qparams.quantize_image(im)).collect();
-        self.traffic
-            .read(MemoryKind::DataMemory, (batch * g1.input_len()) as u64);
+        // The batch's images arrive over the off-chip channel before the
+        // on-chip Data Memory serves them.
+        let input_bytes = (batch * g1.input_len()) as u64;
+        self.traffic.read(MemoryKind::Dram, input_bytes);
+        self.traffic.read(MemoryKind::DataMemory, input_bytes);
         let c0 = self.array.cycles();
         let a0 = self.activation_cycles;
+        let m0 = self.memory_stall_cycles;
+        self.memory_stall_cycles += self.memory.stage_input(input_bytes);
+        // Biases ride along with the layer's off-chip weight stream.
+        self.traffic.read(MemoryKind::Dram, g1.out_ch as u64);
+        self.memory.stage_bias(g1.out_ch as u64);
         let inputs_ref = &inputs_q;
         let w1 = &qparams.conv1_w;
-        let (conv1_mns, conv1_sats) = self.matmul_batch(
+        let (conv1_mns, conv1_sats) = self.matmul_batch_inner(
             batch,
             &|img, mi, ki| inputs_ref[img].data()[g1.input_index(mi, ki)],
             &|ki, oc| w1.data()[oc * g1.patch_len() + ki],
@@ -184,6 +197,7 @@ impl Accelerator {
             Some(&qparams.conv1_b),
             ncfg.mac_shift(),
             ActivationKind::Relu,
+            true,
         );
         let conv1_outs: Vec<Tensor<i8>> = conv1_mns.iter().map(|mn| to_chw(mn, &g1)).collect();
         self.traffic
@@ -196,15 +210,19 @@ impl Accelerator {
             name: "Conv1",
             array_cycles: self.array.cycles() - c0,
             activation_cycles: self.activation_cycles - a0,
+            memory_stall_cycles: self.memory_stall_cycles - m0,
         });
 
         // ------------------------------------------- PrimaryCaps + squash
         let gp = net.primary_caps_geometry();
         let c0 = self.array.cycles();
         let a0 = self.activation_cycles;
+        let m0 = self.memory_stall_cycles;
+        self.traffic.read(MemoryKind::Dram, gp.out_ch as u64);
+        self.memory.stage_bias(gp.out_ch as u64);
         let conv1_ref = &conv1_outs;
         let wp = &qparams.pc_w;
-        let (pc_mns, pc_sats) = self.matmul_batch(
+        let (pc_mns, pc_sats) = self.matmul_batch_inner(
             batch,
             &|img, mi, ki| conv1_ref[img].data()[gp.input_index(mi, ki)],
             &|ki, oc| wp.data()[oc * gp.patch_len() + ki],
@@ -214,6 +232,7 @@ impl Accelerator {
             Some(&qparams.pc_b),
             ncfg.mac_shift(),
             ActivationKind::Identity,
+            true,
         );
         let pc_outs: Vec<Tensor<i8>> = pc_mns.iter().map(|mn| to_chw(mn, &gp)).collect();
         let capsules: Vec<Tensor<i8>> = pc_outs
@@ -230,6 +249,7 @@ impl Accelerator {
             name: "PrimaryCaps",
             array_cycles: self.array.cycles() - c0,
             activation_cycles: self.activation_cycles - a0,
+            memory_stall_cycles: self.memory_stall_cycles - m0,
         });
 
         // ------------------------------------------------ ClassCaps: Load
@@ -241,6 +261,7 @@ impl Accelerator {
         );
         let u_hat_bytes = (in_caps * classes * out_dim) as u64;
         let mut steps = Vec::new();
+        let m0 = self.memory_stall_cycles;
         self.traffic
             .read(MemoryKind::DataMemory, batch as u64 * u_hat_bytes);
         self.traffic
@@ -262,7 +283,7 @@ impl Accelerator {
             .map(|_| Tensor::zeros(&[in_caps, classes, out_dim]))
             .collect();
         for cap in 0..in_caps {
-            let (fc, fc_sats) = self.matmul_batch(
+            let (fc, fc_sats) = self.matmul_batch_inner(
                 batch,
                 &|img, _mi, d| caps_ref[img].data()[cap * in_dim + d],
                 &|d, col| {
@@ -275,6 +296,7 @@ impl Accelerator {
                 None,
                 ncfg.mac_shift(),
                 ActivationKind::Identity,
+                true,
             );
             for (img, row) in fc.iter().enumerate() {
                 u_hats[img].data_mut()[cap * classes * out_dim..(cap + 1) * classes * out_dim]
@@ -331,6 +353,7 @@ impl Accelerator {
             name: "ClassCaps",
             array_cycles: class_caps_cycles,
             activation_cycles: 0,
+            memory_stall_cycles: self.memory_stall_cycles - m0,
         });
 
         BatchRun {
@@ -338,6 +361,7 @@ impl Accelerator {
             layers,
             steps,
             traffic: self.traffic.since(&traffic_at_start),
+            memory: self.memory.report().since(&memory_at_start),
             accumulator_saturations: self.accumulator_saturations - saturations_at_start,
             batch,
         }

@@ -1,6 +1,7 @@
 //! Accelerator configuration.
 
 use capsacc_fixed::NumericConfig;
+use capsacc_memory::MemoryConfig;
 
 /// Dataflow policy switches — each corresponds to one of the paper's
 /// data-reuse mechanisms, and each can be disabled for ablation studies.
@@ -84,6 +85,12 @@ pub struct AcceleratorConfig {
     pub numeric: NumericConfig,
     /// Dataflow policy switches.
     pub dataflow: DataflowOptions,
+    /// Memory-hierarchy model (`capsacc-memory`). Defaults to
+    /// [`MemoryConfig::ideal`] — "IdealMemory", which keeps every cycle
+    /// count and trace identical to the pre-hierarchy engine; switch to
+    /// [`MemoryConfig::paper`] (or a swept point) for contention- and
+    /// DRAM-accurate timing.
+    pub memory: MemoryConfig,
 }
 
 impl AcceleratorConfig {
@@ -103,6 +110,7 @@ impl AcceleratorConfig {
             activation_units: 16,
             numeric: NumericConfig::default(),
             dataflow: DataflowOptions::default(),
+            memory: MemoryConfig::ideal(),
         }
     }
 
@@ -153,6 +161,7 @@ impl AcceleratorConfig {
         if self.activation_units == 0 {
             return Err("at least one activation unit required".into());
         }
+        self.memory.validate()?;
         self.numeric.validate()
     }
 }

@@ -19,6 +19,7 @@ use capsacc_capsnet::{
     primary_capsules, CapsNetConfig, QuantPipeline, QuantTrace, QuantizedParams,
     RoutingIterationTrace, RoutingVariant,
 };
+use capsacc_memory::{MatmulGeometry, MemReport, MemorySubsystem, TileSchedule};
 use capsacc_tensor::Tensor;
 
 use crate::accumulator::AccumulatorUnit;
@@ -37,12 +38,15 @@ pub struct LayerRun {
     pub array_cycles: u64,
     /// Activation-unit cycles consumed.
     pub activation_cycles: u64,
+    /// Cycles stalled on the memory hierarchy (bank conflicts + exposed
+    /// DRAM fills). Always zero under the `IdealMemory` configuration.
+    pub memory_stall_cycles: u64,
 }
 
 impl LayerRun {
     /// Total cycles of this layer.
     pub fn cycles(&self) -> u64 {
-        self.array_cycles + self.activation_cycles
+        self.array_cycles + self.activation_cycles + self.memory_stall_cycles
     }
 }
 
@@ -58,6 +62,9 @@ pub struct InferenceRun {
     pub steps: Vec<(RoutingStep, u64)>,
     /// Traffic across all memories and buffers during this run.
     pub traffic: TrafficReport,
+    /// Memory-hierarchy report for this run (stall decomposition,
+    /// on-chip/off-chip split, per-SPM activity).
+    pub memory: MemReport,
     /// Accumulator-unit saturation events during this run (zero in
     /// correct operation).
     pub accumulator_saturations: u64,
@@ -90,7 +97,9 @@ pub struct Accelerator {
     pub(crate) array: SystolicArray,
     pub(crate) activation: ActivationUnit,
     pub(crate) traffic: TrafficReport,
+    pub(crate) memory: MemorySubsystem,
     pub(crate) activation_cycles: u64,
+    pub(crate) memory_stall_cycles: u64,
     pub(crate) accumulator_saturations: u64,
 }
 
@@ -125,7 +134,9 @@ impl Accelerator {
             array: SystolicArray::new(cfg.rows, cfg.cols),
             activation: ActivationUnit::new(QuantPipeline::new(cfg.numeric)),
             traffic: TrafficReport::default(),
+            memory: MemorySubsystem::new(cfg.memory),
             activation_cycles: 0,
+            memory_stall_cycles: 0,
             accumulator_saturations: 0,
             cfg,
         }
@@ -149,6 +160,17 @@ impl Accelerator {
     /// Traffic counters.
     pub fn traffic(&self) -> &TrafficReport {
         &self.traffic
+    }
+
+    /// Memory-hierarchy stall cycles accounted so far (zero under
+    /// `IdealMemory`).
+    pub fn memory_stall_cycles(&self) -> u64 {
+        self.memory_stall_cycles
+    }
+
+    /// Cumulative memory-hierarchy counters.
+    pub fn memory_report(&self) -> MemReport {
+        self.memory.report()
     }
 
     /// Executes a tiled `M × K × N` matmul on the array: weights are
@@ -228,11 +250,65 @@ impl Accelerator {
         shift: u32,
         kind: ActivationKind,
     ) -> (Vec<Tensor<i8>>, Vec<u64>) {
+        self.matmul_batch_inner(batch, data, weight, m, k, n, bias, shift, kind, false)
+    }
+
+    /// The shared tiled-matmul implementation. `weights_offchip` marks
+    /// the weight operand as DRAM-resident (the network's parameter
+    /// layers): its tiles then stream through the memory hierarchy's
+    /// double-buffered prefetcher and are charged to the off-chip
+    /// counters. On-chip operands (routing's `û`/`v_j`, and every weight
+    /// through the public [`Accelerator::matmul_batch`]) touch only the
+    /// scratchpads.
+    ///
+    /// The memory hierarchy never changes functional results and never
+    /// touches the ticked array: its stalls accumulate separately in
+    /// `memory_stall_cycles`, and are identically zero under
+    /// `IdealMemory`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn matmul_batch_inner(
+        &mut self,
+        batch: usize,
+        data: &dyn Fn(usize, usize, usize) -> i8,
+        weight: &dyn Fn(usize, usize) -> i8,
+        m: usize,
+        k: usize,
+        n: usize,
+        bias: Option<&[i32]>,
+        shift: u32,
+        kind: ActivationKind,
+        weights_offchip: bool,
+    ) -> (Vec<Tensor<i8>>, Vec<u64>) {
         assert!(batch > 0, "batch must be non-empty");
         if let Some(b) = bias {
             assert!(b.len() >= n, "bias shorter than output width");
         }
         let (rows, cols) = (self.cfg.rows, self.cfg.cols);
+        debug_assert!(
+            rows * cols <= self.cfg.weight_buffer_bytes,
+            "a {rows}x{cols} weight tile exceeds the {} B Weight Buffer",
+            self.cfg.weight_buffer_bytes
+        );
+        // The whole matmul's tile schedule through the memory hierarchy
+        // — the same deterministic replay the closed-form model uses
+        // (`timing::matmul_mem_stalls`), so engine and model agree
+        // exactly by construction.
+        self.memory_stall_cycles += self.memory.matmul(&MatmulGeometry {
+            m,
+            k,
+            n,
+            batch,
+            rows,
+            cols,
+            weights_offchip,
+            // The ticked engine executes tiles serially; its windows
+            // are the serial schedule regardless of the dataflow flag.
+            schedule: TileSchedule::Serial,
+        });
+        if weights_offchip {
+            // Each weight crosses the off-chip channel once per batch.
+            self.traffic.read(MemoryKind::Dram, (k * n) as u64);
+        }
         let mut outs: Vec<Tensor<i8>> = (0..batch).map(|_| Tensor::zeros(&[m, n])).collect();
         let mut saturations = vec![0u64; batch];
 
@@ -518,6 +594,7 @@ impl Accelerator {
             layers: run.layers,
             steps: run.steps,
             traffic: run.traffic,
+            memory: run.memory,
             accumulator_saturations: run.accumulator_saturations,
         }
     }

@@ -18,6 +18,15 @@
 //!   benchmark harness at MNIST scale; unit tests assert it agrees with
 //!   the cycle-accurate engine exactly on small workloads.
 //!
+//! Behind both sits the **memory hierarchy** of `capsacc-memory`:
+//! banked Data/Weight/Accumulator scratchpads, an off-chip DRAM channel
+//! and a double-buffered tile prefetcher. Tile loads are
+//! contention-accurate memory transactions; the engine and the
+//! closed-form model drive the same [`MemorySubsystem`] replay, so their
+//! stall accounting agrees exactly. The default
+//! [`MemoryConfig::ideal`] ("IdealMemory") keeps every pre-hierarchy
+//! cycle count and trace bit-exact.
+//!
 //! Both models come in a single-inference and a **batched** form: the
 //! [`batch`] subsystem ([`BatchScheduler`] /
 //! [`engine::Accelerator::run_batch`] /
@@ -59,12 +68,17 @@ mod traffic;
 pub use accumulator::AccumulatorUnit;
 pub use activation::{ActivationKind, ActivationUnit};
 pub use batch::{BatchRun, BatchScheduler};
+pub use capsacc_memory::{
+    DramConfig, MatmulGeometry, MemReport, MemoryConfig, MemoryMode, MemorySubsystem, SpmActivity,
+    SpmConfig, SpmKind, TileSchedule,
+};
 pub use config::{AcceleratorConfig, DataflowOptions};
 pub use control::{ControlOp, ControlUnit, DataSource, Program, WeightSource};
 pub use engine::{Accelerator, InferenceRun, LayerRun};
 pub use pe::{Pe, PeControl, PeInput, PeOutput, WeightSelect};
 pub use systolic::SystolicArray;
 pub use timing::{
-    BatchInferenceTiming, InferenceTiming, LayerTiming, RoutingStep, RoutingStepTiming,
+    BatchInferenceTiming, InferenceTiming, LayerTiming, MemInferenceTiming, RoutingStep,
+    RoutingStepTiming,
 };
 pub use traffic::{MemoryKind, TrafficCounter, TrafficReport};

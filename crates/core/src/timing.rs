@@ -20,6 +20,7 @@
 //! the one layer where the GPU keeps an edge, Fig. 16).
 
 use capsacc_capsnet::CapsNetConfig;
+use capsacc_memory::{MatmulGeometry, MemReport, MemorySubsystem, TileSchedule};
 use capsacc_tensor::ConvGeometry;
 
 use crate::activation::ActivationUnit;
@@ -40,6 +41,27 @@ fn ceil_div(a: u64, b: u64) -> u64 {
     a.div_ceil(b)
 }
 
+/// Whether consecutive tiles can actually pipeline: the dataflow switch
+/// must be on **and** the Weight Buffer must hold two tiles (the double
+/// buffer the overlap physically needs). Undersized buffers silently
+/// degrade to the serial schedule instead of assuming free overlap —
+/// tile-load cycles are *not* independent of buffer capacity.
+fn tiles_pipeline(cfg: &AcceleratorConfig) -> bool {
+    cfg.dataflow.pipelined_tiles && 2 * cfg.rows * cfg.cols <= cfg.weight_buffer_bytes
+}
+
+/// Asserts (in debug builds) that a single weight tile fits its buffer —
+/// no schedule can hide a tile that cannot be resident at all.
+fn debug_assert_tile_fits(cfg: &AcceleratorConfig) {
+    debug_assert!(
+        cfg.rows * cfg.cols <= cfg.weight_buffer_bytes,
+        "a {}x{} weight tile exceeds the {} B Weight Buffer",
+        cfg.rows,
+        cfg.cols,
+        cfg.weight_buffer_bytes
+    );
+}
+
 /// Cycles to execute one `M × K × N` matmul with the configured dataflow.
 ///
 /// With `pipelined_tiles`, consecutive K-tiles of one N-tile stream
@@ -51,7 +73,14 @@ fn ceil_div(a: u64, b: u64) -> u64 {
 /// With `weight_reuse` disabled (ablation), the resident weight register
 /// is not used and the tile weights are re-loaded before *every* data
 /// row.
+///
+/// Buffer capacity is threaded through the schedule: pipelining needs a
+/// double-buffered tile in the Weight Buffer, so when `2·R·C` bytes do
+/// not fit the formula falls back to the serial schedule (and a debug
+/// assertion rejects configurations whose single tile cannot fit at
+/// all).
 pub fn matmul_cycles(shape: MatmulShape, cfg: &AcceleratorConfig) -> u64 {
+    debug_assert_tile_fits(cfg);
     let (r, c) = (cfg.rows as u64, cfg.cols as u64);
     let kk = ceil_div(shape.k, r).max(1);
     let nn = ceil_div(shape.n, c).max(1);
@@ -62,7 +91,7 @@ pub fn matmul_cycles(shape: MatmulShape, cfg: &AcceleratorConfig) -> u64 {
         // disabled, so each row pays a full load.
         return nn * kk * (m * load + (m + r + c));
     }
-    if cfg.dataflow.pipelined_tiles {
+    if tiles_pipeline(cfg) {
         // Initial load, then back-to-back K-tiles; each subsequent tile
         // is gated by max(data streaming, weight reload); one drain.
         nn * (load + m + (kk - 1) * m.max(load) + (r + c))
@@ -289,7 +318,7 @@ pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<Routin
     let fc_weight_bytes = caps * classes * out_dim * in_dim;
     let fc_shape_tiles = caps * ceil_div(classes * out_dim, cfg.cols as u64);
     let load = cfg.rows as u64 + 1;
-    let fc_compute = if cfg.dataflow.pipelined_tiles {
+    let fc_compute = if tiles_pipeline(cfg) {
         load + 1 + (fc_shape_tiles - 1) * 1u64.max(load) + (cfg.rows + cfg.cols) as u64
     } else {
         fc_shape_tiles * (load + 1 + (cfg.rows + cfg.cols) as u64)
@@ -323,7 +352,7 @@ pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<Routin
         // with the coupling row streamed (M = 1).
         let chunks = ceil_div(caps, cfg.rows as u64);
         let ntiles = ceil_div(out_dim, cfg.cols as u64);
-        let per_class = if cfg.dataflow.pipelined_tiles {
+        let per_class = if tiles_pipeline(cfg) {
             ntiles * (load + 1 + (chunks - 1) * 1u64.max(load) + (cfg.rows + cfg.cols) as u64)
         } else {
             ntiles * chunks * (load + 1 + (cfg.rows + cfg.cols) as u64)
@@ -571,7 +600,7 @@ pub fn batch_routing_steps(
             let fc_tiles = caps * ceil_div(classes * out_dim, cfg.cols as u64);
             let load = cfg.rows as u64 + 1;
             // M = batch rows per capsule-tile instead of 1.
-            let fc_compute = if cfg.dataflow.pipelined_tiles {
+            let fc_compute = if tiles_pipeline(cfg) {
                 load + batch + (fc_tiles - 1) * batch.max(load) + (cfg.rows + cfg.cols) as u64
             } else {
                 fc_tiles * (load + batch + (cfg.rows + cfg.cols) as u64)
@@ -749,6 +778,10 @@ pub fn batch_traffic_estimate(
         let wbytes = batch_matmul_weight_bytes(shape, batch, cfg) + biases;
         t.read(MemoryKind::WeightMemory, wbytes);
         t.read(MemoryKind::WeightBuffer, wbytes);
+        // Off chip, each weight and bias crosses the DRAM channel once
+        // per batch (the engine's prefetcher fetches every tile exactly
+        // once; biases ride along with the layer's stream).
+        t.read(MemoryKind::Dram, shape.k * shape.n + g.out_ch as u64);
         // Every N-tile re-streams all data rows over each K-slice, for
         // every image.
         let nn = ceil_div(shape.n, c);
@@ -756,6 +789,11 @@ pub fn batch_traffic_estimate(
         t.read(MemoryKind::DataMemory, batch * g.input_len() as u64);
         t.write(MemoryKind::DataMemory, batch * g.output_len() as u64);
     };
+    // Input images are staged from DRAM once per image.
+    t.read(
+        MemoryKind::Dram,
+        batch * net.conv1_geometry().input_len() as u64,
+    );
     conv(&mut t, &net.conv1_geometry());
     conv(&mut t, &net.primary_caps_geometry());
 
@@ -776,6 +814,7 @@ pub fn batch_traffic_estimate(
     };
     t.read(MemoryKind::WeightMemory, fc_weights);
     t.read(MemoryKind::WeightBuffer, fc_weights);
+    t.read(MemoryKind::Dram, fc_once);
     t.read(
         MemoryKind::DataBuffer,
         batch * caps * ceil_div(classes * out_dim, c) * in_dim,
@@ -810,6 +849,212 @@ pub fn batch_traffic_estimate(
         );
     }
     t
+}
+
+// ---------------------------------------------------------------------
+// Memory-aware model: the closed-form counterpart of the engine's
+// memory hierarchy. Both sides drive the same `MemorySubsystem` tile
+// replay from `capsacc-memory`, so their stall accounting agrees
+// *exactly* — asserted against the ticked engine on serial tiny configs
+// by `tests/memory_equivalence.rs`.
+
+fn geometry(
+    shape: MatmulShape,
+    batch: u64,
+    cfg: &AcceleratorConfig,
+    weights_offchip: bool,
+) -> MatmulGeometry {
+    MatmulGeometry {
+        m: shape.m as usize,
+        k: shape.k as usize,
+        n: shape.n as usize,
+        batch: batch as usize,
+        rows: cfg.rows,
+        cols: cfg.cols,
+        weights_offchip,
+        // The fill-hiding window per tile must match the base schedule
+        // this model adds stalls to (the engine always passes Serial).
+        schedule: if !cfg.dataflow.weight_reuse {
+            TileSchedule::ReloadPerRow
+        } else if tiles_pipeline(cfg) {
+            TileSchedule::Pipelined
+        } else {
+            TileSchedule::Serial
+        },
+    }
+}
+
+/// Memory-hierarchy stall cycles of one batched matmul under
+/// `cfg.memory`, with per-tile fill-hiding windows matching the
+/// configured tile schedule. On serial-tile, reuse-enabled
+/// configurations (`dataflow.pipelined_tiles == false`,
+/// `dataflow.weight_reuse == true`) this is exactly what the engine's
+/// [`crate::Accelerator::matmul_batch`] adds to its stall counter for
+/// the same shape — the ticked engine executes tiles serially and, like
+/// [`batch_matmul_cycles`], always simulates the real design point with
+/// the second weight register present, so the `weight_reuse` ablation's
+/// [`TileSchedule::ReloadPerRow`] windows are analytical-only. Zero
+/// under `IdealMemory` either way.
+pub fn matmul_mem_stalls(
+    shape: MatmulShape,
+    batch: u64,
+    cfg: &AcceleratorConfig,
+    weights_offchip: bool,
+) -> u64 {
+    MemorySubsystem::new(cfg.memory).matmul(&geometry(shape, batch, cfg, weights_offchip))
+}
+
+/// Memory-aware batched inference timing: the ideal-memory closed-form
+/// model plus the hierarchy's stalls, layer by layer.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MemInferenceTiming {
+    /// The ideal-memory timing the stalls are added on top of.
+    pub base: BatchInferenceTiming,
+    /// Conv1 stalls (input staging + conv tile transactions).
+    pub conv1_stall_cycles: u64,
+    /// PrimaryCaps stalls.
+    pub primary_caps_stall_cycles: u64,
+    /// ClassCaps stalls (FC weight prefetch + routing operand bursts).
+    pub class_caps_stall_cycles: u64,
+    /// The full memory-hierarchy report of the replay.
+    pub report: MemReport,
+}
+
+impl MemInferenceTiming {
+    /// Total cycles for the batch including memory stalls.
+    pub fn total_cycles(&self) -> u64 {
+        self.base.total_cycles() + self.report.stall_cycles
+    }
+
+    /// Amortized cycles per image including memory stalls.
+    pub fn cycles_per_image(&self) -> f64 {
+        self.total_cycles() as f64 / self.base.batch as f64
+    }
+
+    /// Fraction of the total cycles lost to the memory hierarchy.
+    pub fn stall_fraction(&self) -> f64 {
+        self.report.stall_cycles as f64 / self.total_cycles() as f64
+    }
+}
+
+/// Replays the exact sequence of memory transactions the engine's
+/// `run_batch` issues — input staging, the two convolutions, the
+/// per-capsule FC and every per-image routing matmul — through one
+/// [`MemorySubsystem`].
+fn replay_inference_memory(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    batch: u64,
+) -> (MemReport, [u64; 3]) {
+    let mut mem = MemorySubsystem::new(cfg.memory);
+    let g1 = net.conv1_geometry();
+    let gp = net.primary_caps_geometry();
+    let (caps, classes) = (net.num_primary_caps(), net.num_classes);
+    let (in_dim, out_dim) = (net.pc_caps_dim, net.class_caps_dim);
+
+    let conv_shape = |g: &ConvGeometry| MatmulShape {
+        m: g.patches() as u64,
+        k: g.patch_len() as u64,
+        n: g.out_ch as u64,
+    };
+    // Many of run_batch's transactions are identical repeats (one FC
+    // matmul per input capsule, one Sum/Update matmul per class per
+    // iteration per image). Each repeat restarts the prefetch timeline,
+    // so replaying the geometry once and scaling its delta is
+    // bit-identical to looping — and far cheaper inside a DSE sweep.
+    let repeat = |mem: &mut MemorySubsystem, g: &MatmulGeometry, count: u64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let before = mem.report();
+        let one = mem.matmul(g);
+        mem.charge(&mem.report().since(&before).scaled(count - 1));
+        one * count
+    };
+
+    let conv1 = mem.stage_input(batch * g1.input_len() as u64)
+        + mem.matmul(&geometry(conv_shape(&g1), batch, cfg, true));
+    mem.stage_bias(g1.out_ch as u64);
+    let primary = mem.matmul(&geometry(conv_shape(&gp), batch, cfg, true));
+    mem.stage_bias(gp.out_ch as u64);
+
+    let fc_shape = MatmulShape {
+        m: 1,
+        k: in_dim as u64,
+        n: (classes * out_dim) as u64,
+    };
+    let mut class_caps = repeat(&mut mem, &geometry(fc_shape, batch, cfg, true), caps as u64);
+    // Routing operates on per-image on-chip state through the exact
+    // sequential code path: per class, Sum streams the coupling row
+    // against resident û tiles; Update streams every û row against the
+    // resident v_j column.
+    let sum_shape = MatmulShape {
+        m: 1,
+        k: caps as u64,
+        n: out_dim as u64,
+    };
+    let update_shape = MatmulShape {
+        m: caps as u64,
+        k: out_dim as u64,
+        n: 1,
+    };
+    let iters = net.routing_iterations as u64;
+    class_caps += repeat(
+        &mut mem,
+        &geometry(sum_shape, 1, cfg, false),
+        batch * iters * classes as u64,
+    );
+    class_caps += repeat(
+        &mut mem,
+        &geometry(update_shape, 1, cfg, false),
+        batch * (iters - 1) * classes as u64,
+    );
+    (mem.report(), [conv1, primary, class_caps])
+}
+
+/// Memory-aware batched inference timing under `cfg.memory`: the
+/// ideal-memory closed form plus an exact replay of the engine's memory
+/// transactions. With `MemoryConfig::ideal()` (the default) this is
+/// [`full_inference_batch`] with zero stalls.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_core::{timing, AcceleratorConfig, MemoryConfig};
+/// use capsacc_capsnet::CapsNetConfig;
+/// let net = CapsNetConfig::mnist();
+/// let ideal = AcceleratorConfig::paper();
+/// let mut finite = ideal;
+/// finite.memory = MemoryConfig::paper();
+/// let t_ideal = timing::full_inference_batch_mem(&ideal, &net, 16);
+/// let t_finite = timing::full_inference_batch_mem(&finite, &net, 16);
+/// assert_eq!(t_ideal.report.stall_cycles, 0);
+/// assert!(t_finite.total_cycles() > t_ideal.total_cycles());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn full_inference_batch_mem(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    batch: u64,
+) -> MemInferenceTiming {
+    let base = full_inference_batch(cfg, net, batch);
+    let (report, [conv1, primary, class_caps]) = replay_inference_memory(cfg, net, batch);
+    MemInferenceTiming {
+        base,
+        conv1_stall_cycles: conv1,
+        primary_caps_stall_cycles: primary,
+        class_caps_stall_cycles: class_caps,
+        report,
+    }
+}
+
+/// Memory-aware single-inference timing: [`full_inference_batch_mem`]
+/// with a batch of one.
+pub fn full_inference_mem(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> MemInferenceTiming {
+    full_inference_batch_mem(cfg, net, 1)
 }
 
 #[cfg(test)]
@@ -1173,6 +1418,72 @@ mod tests {
         );
         // Per-image totals therefore fall.
         assert!(b16.total_bytes_per_image(16) < b1.total_bytes_per_image(1));
+    }
+
+    #[test]
+    fn undersized_weight_buffer_disables_pipelining() {
+        // A buffer that holds one tile but not two cannot double-buffer:
+        // the pipelined schedule must fall back to the serial one.
+        let mut c = cfg();
+        c.rows = 4;
+        c.cols = 4;
+        c.weight_buffer_bytes = 24; // 16 B tile fits, 32 B double buffer does not
+        let shape = MatmulShape { m: 5, k: 16, n: 8 };
+        let mut serial = c;
+        serial.dataflow.pipelined_tiles = false;
+        assert_eq!(matmul_cycles(shape, &c), matmul_cycles(shape, &serial));
+        // With room for the double buffer, pipelining resumes.
+        c.weight_buffer_bytes = 32;
+        assert!(matmul_cycles(shape, &c) < matmul_cycles(shape, &serial));
+    }
+
+    #[test]
+    fn ideal_memory_model_adds_no_stalls() {
+        let net = CapsNetConfig::mnist();
+        for batch in [1u64, 4, 16] {
+            let t = full_inference_batch_mem(&cfg(), &net, batch);
+            assert_eq!(t.report.stall_cycles, 0);
+            assert_eq!(
+                t.total_cycles(),
+                full_inference_batch(&cfg(), &net, batch).total_cycles()
+            );
+            assert_eq!(t.stall_fraction(), 0.0);
+            // The off-chip split is still counted: every parameter byte
+            // (weights + biases) once per batch, inputs once per image.
+            assert_eq!(t.report.dram_weight_bytes, net.total_parameters() as u64);
+            assert_eq!(
+                t.report.dram_data_bytes,
+                batch * net.conv1_geometry().input_len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn finite_memory_model_stalls_and_prefetch_recovers() {
+        let net = CapsNetConfig::mnist();
+        let mut finite = cfg();
+        finite.memory = crate::MemoryConfig::paper();
+        let mut naive = finite;
+        naive.memory.prefetch_buffers = 1;
+        let ideal = full_inference_batch_mem(&cfg(), &net, 16);
+        let t = full_inference_batch_mem(&finite, &net, 16);
+        let t_naive = full_inference_batch_mem(&naive, &net, 16);
+        assert!(t.report.stall_cycles > 0);
+        assert!(t.total_cycles() > ideal.total_cycles());
+        assert!(t_naive.report.stall_cycles > t.report.stall_cycles);
+        // The acceptance anchor: double buffering recovers at least half
+        // of the naive (no-prefetch) stall cycles at batch 16.
+        assert!(
+            2 * t.report.stall_cycles <= t_naive.report.stall_cycles,
+            "prefetch recovered too little: {} vs naive {}",
+            t.report.stall_cycles,
+            t_naive.report.stall_cycles
+        );
+        // Per-layer stalls decompose the total.
+        assert_eq!(
+            t.conv1_stall_cycles + t.primary_caps_stall_cycles + t.class_caps_stall_cycles,
+            t.report.stall_cycles
+        );
     }
 
     #[test]

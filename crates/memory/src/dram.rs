@@ -1,0 +1,104 @@
+//! The off-chip DRAM channel.
+
+/// Static configuration of the DRAM channel feeding the on-chip
+/// hierarchy: a fixed access latency, a streaming bandwidth, and a burst
+/// granularity (transfers are rounded up to whole bursts, the CapStore
+/// off-chip model).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DramConfig {
+    /// Cycles from request to first data beat.
+    pub latency_cycles: u64,
+    /// Streaming bandwidth in bytes per accelerator cycle.
+    pub bytes_per_cycle: u64,
+    /// Burst granularity in bytes (transfers round up to this).
+    pub burst_bytes: u64,
+}
+
+impl DramConfig {
+    /// Cycles to transfer `bytes` over the channel: the fixed latency
+    /// plus the burst-rounded streaming time. Zero bytes cost zero
+    /// cycles (no transaction is issued).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use capsacc_memory::DramConfig;
+    /// let d = DramConfig { latency_cycles: 100, bytes_per_cycle: 16, burst_bytes: 64 };
+    /// assert_eq!(d.transfer_cycles(0), 0);
+    /// // 100 + ceil(roundup(100, 64) / 16) = 100 + 8.
+    /// assert_eq!(d.transfer_cycles(100), 108);
+    /// ```
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let burst_rounded = bytes.div_ceil(self.burst_bytes) * self.burst_bytes;
+        self.latency_cycles + burst_rounded.div_ceil(self.bytes_per_cycle)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint (zero
+    /// bandwidth or burst size).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bytes_per_cycle == 0 || self.burst_bytes == 0 {
+            return Err("DRAM bandwidth and burst size must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transfer_is_latency_plus_burst_rounded_stream() {
+        let d = DramConfig {
+            latency_cycles: 50,
+            bytes_per_cycle: 8,
+            burst_bytes: 32,
+        };
+        assert_eq!(d.transfer_cycles(1), 50 + 4);
+        assert_eq!(d.transfer_cycles(32), 50 + 4);
+        assert_eq!(d.transfer_cycles(33), 50 + 8);
+    }
+
+    #[test]
+    fn validation() {
+        let mut d = DramConfig {
+            latency_cycles: 0,
+            bytes_per_cycle: 8,
+            burst_bytes: 32,
+        };
+        assert!(d.validate().is_ok());
+        d.bytes_per_cycle = 0;
+        assert!(d.validate().is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Transfers are monotone in latency and in byte count, and a
+        /// wider channel never slows one down.
+        #[test]
+        fn transfer_cycles_monotone(
+            latency in 0u64..500,
+            bpc in 1u64..64,
+            burst in 1u64..128,
+            bytes in 0u64..100_000,
+        ) {
+            let d = DramConfig { latency_cycles: latency, bytes_per_cycle: bpc, burst_bytes: burst };
+            let slower = DramConfig { latency_cycles: latency + 7, ..d };
+            let wider = DramConfig { bytes_per_cycle: bpc * 2, ..d };
+            if bytes > 0 {
+                prop_assert!(slower.transfer_cycles(bytes) > d.transfer_cycles(bytes));
+            }
+            prop_assert!(wider.transfer_cycles(bytes) <= d.transfer_cycles(bytes));
+            prop_assert!(d.transfer_cycles(bytes + 1) >= d.transfer_cycles(bytes));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Banked scratchpad memories (SPMs).
+//!
+//! Each of the accelerator's working buffers (Data / Weight /
+//! Accumulator) is a scratchpad built from `banks` independent banks of
+//! `bank_bytes()` each, word-interleaved at `word_bytes` granularity,
+//! with `ports_per_bank` single-word ports per bank — the DESCNet-style
+//! organization where every bank is also a power-gating sector.
+
+/// Static configuration of one scratchpad memory.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_memory::SpmConfig;
+/// let spm = SpmConfig { bytes: 24 * 1024, banks: 4, ports_per_bank: 1, word_bytes: 4 };
+/// assert_eq!(spm.bytes_per_cycle(), 16);
+/// // A 256-byte burst drains in ceil(256 / 16) cycles.
+/// assert_eq!(spm.burst_cycles(256), 16);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SpmConfig {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Number of banks (also the number of power-gating sectors).
+    pub banks: u64,
+    /// Single-word ports per bank.
+    pub ports_per_bank: u64,
+    /// Word width of one bank port in bytes (the interleaving grain).
+    pub word_bytes: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl SpmConfig {
+    /// Peak bandwidth: every bank port transfers one word per cycle.
+    pub fn bytes_per_cycle(&self) -> u64 {
+        self.banks * self.ports_per_bank * self.word_bytes
+    }
+
+    /// Capacity of one bank (= one power-gating sector) in bytes.
+    pub fn bank_bytes(&self) -> u64 {
+        (self.bytes as u64).div_ceil(self.banks)
+    }
+
+    /// Cycles to move a unit-stride burst of `bytes` through the SPM:
+    /// consecutive words hit consecutive banks, so the full port
+    /// parallelism applies.
+    pub fn burst_cycles(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes_per_cycle())
+    }
+
+    /// Cycles to move `words` words whose addresses step by
+    /// `word_stride` words: only `banks / gcd(banks, stride)` banks are
+    /// ever addressed, so the effective port count shrinks — the
+    /// bank-conflict model. A stride of zero (all accesses to one
+    /// address) serializes onto a single bank.
+    pub fn strided_word_cycles(&self, words: u64, word_stride: u64) -> u64 {
+        let effective_banks = if word_stride == 0 {
+            1
+        } else {
+            self.banks / gcd(self.banks, word_stride)
+        };
+        words.div_ceil(effective_banks * self.ports_per_bank)
+    }
+
+    /// Extra cycles a strided burst costs over the same burst at unit
+    /// stride — the pure bank-conflict penalty.
+    pub fn conflict_stall_cycles(&self, words: u64, word_stride: u64) -> u64 {
+        let ideal = words.div_ceil(self.banks * self.ports_per_bank);
+        self.strided_word_cycles(words, word_stride) - ideal
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint (zero
+    /// capacity, banks, ports or word width).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bytes == 0 {
+            return Err("SPM capacity must be non-zero".into());
+        }
+        if self.banks == 0 || self.ports_per_bank == 0 || self.word_bytes == 0 {
+            return Err("SPM banks, ports and word width must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spm(banks: u64) -> SpmConfig {
+        SpmConfig {
+            bytes: 16 * 1024,
+            banks,
+            ports_per_bank: 1,
+            word_bytes: 4,
+        }
+    }
+
+    #[test]
+    fn unit_stride_uses_all_banks() {
+        let s = spm(8);
+        assert_eq!(s.bytes_per_cycle(), 32);
+        assert_eq!(s.burst_cycles(0), 0);
+        assert_eq!(s.burst_cycles(1), 1);
+        assert_eq!(s.burst_cycles(64), 2);
+        assert_eq!(s.strided_word_cycles(64, 1), 8);
+        assert_eq!(s.conflict_stall_cycles(64, 1), 0);
+    }
+
+    #[test]
+    fn power_of_two_strides_concentrate_banks() {
+        let s = spm(8);
+        // Stride 2 → 4 effective banks, stride 8 → 1 bank.
+        assert_eq!(s.strided_word_cycles(64, 2), 16);
+        assert_eq!(s.strided_word_cycles(64, 8), 64);
+        assert_eq!(s.conflict_stall_cycles(64, 8), 56);
+        // Odd strides are conflict-free on a power-of-two bank count.
+        assert_eq!(s.conflict_stall_cycles(64, 3), 0);
+    }
+
+    #[test]
+    fn zero_stride_serializes() {
+        let s = spm(4);
+        assert_eq!(s.strided_word_cycles(10, 0), 10);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        assert!(spm(0).validate().is_err());
+        let mut s = spm(4);
+        s.word_bytes = 0;
+        assert!(s.validate().is_err());
+        s = spm(4);
+        s.bytes = 0;
+        assert!(s.validate().is_err());
+        assert!(spm(4).validate().is_ok());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Bank-conflict accounting: strided bursts are never cheaper
+        /// than unit-stride ones, more banks never slow a burst down,
+        /// and the conflict stall is exactly the strided/unit difference.
+        #[test]
+        fn conflict_accounting_is_consistent(
+            banks_log2 in 0u32..5,
+            words in 1u64..2000,
+            stride in 0u64..64,
+        ) {
+            let s = spm(1 << banks_log2);
+            let unit = s.strided_word_cycles(words, 1);
+            let strided = s.strided_word_cycles(words, stride);
+            prop_assert!(strided >= unit);
+            prop_assert_eq!(s.conflict_stall_cycles(words, stride), strided - unit);
+            if banks_log2 > 0 {
+                let fewer = spm(1 << (banks_log2 - 1));
+                prop_assert!(fewer.strided_word_cycles(words, stride) >= strided);
+            }
+            // A burst is never faster than the single-bank floor allows.
+            prop_assert!(strided <= words);
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! The memory subsystem behind the engine's tile schedule.
+
+use crate::dram::DramConfig;
+use crate::prefetch::PrefetchPipeline;
+use crate::report::{MemReport, SpmKind};
+use crate::spm::SpmConfig;
+
+/// Bytes one 25-bit accumulator entry occupies in the Accumulator SPM
+/// (padded to a 32-bit word).
+pub const ACC_ENTRY_BYTES: u64 = 4;
+
+/// Fidelity of the memory model.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemoryMode {
+    /// "IdealMemory": infinite bandwidth, zero latency. Traffic and
+    /// activity counters still accumulate, but every stall is zero —
+    /// this reproduces the pre-memory engine's cycle counts exactly.
+    Ideal,
+    /// The full banked-SPM + DRAM + prefetch model.
+    Modeled,
+}
+
+/// Static configuration of the whole hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_memory::{MemoryConfig, MemoryMode};
+/// let ideal = MemoryConfig::ideal();
+/// assert_eq!(ideal.mode, MemoryMode::Ideal);
+/// let paper = MemoryConfig::paper();
+/// assert_eq!(paper.mode, MemoryMode::Modeled);
+/// paper.validate().expect("paper memory config is valid");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MemoryConfig {
+    /// Model fidelity.
+    pub mode: MemoryMode,
+    /// The Data Buffer scratchpad.
+    pub data_spm: SpmConfig,
+    /// The Weight Buffer scratchpad (target of the DRAM prefetcher).
+    pub weight_spm: SpmConfig,
+    /// The Accumulator scratchpad.
+    pub acc_spm: SpmConfig,
+    /// The off-chip channel.
+    pub dram: DramConfig,
+    /// Tile-buffer slots in the weight prefetcher (1 = no prefetch,
+    /// 2 = double-buffered).
+    pub prefetch_buffers: usize,
+    /// DESCNet-style sector power gating: idle SPM banks drop to
+    /// retention leakage (an energy-model switch; it does not change
+    /// timing).
+    pub power_gating: bool,
+}
+
+impl MemoryConfig {
+    /// The finite design point matched to the paper's Table II buffers:
+    /// 256 KiB / 24 KiB / 8 KiB scratchpads with enough bank-port
+    /// bandwidth for the 16×16 array, a double-buffered weight
+    /// prefetcher and an LPDDR-class DRAM channel.
+    pub fn paper() -> Self {
+        Self {
+            mode: MemoryMode::Modeled,
+            data_spm: SpmConfig {
+                bytes: 256 * 1024,
+                banks: 8,
+                ports_per_bank: 1,
+                word_bytes: 8,
+            },
+            weight_spm: SpmConfig {
+                bytes: 24 * 1024,
+                banks: 4,
+                ports_per_bank: 1,
+                word_bytes: 4,
+            },
+            acc_spm: SpmConfig {
+                bytes: 8 * 1024,
+                banks: 4,
+                ports_per_bank: 2,
+                word_bytes: 16,
+            },
+            // 16 B/cycle at 250 MHz = 4 GB/s, 64 B bursts, ~0.5 µs
+            // first-access latency.
+            dram: DramConfig {
+                latency_cycles: 120,
+                bytes_per_cycle: 16,
+                burst_bytes: 64,
+            },
+            prefetch_buffers: 2,
+            power_gating: true,
+        }
+    }
+
+    /// The "IdealMemory" configuration: same structural parameters as
+    /// [`MemoryConfig::paper`] but with stalls disabled everywhere.
+    pub fn ideal() -> Self {
+        Self {
+            mode: MemoryMode::Ideal,
+            ..Self::paper()
+        }
+    }
+
+    /// Whether this is the ideal (stall-free) model.
+    pub fn is_ideal(&self) -> bool {
+        self.mode == MemoryMode::Ideal
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint in any
+    /// SPM, the DRAM channel or the prefetcher.
+    pub fn validate(&self) -> Result<(), String> {
+        self.data_spm.validate()?;
+        self.weight_spm.validate()?;
+        self.acc_spm.validate()?;
+        self.dram.validate()?;
+        if self.prefetch_buffers == 0 {
+            return Err("at least one prefetch tile buffer required".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemoryConfig {
+    /// Ideal memory — the backward-compatible default.
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// One tiled matmul as the engine schedules it: `batch · m` data rows
+/// stream against `ceil(k/rows) × ceil(n/cols)` weight tiles, K-major
+/// within each N-tile (the exact loop nest of
+/// `Accelerator::matmul_batch` in `capsacc-core`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MatmulGeometry {
+    /// Streamed data rows per image.
+    pub m: usize,
+    /// Reduction length.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Images sharing the resident weight tiles.
+    pub batch: usize,
+    /// Systolic-array rows.
+    pub rows: usize,
+    /// Systolic-array columns.
+    pub cols: usize,
+    /// Whether the weight operand streams in from DRAM through the
+    /// prefetcher (true for the network's parameter layers) or is
+    /// already on chip (routing operands such as `û` and `v_j`).
+    pub weights_offchip: bool,
+    /// The tile schedule the stalls are added on top of. This sizes the
+    /// per-tile window the prefetcher can hide DRAM fills behind: the
+    /// ticked engine executes tiles serially and passes
+    /// [`TileSchedule::Serial`]; the closed-form model passes its own
+    /// schedule so stalls stay consistent with its base cycle count.
+    pub schedule: TileSchedule,
+}
+
+/// The compute schedule whose per-tile windows DRAM fills hide behind —
+/// each variant's windows sum exactly to the matching closed-form cycle
+/// formula.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TileSchedule {
+    /// Every tile pays its own load and drain (the ticked engine).
+    Serial,
+    /// Consecutive K-tiles stream back-to-back; load/drain once per
+    /// N-tile (the paper's "full throttle" dataflow).
+    Pipelined,
+    /// The weight-reuse ablation: the tile reloads before every data
+    /// row, so each tile occupies the array far longer.
+    ReloadPerRow,
+}
+
+/// The three scratchpads, the DRAM channel and the prefetcher, driven
+/// through the same tile schedule by both the cycle-accurate engine and
+/// the closed-form timing model — which is what makes the two agree
+/// exactly.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MemorySubsystem {
+    cfg: MemoryConfig,
+    pipeline: PrefetchPipeline,
+    report: MemReport,
+}
+
+impl MemorySubsystem {
+    /// Builds a subsystem instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MemoryConfig::validate`].
+    pub fn new(cfg: MemoryConfig) -> Self {
+        cfg.validate().expect("invalid memory configuration");
+        Self {
+            pipeline: PrefetchPipeline::new(cfg.prefetch_buffers),
+            report: MemReport::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// Cumulative counters since construction.
+    pub fn report(&self) -> MemReport {
+        self.report
+    }
+
+    /// Replays one matmul's tile schedule through the hierarchy and
+    /// returns the stall cycles it adds on top of the compute schedule.
+    /// Counters (traffic, busy cycles, off-chip bytes) accumulate in
+    /// [`MemorySubsystem::report`]; under [`MemoryMode::Ideal`] the
+    /// returned stall is always zero.
+    ///
+    /// The prefetcher timeline restarts per matmul: the first tile of
+    /// every stream pays its DRAM fill cold, subsequent fills overlap
+    /// the previous tiles' compute.
+    pub fn matmul(&mut self, g: &MatmulGeometry) -> u64 {
+        self.pipeline.begin_stream();
+        let kk = g.k.div_ceil(g.rows.max(1));
+        let mut stalls = 0u64;
+        for n0 in (0..g.n).step_by(g.cols.max(1)) {
+            let nt = g.cols.min(g.n - n0);
+            for (kt_idx, k0) in (0..g.k).step_by(g.rows.max(1)).enumerate() {
+                let kt = g.rows.min(g.k - k0);
+                let compute = self.tile_compute_window(g, kt_idx, kk);
+                stalls += self.tile(kt, nt, kt_idx == 0, compute, g);
+            }
+        }
+        stalls
+    }
+
+    /// Array cycles one tile occupies in the target compute schedule —
+    /// the window the next tile's DRAM fill can hide behind. Per
+    /// [`TileSchedule`], the per-tile windows sum exactly to the
+    /// matching closed-form cycle formula: serial tiles each pay their
+    /// own load and drain; pipelined K-tiles stream back-to-back,
+    /// paying load/drain once per N-tile; the reuse ablation reloads
+    /// the tile before every data row (and drains once per image).
+    fn tile_compute_window(&self, g: &MatmulGeometry, kt_idx: usize, kk: usize) -> u64 {
+        let stream = (g.batch * g.m) as u64;
+        let load = g.rows as u64 + 1;
+        let drain = (g.rows + g.cols) as u64;
+        match g.schedule {
+            TileSchedule::Serial => load + stream + drain,
+            TileSchedule::Pipelined => {
+                let mut window = if kt_idx == 0 {
+                    load + stream
+                } else {
+                    stream.max(load)
+                };
+                if kt_idx + 1 == kk {
+                    window += drain;
+                }
+                window
+            }
+            TileSchedule::ReloadPerRow => stream * load + stream + g.batch as u64 * drain,
+        }
+    }
+
+    /// One weight tile: `kt × nt` weights loaded (from DRAM when
+    /// off-chip), `batch · m` data rows of `kt` bytes streamed, and the
+    /// accumulator FIFOs written (and read back when folding a non-first
+    /// K-tile).
+    fn tile(
+        &mut self,
+        kt: usize,
+        nt: usize,
+        first_fold: bool,
+        compute_window: u64,
+        g: &MatmulGeometry,
+    ) -> u64 {
+        let weight_bytes = (kt * nt) as u64;
+        let data_bytes = (g.batch * g.m * kt) as u64;
+        let acc_write_bytes = (g.batch * g.m * nt) as u64 * ACC_ENTRY_BYTES;
+        let acc_read_bytes = if first_fold { 0 } else { acc_write_bytes };
+
+        let w_busy = self.cfg.weight_spm.burst_cycles(weight_bytes);
+        let d_busy = self.cfg.data_spm.burst_cycles(data_bytes);
+        let a_busy = self
+            .cfg
+            .acc_spm
+            .burst_cycles(acc_write_bytes + acc_read_bytes);
+
+        {
+            let w = self.report.spm_mut(SpmKind::Weight);
+            w.read_bytes += weight_bytes;
+            w.busy_cycles += w_busy;
+            if g.weights_offchip {
+                w.write_bytes += weight_bytes; // the prefetcher's fill
+            }
+        }
+        {
+            let d = self.report.spm_mut(SpmKind::Data);
+            d.read_bytes += data_bytes;
+            d.busy_cycles += d_busy;
+        }
+        {
+            let a = self.report.spm_mut(SpmKind::Accumulator);
+            a.write_bytes += acc_write_bytes;
+            a.read_bytes += acc_read_bytes;
+            a.busy_cycles += a_busy;
+        }
+        if g.weights_offchip {
+            self.report.dram_weight_bytes += weight_bytes;
+        }
+        if self.cfg.is_ideal() {
+            return 0;
+        }
+
+        // Bank/port shortfalls: the array wants one nt-byte weight row
+        // per load edge (kt edges) and kt data bytes + nt accumulator
+        // entries per stream edge (batch·m edges).
+        let weight_edges = kt as u64;
+        let stream_edges = (g.batch * g.m) as u64;
+        let bank_stall = w_busy.saturating_sub(weight_edges)
+            + d_busy.saturating_sub(stream_edges)
+            + a_busy.saturating_sub(stream_edges);
+
+        // The tile's compute window, stretched by the bank stalls — all
+        // of which the next tile's DRAM fill can hide behind.
+        let compute = compute_window + bank_stall;
+        let fill = if g.weights_offchip {
+            self.cfg.dram.transfer_cycles(weight_bytes)
+        } else {
+            0
+        };
+        let outcome = self.pipeline.tile(fill, compute);
+
+        self.report.bank_stall_cycles += bank_stall;
+        self.report.prefetch_stall_cycles += outcome.stall_cycles;
+        self.report.hidden_fill_cycles += outcome.hidden_cycles;
+        let total = bank_stall + outcome.stall_cycles;
+        self.report.stall_cycles += total;
+        total
+    }
+
+    /// Stages `bytes` of input data from DRAM into the on-chip Data
+    /// Memory (the per-batch image upload) and returns the exposed
+    /// cycles (zero under [`MemoryMode::Ideal`]).
+    pub fn stage_input(&mut self, bytes: u64) -> u64 {
+        self.report.dram_data_bytes += bytes;
+        let busy = self.cfg.data_spm.burst_cycles(bytes);
+        let d = self.report.spm_mut(SpmKind::Data);
+        d.write_bytes += bytes;
+        d.busy_cycles += busy;
+        if self.cfg.is_ideal() {
+            return 0;
+        }
+        let cycles = self.cfg.dram.transfer_cycles(bytes);
+        self.report.prefetch_stall_cycles += cycles;
+        self.report.stall_cycles += cycles;
+        cycles
+    }
+
+    /// Stages `bytes` of bias parameters from DRAM into the Weight SPM.
+    /// Biases ride along with their layer's weight stream, so every
+    /// parameter byte crosses the off-chip channel exactly once per
+    /// batch; the transfer is small enough to hide entirely behind the
+    /// layer's tile fills, so it adds no stall.
+    pub fn stage_bias(&mut self, bytes: u64) {
+        self.report.dram_weight_bytes += bytes;
+        let busy = self.cfg.weight_spm.burst_cycles(2 * bytes);
+        let w = self.report.spm_mut(SpmKind::Weight);
+        w.write_bytes += bytes;
+        w.read_bytes += bytes;
+        w.busy_cycles += busy;
+    }
+
+    /// Merges a previously measured [`MemReport`] delta into this
+    /// subsystem's counters — used by the closed-form model to scale one
+    /// replayed matmul across many identical calls (each call restarts
+    /// the prefetch timeline, so `n` identical calls are exactly one
+    /// call's delta `n` times).
+    pub fn charge(&mut self, delta: &MemReport) {
+        self.report.merge(delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn geometry(m: usize, k: usize, n: usize, batch: usize, offchip: bool) -> MatmulGeometry {
+        MatmulGeometry {
+            m,
+            k,
+            n,
+            batch,
+            rows: 4,
+            cols: 4,
+            weights_offchip: offchip,
+            schedule: TileSchedule::Serial,
+        }
+    }
+
+    #[test]
+    fn ideal_memory_never_stalls_but_still_counts() {
+        let mut mem = MemorySubsystem::new(MemoryConfig::ideal());
+        let stalls = mem.matmul(&geometry(5, 8, 8, 2, true)) + mem.stage_input(1000);
+        assert_eq!(stalls, 0);
+        let r = mem.report();
+        assert_eq!(r.stall_cycles, 0);
+        assert_eq!(r.dram_weight_bytes, 64);
+        assert_eq!(r.dram_data_bytes, 1000);
+        assert_eq!(r.spm(SpmKind::Weight).read_bytes, 64);
+        // Data streamed once per (K, N) tile pair: 2 × 2 × batch 2 × 5
+        // rows × 4 bytes.
+        assert_eq!(r.spm(SpmKind::Data).read_bytes, 2 * 2 * 2 * 5 * 4);
+    }
+
+    #[test]
+    fn onchip_operands_never_touch_dram() {
+        let mut mem = MemorySubsystem::new(MemoryConfig::paper());
+        mem.matmul(&geometry(1, 32, 4, 1, false));
+        let r = mem.report();
+        assert_eq!(r.dram_weight_bytes, 0);
+        assert_eq!(r.prefetch_stall_cycles, 0);
+        assert_eq!(r.hidden_fill_cycles, 0);
+    }
+
+    #[test]
+    fn accumulator_folds_read_back_partials() {
+        let mut mem = MemorySubsystem::new(MemoryConfig::ideal());
+        // Two K-tiles: the second folds, reading the partials back.
+        mem.matmul(&geometry(3, 8, 4, 1, false));
+        let a = mem.report().spm(SpmKind::Accumulator);
+        assert_eq!(a.write_bytes, 2 * 3 * 4 * ACC_ENTRY_BYTES);
+        assert_eq!(a.read_bytes, 3 * 4 * ACC_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn pipelined_windows_expose_more_fill_than_serial() {
+        // Pipelined K-tiles leave smaller per-tile windows to hide fills
+        // behind (load/drain paid once per N-tile), so with the same
+        // DRAM channel the exposed stalls can only grow — and the
+        // windows sum exactly to the pipelined schedule's cycle count.
+        let mut g = MatmulGeometry {
+            m: 2,
+            k: 64,
+            n: 16,
+            batch: 1,
+            rows: 16,
+            cols: 16,
+            weights_offchip: true,
+            schedule: TileSchedule::Serial,
+        };
+        let serial = MemorySubsystem::new(MemoryConfig::paper()).matmul(&g);
+        g.schedule = TileSchedule::Pipelined;
+        let pipelined = MemorySubsystem::new(MemoryConfig::paper()).matmul(&g);
+        assert!(pipelined >= serial, "{pipelined} < {serial}");
+
+        let mem = MemorySubsystem::new(MemoryConfig::paper());
+        let kk = g.k.div_ceil(g.rows);
+        let windows: u64 = (0..kk).map(|i| mem.tile_compute_window(&g, i, kk)).sum();
+        // nn = 1: load + m + (kk-1)·max(m, load) + (rows + cols).
+        let (m, load) = (g.m as u64, g.rows as u64 + 1);
+        assert_eq!(
+            windows,
+            load + m + (kk as u64 - 1) * m.max(load) + (g.rows + g.cols) as u64
+        );
+    }
+
+    #[test]
+    fn stall_decomposition_adds_up() {
+        let mut cfg = MemoryConfig::paper();
+        cfg.weight_spm.banks = 1;
+        cfg.weight_spm.word_bytes = 1;
+        let mut mem = MemorySubsystem::new(cfg);
+        mem.matmul(&MatmulGeometry {
+            m: 2,
+            k: 32,
+            n: 32,
+            batch: 1,
+            rows: 16,
+            cols: 16,
+            weights_offchip: true,
+            schedule: TileSchedule::Serial,
+        });
+        let r = mem.report();
+        assert!(
+            r.bank_stall_cycles > 0,
+            "1-byte/cycle weight SPM must stall"
+        );
+        assert!(r.prefetch_stall_cycles > 0, "cold fill must be exposed");
+        assert_eq!(
+            r.stall_cycles,
+            r.bank_stall_cycles + r.prefetch_stall_cycles
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Prefetch-overlap bounds at the matmul level: memory-aware
+        /// stalls are never negative (cycles ≥ ideal), monotone in DRAM
+        /// latency, and weakly decreasing in prefetch depth.
+        #[test]
+        fn matmul_stalls_are_bounded_and_monotone(
+            m in 1usize..8,
+            k in 1usize..40,
+            n in 1usize..24,
+            batch in 1usize..4,
+            extra_latency in 0u64..300,
+        ) {
+            let g = MatmulGeometry {
+                m, k, n, batch,
+                rows: 4,
+                cols: 4,
+                weights_offchip: true,
+                schedule: TileSchedule::Serial,
+            };
+            let base = MemoryConfig::paper();
+            let mut slower = base;
+            slower.dram.latency_cycles += extra_latency;
+            let mut naive = base;
+            naive.prefetch_buffers = 1;
+            let mut deep = base;
+            deep.prefetch_buffers = 4;
+
+            let stall = |cfg: MemoryConfig| MemorySubsystem::new(cfg).matmul(&g);
+            let s_base = stall(base);
+            prop_assert_eq!(stall(MemoryConfig::ideal()), 0);
+            prop_assert!(stall(slower) >= s_base);
+            prop_assert!(stall(naive) >= s_base);
+            prop_assert!(stall(deep) <= s_base);
+        }
+    }
+}

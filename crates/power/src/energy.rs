@@ -14,6 +14,7 @@
 //! the Table II average power × the measured inference time.
 
 use capsacc_core::{AcceleratorConfig, MemoryKind, TrafficReport};
+use capsacc_memory::{MemReport, MemoryConfig, SpmKind};
 
 use crate::PowerModel;
 
@@ -87,18 +88,161 @@ pub struct EnergyModel {
     /// Fraction of the Table II power that is static (leakage + clock
     /// tree), burned for the whole inference latency.
     pub static_fraction: f64,
+    /// SPM access energy per byte at [`EnergyModel::spm_ref_bytes`]
+    /// capacity (pJ/B). Scaled by `sqrt(capacity / ref)` à la CapStore:
+    /// bigger scratchpads have longer bitlines and cost more per access.
+    pub spm_pj_per_byte_ref: f64,
+    /// Reference SPM capacity for the access-energy scaling (bytes).
+    pub spm_ref_bytes: f64,
+    /// Off-chip DRAM access energy per byte (pJ/B).
+    pub dram_pj_per_byte: f64,
+    /// SPM leakage power density (mW per KiB of capacity).
+    pub spm_leak_mw_per_kib: f64,
+    /// Residual leakage fraction of a power-gated (retention-mode) SPM
+    /// bank — the DESCNet sector-gating model.
+    pub gated_leak_fraction: f64,
 }
 
 impl EnergyModel {
     /// 32nm constants: ~1.5 pJ per 8-bit MAC with array overheads,
     /// ~3 pJ/B for the small SRAM buffers, ~20 pJ/B for the large
-    /// on-chip memories, and a 30% static share.
+    /// on-chip memories, and a 30% static share. SPM accesses cost
+    /// ~2 pJ/B at a 32 KiB reference capacity (sqrt-scaled), DRAM
+    /// ~100 pJ/B, and gated SPM sectors retain ~10% of their leakage.
     pub fn cmos_32nm() -> Self {
         Self {
             mac_pj: 1.5,
             buffer_pj_per_byte: 3.0,
             memory_pj_per_byte: 20.0,
             static_fraction: 0.30,
+            spm_pj_per_byte_ref: 2.0,
+            spm_ref_bytes: 32.0 * 1024.0,
+            dram_pj_per_byte: 100.0,
+            spm_leak_mw_per_kib: 0.02,
+            gated_leak_fraction: 0.10,
+        }
+    }
+
+    /// Per-byte access energy of an SPM of `bytes` capacity: the
+    /// CapStore capacity scaling `e(ref) · sqrt(bytes / ref)`.
+    pub fn spm_access_pj_per_byte(&self, bytes: usize) -> f64 {
+        self.spm_pj_per_byte_ref * (bytes as f64 / self.spm_ref_bytes).sqrt()
+    }
+
+    /// Energy components of the memory hierarchy over `total_cycles` of
+    /// execution: per-SPM dynamic energy (capacity-scaled), SPM leakage
+    /// (reduced to busy banks + retention when `cfg.memory.power_gating`
+    /// is set), and off-chip DRAM energy. The SPM capacities and gating
+    /// flag come from `cfg.memory` — the same configuration the
+    /// `report` was produced under.
+    pub fn memory_hierarchy_energy(
+        &self,
+        cfg: &AcceleratorConfig,
+        report: &MemReport,
+        total_cycles: u64,
+    ) -> Vec<EnergyComponent> {
+        let mem: &MemoryConfig = &cfg.memory;
+        let spm_cfg = |kind: SpmKind| match kind {
+            SpmKind::Data => &mem.data_spm,
+            SpmKind::Weight => &mem.weight_spm,
+            SpmKind::Accumulator => &mem.acc_spm,
+        };
+        let mut components = Vec::new();
+        let mut leak_uj = 0.0;
+        let time_us = cfg.cycles_to_us(total_cycles);
+        for (kind, name) in [
+            (SpmKind::Data, "Data SPM"),
+            (SpmKind::Weight, "Weight SPM"),
+            (SpmKind::Accumulator, "Accumulator SPM"),
+        ] {
+            let spm = spm_cfg(kind);
+            let activity = report.spm(kind);
+            components.push(EnergyComponent {
+                name,
+                energy_uj: activity.total_bytes() as f64 * self.spm_access_pj_per_byte(spm.bytes)
+                    / 1e6,
+            });
+            // Leakage: all banks leak all the time without gating; with
+            // DESCNet sector gating, idle cycles leak only the retention
+            // fraction (busy cycles approximate "some banks active").
+            let leak_mw = spm.bytes as f64 / 1024.0 * self.spm_leak_mw_per_kib;
+            let busy_frac = if total_cycles == 0 {
+                0.0
+            } else {
+                (activity.busy_cycles.min(total_cycles)) as f64 / total_cycles as f64
+            };
+            let effective = if mem.power_gating {
+                busy_frac + (1.0 - busy_frac) * self.gated_leak_fraction
+            } else {
+                1.0
+            };
+            // mW · µs = nJ; /1000 → µJ.
+            leak_uj += leak_mw * effective * time_us / 1000.0;
+        }
+        components.push(EnergyComponent {
+            name: "SPM leakage",
+            energy_uj: leak_uj,
+        });
+        components.push(EnergyComponent {
+            name: "DRAM",
+            energy_uj: report.offchip_bytes() as f64 * self.dram_pj_per_byte / 1e6,
+        });
+        components
+    }
+
+    /// Computes the per-inference energy with the memory hierarchy
+    /// modeled explicitly: the flat per-byte terms of
+    /// [`EnergyModel::inference_energy`] for the structures the
+    /// hierarchy does not model (Routing Buffer, the on-chip memories)
+    /// plus capacity-scaled SPM dynamic energy, gating-aware SPM leakage
+    /// and DRAM energy from the [`MemReport`].
+    pub fn inference_energy_mem(
+        &self,
+        cfg: &AcceleratorConfig,
+        macs: u64,
+        traffic: &TrafficReport,
+        report: &MemReport,
+        total_cycles: u64,
+    ) -> EnergyReport {
+        let latency_us = cfg.cycles_to_us(total_cycles);
+        let memory_bytes: u64 = [MemoryKind::DataMemory, MemoryKind::WeightMemory]
+            .iter()
+            .map(|&k| traffic.counter(k).total())
+            .sum();
+        // The SPM-leakage component models the scratchpads' static power
+        // explicitly (gating-aware), so their share is excluded from the
+        // flat static term to avoid double counting.
+        let power = PowerModel::cmos_32nm().estimate(cfg);
+        let spm_static_mw: f64 = ["Data Buffer", "Weight Buffer", "Accumulator"]
+            .iter()
+            .filter_map(|n| power.component(n))
+            .map(|c| c.power_mw)
+            .sum();
+        let static_mw = (power.total_power_mw() - spm_static_mw) * self.static_fraction;
+        let mut components = vec![
+            EnergyComponent {
+                name: "Compute (MACs)",
+                energy_uj: macs as f64 * self.mac_pj / 1e6,
+            },
+            EnergyComponent {
+                name: "Routing Buffer",
+                energy_uj: traffic.counter(MemoryKind::RoutingBuffer).total() as f64
+                    * self.buffer_pj_per_byte
+                    / 1e6,
+            },
+            EnergyComponent {
+                name: "On-chip memory",
+                energy_uj: memory_bytes as f64 * self.memory_pj_per_byte / 1e6,
+            },
+        ];
+        components.extend(self.memory_hierarchy_energy(cfg, report, total_cycles));
+        components.push(EnergyComponent {
+            name: "Static",
+            energy_uj: static_mw * latency_us / 1000.0,
+        });
+        EnergyReport {
+            components,
+            latency_us,
         }
     }
 
@@ -210,6 +354,63 @@ mod tests {
         let report = EnergyModel::cmos_32nm().inference_energy(&cfg, 0, &traffic, 0.0);
         assert_eq!(report.total_uj(), 0.0);
         assert_eq!(report.average_power_mw(), 0.0);
+    }
+
+    #[test]
+    fn spm_access_energy_scales_with_capacity() {
+        let m = EnergyModel::cmos_32nm();
+        let at_ref = m.spm_access_pj_per_byte(32 * 1024);
+        assert!((at_ref - m.spm_pj_per_byte_ref).abs() < 1e-12);
+        // CapStore scaling: 4× the capacity → 2× the per-access energy.
+        let at_4x = m.spm_access_pj_per_byte(4 * 32 * 1024);
+        assert!((at_4x - 2.0 * at_ref).abs() < 1e-12);
+        assert!(m.spm_access_pj_per_byte(1024) < at_ref);
+    }
+
+    #[test]
+    fn memory_aware_energy_has_spm_dram_and_gating_terms() {
+        use capsacc_core::MemoryConfig;
+        let net = CapsNetConfig::mnist();
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.memory = MemoryConfig::paper();
+        let t = timing::full_inference_batch_mem(&cfg, &net, 4);
+        let traffic = timing::batch_traffic_estimate(&cfg, &net, 4);
+        let model = EnergyModel::cmos_32nm();
+        let report =
+            model.inference_energy_mem(&cfg, 200_000_000, &traffic, &t.report, t.total_cycles());
+        let energy_of = |name: &str| {
+            report
+                .components
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.energy_uj)
+                .expect("component present")
+        };
+        assert!(energy_of("Weight SPM") > 0.0);
+        assert!(energy_of("DRAM") > 0.0);
+        assert!(energy_of("SPM leakage") > 0.0);
+        let sum: f64 = report.breakdown().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+
+        // DESCNet sector gating reduces leakage (and only leakage).
+        let mut ungated = cfg;
+        ungated.memory.power_gating = false;
+        let r2 = model.inference_energy_mem(
+            &ungated,
+            200_000_000,
+            &traffic,
+            &t.report,
+            t.total_cycles(),
+        );
+        let leak_of = |r: &EnergyReport| {
+            r.components
+                .iter()
+                .find(|c| c.name == "SPM leakage")
+                .map(|c| c.energy_uj)
+                .expect("leakage present")
+        };
+        assert!(leak_of(&r2) > leak_of(&report));
+        assert!(r2.total_uj() > report.total_uj());
     }
 
     #[test]

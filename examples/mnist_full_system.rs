@@ -96,13 +96,7 @@ fn main() {
     }
 
     println!("\nTraffic:");
-    for kind in [
-        MemoryKind::DataMemory,
-        MemoryKind::WeightMemory,
-        MemoryKind::DataBuffer,
-        MemoryKind::RoutingBuffer,
-        MemoryKind::WeightBuffer,
-    ] {
+    for kind in MemoryKind::ALL {
         let c = run.traffic.counter(kind);
         println!(
             "  {kind}: {} B read, {} B written",

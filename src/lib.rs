@@ -7,6 +7,7 @@
 //! - [`tensor`] — minimal dense tensors with conv/matmul reference ops
 //! - [`mnist`] — synthetic MNIST-style data and deterministic weights
 //! - [`capsnet`] — reference CapsuleNet with routing-by-agreement
+//! - [`memory`] — banked scratchpads, DRAM channel and tile prefetcher
 //! - [`core`] — the cycle-accurate CapsAcc accelerator simulator
 //! - [`gpu`] — analytical GPU baseline timing model
 //! - [`power`] — analytical 32nm area/power model
@@ -22,6 +23,7 @@ pub use capsacc_capsnet as capsnet;
 pub use capsacc_core as core;
 pub use capsacc_fixed as fixed;
 pub use capsacc_gpu_model as gpu;
+pub use capsacc_memory as memory;
 pub use capsacc_mnist as mnist;
 pub use capsacc_power as power;
 pub use capsacc_tensor as tensor;

@@ -11,11 +11,8 @@ use capsacc::core::{Accelerator, AcceleratorConfig, ActivationKind, BatchSchedul
 use capsacc::tensor::{qops, Tensor};
 use proptest::prelude::*;
 
-fn image_for(net: &CapsNetConfig, seed: usize) -> Tensor<f32> {
-    Tensor::from_fn(&[1, net.input_side, net.input_side], |i| {
-        ((i[1] * (seed + 2) + i[2] * 7 + seed) % 11) as f32 / 11.0
-    })
-}
+mod common;
+use common::image_for;
 
 /// Checks the batched engine against per-image sequential runs and
 /// returns (batched weight-buffer bytes, summed sequential ones).
@@ -119,6 +116,47 @@ fn batch_of_16_amortizes_weights_and_cycles() {
         "cycles/image should fall: {} vs {single_cycles}",
         run.cycles_per_image()
     );
+}
+
+#[test]
+fn onchip_weight_traffic_covers_offchip_at_batch() {
+    // The reuse story end to end: every parameter byte crosses DRAM once
+    // per batch, while the on-chip Weight Buffer also serves the routing
+    // operands per image — so on-chip weight traffic must be at least
+    // the off-chip weight traffic (strictly greater here), and the
+    // per-image views cover both sides of the split.
+    let net = CapsNetConfig::tiny();
+    let cfg = AcceleratorConfig::test_4x4();
+    let qparams = CapsNetParams::generate(&net, 3).quantize(cfg.numeric);
+    for batch in [2usize, 4, 8] {
+        let images: Vec<Tensor<f32>> = (0..batch).map(|s| image_for(&net, s)).collect();
+        let mut sched = BatchScheduler::new(cfg);
+        let run = sched.run(&net, &qparams, &images);
+        let onchip = run.traffic.counter(MemoryKind::WeightBuffer).read_bytes;
+        let offchip = run.memory.dram_weight_bytes;
+        assert!(offchip > 0, "weights must cross the off-chip channel");
+        assert!(
+            onchip >= offchip,
+            "on-chip weight traffic ({onchip}) below off-chip ({offchip}) at batch {batch}"
+        );
+        // Off-chip weight bytes are paid once per batch: per-image they
+        // shrink as the batch grows, and the TrafficReport's per-image
+        // views cover the DRAM side like any on-chip structure.
+        assert_eq!(
+            run.traffic.counter(MemoryKind::Dram).read_bytes,
+            offchip + run.memory.dram_data_bytes
+        );
+        assert!(run.traffic.offchip_bytes_per_image(batch as u64) > 0.0);
+        assert!(
+            run.traffic.bytes_per_image(MemoryKind::Dram, batch as u64)
+                < run
+                    .traffic
+                    .bytes_per_image(MemoryKind::WeightBuffer, batch as u64)
+                    + run
+                        .traffic
+                        .bytes_per_image(MemoryKind::DataBuffer, batch as u64)
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,106 @@
+//! Shared golden-trace digest harness for the integration tests.
+//!
+//! Both `bit_exactness.rs` (the canonical pinning) and
+//! `memory_equivalence.rs` (proving the memory hierarchy cannot drift
+//! the numerics) compare against the same pinned digests — sharing the
+//! hasher and the constant here removes the risk of the two suites
+//! silently diverging onto different traces.
+//!
+//! Regeneration (after an *intentional* numeric change): run
+//!
+//!   cargo test --test bit_exactness print_golden_digests -- --ignored --nocapture
+//!
+//! and paste the printed rows over `GOLDEN_DIGESTS` below, noting the
+//! change in the commit message.
+
+// Each integration-test crate compiles this module independently and
+// uses only a subset of it, so per-crate dead-code analysis is noise.
+#![allow(dead_code)]
+
+use capsacc::capsnet::{CapsNetConfig, QuantTrace};
+use capsacc::tensor::Tensor;
+
+/// The canonical deterministic test image for `seed` — the one the
+/// pinned golden digests below were generated from (seed 0). Kept here
+/// so every suite (and the `exp_memdse` smoke test, which carries its
+/// own copy with a pointer back to this definition) exercises the same
+/// pixels.
+pub fn image_for(net: &CapsNetConfig, seed: usize) -> Tensor<f32> {
+    Tensor::from_fn(&[1, net.input_side, net.input_side], |i| {
+        ((i[1] * (seed + 2) + i[2] * 7 + seed) % 11) as f32 / 11.0
+    })
+}
+
+/// FNV-1a over a byte stream — stable, dependency-free fingerprint.
+pub struct Fnv(u64);
+
+impl Fnv {
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn bytes(&mut self, bs: impl IntoIterator<Item = u8>) {
+        for b in bs {
+            self.byte(b);
+        }
+    }
+    fn tensor(&mut self, t: &Tensor<i8>) {
+        self.bytes(t.shape().iter().flat_map(|d| (*d as u64).to_le_bytes()));
+        self.bytes(t.data().iter().map(|&v| v as u8));
+    }
+    fn done(self) -> u64 {
+        self.0
+    }
+}
+
+/// Layer-by-layer digests of a full trace, in execution order.
+pub fn trace_digests(trace: &QuantTrace) -> Vec<(&'static str, u64)> {
+    let mut out = Vec::new();
+    for (name, t) in [
+        ("input_q", &trace.input_q),
+        ("conv1_out", &trace.conv1_out),
+        ("pc_out", &trace.pc_out),
+        ("capsules", &trace.capsules),
+        ("u_hat", &trace.u_hat),
+    ] {
+        let mut h = Fnv::new();
+        h.tensor(t);
+        out.push((name, h.done()));
+    }
+    let mut h = Fnv::new();
+    for it in &trace.iterations {
+        h.tensor(&it.couplings);
+        h.tensor(&it.s);
+        h.tensor(&it.v);
+        h.bytes(it.norms.iter().copied());
+        if let Some(l) = &it.logits_after_update {
+            h.tensor(l);
+        }
+    }
+    out.push(("iterations", h.done()));
+    let mut h = Fnv::new();
+    h.bytes(trace.output.class_norms.iter().copied());
+    h.bytes((trace.output.predicted as u64).to_le_bytes());
+    h.tensor(&trace.output.class_caps);
+    h.tensor(&trace.output.couplings);
+    h.bytes(trace.output.stats.macs.to_le_bytes());
+    h.bytes(trace.output.stats.saturations.to_le_bytes());
+    out.push(("output", h.done()));
+    out
+}
+
+/// Pinned digests of the canonical inference (`CapsNetConfig::tiny`,
+/// parameter seed 0, the seed-0 deterministic image, the 4×4 test
+/// array) — regenerate per the module comment above.
+pub const GOLDEN_DIGESTS: [(&str, u64); 7] = [
+    ("input_q", 0x86cf0b23838ba95c),
+    ("conv1_out", 0x63b7f86f2ed0adcb),
+    ("pc_out", 0x1a9615bbf75f16da),
+    ("capsules", 0xe7ed0c233a1b0e94),
+    ("u_hat", 0x95df96dbdc45f7b9),
+    ("iterations", 0x5a82eb0215b17c12),
+    ("output", 0x0dab99a3354d0fd4),
+];

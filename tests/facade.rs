@@ -6,6 +6,7 @@ use capsacc::capsnet::{CapsNetConfig, CapsNetParams};
 use capsacc::core::{timing, Accelerator, AcceleratorConfig, BatchRun, BatchScheduler};
 use capsacc::fixed::{requantize, Fx8, NumericConfig};
 use capsacc::gpu::GpuModel;
+use capsacc::memory::{MemoryConfig, MemoryMode, MemorySubsystem, PrefetchPipeline, SpmKind};
 use capsacc::mnist::{SyntheticMnist, WeightGen};
 use capsacc::power::PowerModel;
 use capsacc::tensor::{ConvGeometry, Tensor};
@@ -52,6 +53,23 @@ fn reexport_paths_resolve_and_interoperate() {
     assert!(batched.cycles_per_image() < report.total_cycles() as f64);
     let _ =
         timing::batch_traffic_estimate(&AcceleratorConfig::paper(), &CapsNetConfig::mnist(), 16);
+
+    // memory ← (standalone), and core ← memory
+    assert_eq!(MemoryConfig::ideal().mode, MemoryMode::Ideal);
+    let _ = MemorySubsystem::new(MemoryConfig::paper());
+    let _ = PrefetchPipeline::new(2);
+    assert_eq!(SpmKind::ALL.len(), 3);
+    let mut mem_cfg = AcceleratorConfig::paper();
+    mem_cfg.memory = MemoryConfig::paper();
+    let mem_t = timing::full_inference_batch_mem(&mem_cfg, &CapsNetConfig::mnist(), 16);
+    assert!(mem_t.report.stall_cycles > 0);
+    assert!(mem_t.total_cycles() > mem_t.base.total_cycles());
+    assert_eq!(
+        timing::full_inference_mem(&AcceleratorConfig::paper(), &CapsNetConfig::mnist())
+            .report
+            .stall_cycles,
+        0
+    );
 
     // gpu ← capsnet
     assert!(
