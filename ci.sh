@@ -24,6 +24,11 @@ run cargo run --release -q -p capsacc-bench --bin exp_batch
 # (engine ≡ closed-form memory replay, zero ideal stalls) and the
 # prefetch-recovery bound, and refreshes BENCH_mem.json.
 run cargo run --release -q -p capsacc-bench --bin exp_memdse
+# Serving smoke run: asserts the ≥3x worker-scaling bound (4 workers vs
+# 1 at fixed max_batch), byte-identical determinism of the sweep, and
+# shard-pool trace bit-exactness at the tiny scale; refreshes
+# BENCH_serve.json so the serving-perf trajectory is recorded.
+run cargo run --release -q -p capsacc-bench --bin exp_serve
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 
 echo

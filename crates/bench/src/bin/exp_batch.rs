@@ -92,7 +92,9 @@ fn engine_validation(batches: &[usize]) -> Vec<Vec<String>> {
         .iter()
         .map(|&b| {
             let mut sched = BatchScheduler::new(cfg);
-            let run = sched.run(&net, &qparams, &images[..b]);
+            let run = sched
+                .run(&net, &qparams, &images[..b])
+                .expect("valid batch");
             let mut exact = true;
             for (img, trace) in images[..b].iter().zip(&run.traces) {
                 let mut acc = Accelerator::new(cfg);

@@ -106,14 +106,14 @@ fn assert_ideal_equivalence() {
         .collect();
 
     let mut ideal = BatchScheduler::new(ideal_cfg);
-    let run_ideal = ideal.run(&net, &qparams, &images);
+    let run_ideal = ideal.run(&net, &qparams, &images).expect("valid batch");
     assert_eq!(
         run_ideal.memory.stall_cycles, 0,
         "IdealMemory must not stall"
     );
 
     let mut finite = BatchScheduler::new(finite_cfg);
-    let run_finite = finite.run(&net, &qparams, &images);
+    let run_finite = finite.run(&net, &qparams, &images).expect("valid batch");
     assert_eq!(
         run_ideal.traces, run_finite.traces,
         "the memory model must never change functional results"

@@ -1,0 +1,242 @@
+//! Multi-worker serving sweep (beyond the paper): a seeded synthetic
+//! request stream through the dynamic micro-batcher and a shard pool of
+//! weight-resident workers, at the paper 16×16 configuration with the
+//! closed-form cycle model supplying batch service times.
+//!
+//! Asserts two serving invariants on every run:
+//!
+//! 1. **worker scaling** — under saturating load, 4 workers deliver at
+//!    least 3× the aggregate throughput of 1 worker at fixed
+//!    `max_batch`;
+//! 2. **determinism** — rerunning the identical sweep produces a
+//!    byte-identical serialized report (virtual time only, no wall
+//!    clock), so `BENCH_serve.json` is reproducible.
+//!
+//! Plus a cycle-accurate validation at the tiny scale: requests served
+//! through real OS-thread `BatchScheduler` workers produce traces
+//! bit-exact against fresh sequential runs.
+//!
+//! Emits `BENCH_serve.json` into the current directory so CI records
+//! the serving-perf trajectory (see `ci.sh`).
+
+use std::fmt::Write as _;
+use std::fs;
+
+use capsacc_bench::print_table;
+use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
+use capsacc_core::{Accelerator, AcceleratorConfig};
+use capsacc_serve::{simulate_serve, BatcherConfig, ServeConfig, SimOutcome, TraceConfig};
+use capsacc_tensor::Tensor;
+
+/// One measured point of the sweep.
+struct Row {
+    workers: usize,
+    max_batch: usize,
+    max_wait_cycles: u64,
+    throughput_img_s: f64,
+    p50_cycles: u64,
+    p95_cycles: u64,
+    p99_cycles: u64,
+    mean_batch: f64,
+    mean_utilization: f64,
+}
+
+/// A saturating trace: ~1 request per 500 cycles of virtual time —
+/// orders of magnitude beyond one worker's MNIST capacity, so the
+/// worker-scaling headline is load-bound, not arrival-bound.
+fn trace() -> TraceConfig {
+    TraceConfig {
+        seed: 7,
+        requests: 512,
+        mean_gap_cycles: 2_000.0,
+        mean_burst: 4.0,
+    }
+}
+
+fn sweep(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Vec<Row> {
+    let clock_hz = cfg.clock_mhz as f64 * 1e6;
+    let mut rows = Vec::new();
+    for &max_batch in &[4usize, 16, 32] {
+        for &max_wait_cycles in &[10_000u64, 1_000_000] {
+            for &workers in &[1usize, 2, 4, 8] {
+                let serve = ServeConfig {
+                    workers,
+                    batcher: BatcherConfig {
+                        max_batch,
+                        max_wait_cycles,
+                    },
+                    trace: trace(),
+                };
+                let out: SimOutcome = simulate_serve(cfg, net, &serve);
+                let [p50, p95, p99] = out.latency_percentiles();
+                let mean_utilization =
+                    (0..workers).map(|w| out.utilization(w)).sum::<f64>() / workers as f64;
+                rows.push(Row {
+                    workers,
+                    max_batch,
+                    max_wait_cycles,
+                    throughput_img_s: out.throughput_per_cycle() * clock_hz,
+                    p50_cycles: p50,
+                    p95_cycles: p95,
+                    p99_cycles: p99,
+                    mean_batch: out.mean_batch_len(),
+                    mean_utilization,
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let t = trace();
+    let mut json = format!(
+        "{{\n  \"bench\": \"exp_serve\",\n  \"config\": \"paper_16x16_250MHz\",\n  \
+         \"net\": \"mnist\",\n  \"trace\": {{\"seed\": {}, \"requests\": {}, \
+         \"mean_gap_cycles\": {}, \"mean_burst\": {}}},\n  \"rows\": [\n",
+        t.seed, t.requests, t.mean_gap_cycles, t.mean_burst,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"workers\": {}, \"max_batch\": {}, \"max_wait_cycles\": {}, \
+             \"throughput_img_s\": {:.1}, \"p50_cycles\": {}, \"p95_cycles\": {}, \
+             \"p99_cycles\": {}, \"mean_batch\": {:.2}, \"utilization\": {:.3}}}{sep}",
+            r.workers,
+            r.max_batch,
+            r.max_wait_cycles,
+            r.throughput_img_s,
+            r.p50_cycles,
+            r.p95_cycles,
+            r.p99_cycles,
+            r.mean_batch,
+            r.mean_utilization,
+        )
+        .expect("write to string");
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Cycle-accurate validation: tiny-scale requests served through real
+/// OS-thread workers must be bit-exact against sequential runs.
+fn engine_validation() {
+    let net = CapsNetConfig::tiny();
+    let cfg = AcceleratorConfig::test_4x4();
+    let qparams = CapsNetParams::generate(&net, 0).quantize(cfg.numeric);
+    // The canonical deterministic test image — keep in sync with
+    // `tests/common/mod.rs::image_for` (separate crate, cannot import).
+    let image = |s: usize| {
+        Tensor::from_fn(&[1, net.input_side, net.input_side], move |i| {
+            ((i[1] * (s + 2) + i[2] * 7 + s) % 11) as f32 / 11.0
+        })
+    };
+    let serve = ServeConfig {
+        workers: 3,
+        batcher: BatcherConfig {
+            max_batch: 4,
+            max_wait_cycles: 20_000,
+        },
+        trace: TraceConfig {
+            seed: 5,
+            requests: 12,
+            mean_gap_cycles: 2_500.0,
+            mean_burst: 2.0,
+        },
+    };
+    let (outcome, traces) = capsacc_serve::serve_with_engine(&cfg, &net, &qparams, &serve, &image)
+        .expect("valid serve");
+    assert_eq!(traces.len(), 12);
+    for (r, trace) in traces.iter().enumerate() {
+        let mut acc = Accelerator::new(cfg);
+        let single = acc.run_inference(&net, &qparams, &image(r));
+        assert_eq!(
+            &single.trace, trace,
+            "shard-pool trace diverged from sequential engine for request {r}"
+        );
+    }
+    println!(
+        "Engine validation: 12 requests, {} batches over 3 OS-thread workers — \
+         every trace bit-exact vs the sequential engine",
+        outcome.batches.len()
+    );
+}
+
+fn main() {
+    let cfg = AcceleratorConfig::paper();
+    let net = CapsNetConfig::mnist();
+
+    let rows = sweep(&cfg, &net);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                r.max_batch.to_string(),
+                r.max_wait_cycles.to_string(),
+                format!("{:.0}", r.throughput_img_s),
+                format!("{:.2}", cfg.cycles_to_us(r.p50_cycles) / 1000.0),
+                format!("{:.2}", cfg.cycles_to_us(r.p95_cycles) / 1000.0),
+                format!("{:.2}", cfg.cycles_to_us(r.p99_cycles) / 1000.0),
+                format!("{:.1}", r.mean_batch),
+                format!("{:.0}%", r.mean_utilization * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Serving sweep — MNIST requests on the 16×16 paper config (virtual time)",
+        &[
+            "Workers",
+            "MaxBatch",
+            "MaxWait cy",
+            "Img/s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "Batch",
+            "Util",
+        ],
+        &table,
+    );
+
+    // Invariant 1: ≥ 3× throughput at 4 workers vs 1, per (batch, wait).
+    for &max_batch in &[4usize, 16, 32] {
+        for &max_wait in &[10_000u64, 1_000_000] {
+            let at = |workers: usize| {
+                rows.iter()
+                    .find(|r| {
+                        r.workers == workers
+                            && r.max_batch == max_batch
+                            && r.max_wait_cycles == max_wait
+                    })
+                    .expect("swept point")
+                    .throughput_img_s
+            };
+            let (t1, t4) = (at(1), at(4));
+            assert!(
+                t4 >= 3.0 * t1,
+                "worker scaling regressed at max_batch {max_batch}, wait {max_wait}: \
+                 {t4:.0} img/s at 4 workers vs {t1:.0} at 1"
+            );
+        }
+    }
+    println!("\nWorker scaling: ≥ 3x aggregate throughput at 4 workers vs 1 (all points)");
+
+    // Invariant 2: the sweep is deterministic — a rerun serializes to
+    // the identical byte string (same seed, virtual time only).
+    let json = render_json(&rows);
+    let rerun = render_json(&sweep(&cfg, &net));
+    assert_eq!(
+        json, rerun,
+        "serving sweep is not deterministic: reruns must be byte-identical"
+    );
+    println!("Determinism: rerun of the sweep is byte-identical");
+
+    engine_validation();
+
+    match fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("\nWrote BENCH_serve.json"),
+        Err(e) => println!("\nWARNING: could not write BENCH_serve.json: {e}"),
+    }
+}

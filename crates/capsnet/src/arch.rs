@@ -1,6 +1,6 @@
 //! Architecture algebra and the Table I parameter accounting.
 
-use capsacc_tensor::ConvGeometry;
+use capsacc_tensor::{checked_product, ConvGeometry};
 
 /// The CapsuleNet architecture parameters (Fig. 1 of the paper).
 ///
@@ -145,9 +145,16 @@ impl CapsNetConfig {
 
     /// Number of primary capsules: `grid² · pc_channels` (1152 for
     /// MNIST).
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of wrapping) if the product overflows `usize`.
     pub fn num_primary_caps(&self) -> usize {
         let g = self.primary_caps_geometry();
-        g.out_h() * g.out_w() * self.pc_channels
+        checked_product(
+            "primary capsule count",
+            &[g.out_h(), g.out_w(), self.pc_channels],
+        )
     }
 
     /// Trainable parameters of Conv1 (weights + biases): 20 992.
@@ -162,14 +169,33 @@ impl CapsNetConfig {
 
     /// Trainable parameters of ClassCaps (the `W_ij` matrices, no bias):
     /// 1 474 560.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of wrapping) if the product overflows `usize`.
     pub fn class_caps_parameters(&self) -> usize {
-        self.num_primary_caps() * self.num_classes * self.pc_caps_dim * self.class_caps_dim
+        checked_product(
+            "ClassCaps parameter count",
+            &[
+                self.num_primary_caps(),
+                self.num_classes,
+                self.pc_caps_dim,
+                self.class_caps_dim,
+            ],
+        )
     }
 
     /// Run-time coupling coefficients `c_ij` (not trainable parameters,
     /// listed separately in Table I): 11 520.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of wrapping) if the product overflows `usize`.
     pub fn coupling_coefficient_count(&self) -> usize {
-        self.num_primary_caps() * self.num_classes
+        checked_product(
+            "coupling coefficient count",
+            &[self.num_primary_caps(), self.num_classes],
+        )
     }
 
     /// All trainable parameters (Conv1 + PrimaryCaps + ClassCaps).
@@ -299,6 +325,28 @@ mod tests {
         let cfg = CapsNetConfig::mnist();
         assert_eq!(cfg.pc_grid(), 6);
         assert_eq!(cfg.num_primary_caps(), 1152);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn adversarial_capsule_count_fails_loudly_instead_of_wrapping() {
+        // grid² ≈ 2^54 × 2^12 channels = 2^66 capsules: the product must
+        // panic with context here, not wrap to a small garbage value
+        // that every downstream cycle formula would silently trust.
+        let net = CapsNetConfig {
+            input_side: 1 << 27,
+            conv1_channels: 1,
+            conv1_kernel: 1,
+            conv1_stride: 1,
+            pc_channels: 1 << 12,
+            pc_caps_dim: 8,
+            pc_kernel: 1,
+            pc_stride: 1,
+            num_classes: 10,
+            class_caps_dim: 16,
+            routing_iterations: 3,
+        };
+        let _ = net.num_primary_caps();
     }
 
     #[test]

@@ -32,10 +32,13 @@
 //!     .map(|s| Tensor::from_fn(&[1, 12, 12], |i| ((i[1] * (s + 2) + i[2]) % 7) as f32 / 7.0))
 //!     .collect();
 //! let mut sched = BatchScheduler::new(cfg);
-//! let run = sched.run(&net, &qparams, &images);
+//! let run = sched.run(&net, &qparams, &images).expect("valid batch");
 //! assert_eq!(run.traces.len(), 3);
 //! assert!(run.cycles_per_image() > 0.0);
+//! assert_eq!(sched.batches_run(), 1);
 //! ```
+
+use std::fmt;
 
 use capsacc_capsnet::{CapsNetConfig, QuantOutput, QuantTrace, QuantizedParams};
 use capsacc_memory::MemReport;
@@ -46,6 +49,42 @@ use crate::config::AcceleratorConfig;
 use crate::engine::{to_chw, Accelerator, LayerRun};
 use crate::timing::RoutingStep;
 use crate::traffic::{MemoryKind, TrafficReport};
+
+/// Error rejected at the batched-inference API boundary.
+///
+/// A long-lived serving process cannot afford a panic on malformed
+/// input: an empty micro-batch or a mis-shaped image is a *request*
+/// problem, not a simulator invariant, so [`Accelerator::run_batch`]
+/// reports both as values instead of unwinding a worker thread.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BatchError {
+    /// The submitted `images` slice was empty. Micro-batchers that close
+    /// on a timer can produce this; it must be handled, not panic.
+    EmptyBatch,
+    /// An image's shape is not the `[1, input_side, input_side]` the
+    /// network expects.
+    ImageShape {
+        /// Index of the offending image in the submitted slice.
+        index: usize,
+        /// The shape that was submitted.
+        got: Vec<usize>,
+        /// The shape the network expects.
+        want: [usize; 3],
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::EmptyBatch => write!(f, "batch contains no images"),
+            BatchError::ImageShape { index, got, want } => {
+                write!(f, "image {index} has shape {got:?}, expected {want:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// Result of one batched, cycle-accurate inference pass.
 ///
@@ -84,14 +123,27 @@ impl BatchRun {
     }
 
     /// Amortized cycles per image.
+    ///
+    /// Total: a (hand-constructed) zero-image run reports `0.0`, never
+    /// NaN — [`Accelerator::run_batch`] itself refuses empty batches
+    /// with [`BatchError::EmptyBatch`].
     pub fn cycles_per_image(&self) -> f64 {
+        if self.batch == 0 {
+            return 0.0;
+        }
         self.total_cycles() as f64 / self.batch as f64
     }
 
     /// Amortized Weight Buffer read bytes per image — the headline
     /// data-reuse metric: with residency across the batch this shrinks
     /// as the batch grows.
+    ///
+    /// Total like [`BatchRun::cycles_per_image`]: `0.0` on a zero-image
+    /// run, never NaN.
     pub fn weight_buffer_bytes_per_image(&self) -> f64 {
+        if self.batch == 0 {
+            return 0.0;
+        }
         self.traffic.counter(MemoryKind::WeightBuffer).read_bytes as f64 / self.batch as f64
     }
 }
@@ -107,6 +159,8 @@ impl BatchRun {
 #[derive(Debug)]
 pub struct BatchScheduler {
     acc: Accelerator,
+    batches_run: u64,
+    images_run: u64,
 }
 
 impl BatchScheduler {
@@ -118,6 +172,8 @@ impl BatchScheduler {
     pub fn new(cfg: AcceleratorConfig) -> Self {
         Self {
             acc: Accelerator::new(cfg),
+            batches_run: 0,
+            images_run: 0,
         }
     }
 
@@ -126,16 +182,55 @@ impl BatchScheduler {
         &self.acc
     }
 
+    /// Batches served since construction — the uptime view a serving
+    /// replica reports. Failed (rejected) batches do not count.
+    pub fn batches_run(&self) -> u64 {
+        self.batches_run
+    }
+
+    /// Images served since construction, across all batches.
+    pub fn images_run(&self) -> u64 {
+        self.images_run
+    }
+
+    /// Consumes the scheduler, returning the long-lived accelerator with
+    /// all its cumulative counters — for inspecting a serving replica
+    /// after its shard shuts down.
+    pub fn into_accelerator(self) -> Accelerator {
+        self.acc
+    }
+
     /// Runs one batch. See [`Accelerator::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] on an empty batch or a mis-shaped image;
+    /// the scheduler state is untouched in that case and the next batch
+    /// can proceed.
     pub fn run(
         &mut self,
         net: &CapsNetConfig,
         qparams: &QuantizedParams,
         images: &[Tensor<f32>],
-    ) -> BatchRun {
-        self.acc.run_batch(net, qparams, images)
+    ) -> Result<BatchRun, BatchError> {
+        let run = self.acc.run_batch(net, qparams, images)?;
+        self.batches_run += 1;
+        self.images_run += run.batch as u64;
+        Ok(run)
     }
 }
+
+// Compile-time Send/Sync audit: the serving shard pool
+// (`capsacc-serve`) moves long-lived schedulers onto OS worker threads,
+// so the whole engine state must be `Send` (it is plain owned data —
+// no interior mutability, no shared handles).
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Accelerator>();
+    assert_send_sync::<BatchScheduler>();
+    assert_send_sync::<BatchRun>();
+    assert_send_sync::<BatchError>();
+};
 
 impl Accelerator {
     /// Runs a batch of CapsuleNet inferences cycle-accurately with the
@@ -148,17 +243,32 @@ impl Accelerator {
     /// [`Accelerator::run_inference`] of the same image on a fresh
     /// accelerator, including the per-image saturation counts.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `images` is empty or any image is not
-    /// `[1, input_side, input_side]`.
+    /// Returns [`BatchError::EmptyBatch`] if `images` is empty and
+    /// [`BatchError::ImageShape`] if any image is not
+    /// `[1, input_side, input_side]` — both checked up front, before any
+    /// counter moves, so a rejected batch leaves the accelerator state
+    /// untouched (a long-lived serving worker keeps going).
     pub fn run_batch(
         &mut self,
         net: &CapsNetConfig,
         qparams: &QuantizedParams,
         images: &[Tensor<f32>],
-    ) -> BatchRun {
-        assert!(!images.is_empty(), "empty batch");
+    ) -> Result<BatchRun, BatchError> {
+        if images.is_empty() {
+            return Err(BatchError::EmptyBatch);
+        }
+        let want = [1, net.input_side, net.input_side];
+        for (index, im) in images.iter().enumerate() {
+            if im.shape() != want {
+                return Err(BatchError::ImageShape {
+                    index,
+                    got: im.shape().to_vec(),
+                    want,
+                });
+            }
+        }
         let batch = images.len();
         let ncfg = self.cfg.numeric;
         // Snapshot the accelerator counters so the returned report
@@ -356,7 +466,7 @@ impl Accelerator {
             memory_stall_cycles: self.memory_stall_cycles - m0,
         });
 
-        BatchRun {
+        Ok(BatchRun {
             traces,
             layers,
             steps,
@@ -364,6 +474,89 @@ impl Accelerator {
             memory: self.memory.report().since(&memory_at_start),
             accumulator_saturations: self.accumulator_saturations - saturations_at_start,
             batch,
-        }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsacc_capsnet::CapsNetParams;
+
+    fn setup() -> (CapsNetConfig, AcceleratorConfig, QuantizedParams) {
+        let net = CapsNetConfig::tiny();
+        let cfg = AcceleratorConfig::test_4x4();
+        let qparams = CapsNetParams::generate(&net, 1).quantize(cfg.numeric);
+        (net, cfg, qparams)
+    }
+
+    #[test]
+    fn empty_batch_is_an_error_not_a_panic() {
+        let (net, cfg, qparams) = setup();
+        let mut sched = BatchScheduler::new(cfg);
+        let err = sched.run(&net, &qparams, &[]).unwrap_err();
+        assert_eq!(err, BatchError::EmptyBatch);
+        assert_eq!(err.to_string(), "batch contains no images");
+        // A rejected batch leaves the scheduler serviceable and does not
+        // count towards the uptime counters.
+        assert_eq!(sched.batches_run(), 0);
+        let image = Tensor::from_fn(&[1, 12, 12], |i| (i[1] + i[2]) as f32 / 24.0);
+        let run = sched.run(&net, &qparams, &[image]).expect("valid batch");
+        assert_eq!(run.batch, 1);
+        assert_eq!((sched.batches_run(), sched.images_run()), (1, 1));
+    }
+
+    #[test]
+    fn mis_shaped_image_is_an_error_with_context() {
+        let (net, cfg, qparams) = setup();
+        let mut acc = Accelerator::new(cfg);
+        let good = Tensor::from_fn(&[1, 12, 12], |i| (i[1] * i[2]) as f32 / 144.0);
+        let bad = Tensor::from_fn(&[1, 8, 8], |i| (i[1] + i[2]) as f32 / 16.0);
+        let cycles_before = acc.array_cycles();
+        let err = acc.run_batch(&net, &qparams, &[good, bad]).unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::ImageShape {
+                index: 1,
+                got: vec![1, 8, 8],
+                want: [1, 12, 12],
+            }
+        );
+        assert!(err.to_string().contains("image 1"));
+        // Checked before any counter moves: the engine state is clean.
+        assert_eq!(acc.array_cycles(), cycles_before);
+        assert_eq!(acc.traffic().total_bytes(), 0);
+    }
+
+    #[test]
+    fn per_image_views_are_total_on_zero_image_runs() {
+        let (net, cfg, qparams) = setup();
+        let mut sched = BatchScheduler::new(cfg);
+        let image = Tensor::from_fn(&[1, 12, 12], |i| (i[1] + i[2]) as f32 / 24.0);
+        let mut run = sched.run(&net, &qparams, &[image]).expect("valid batch");
+        // A hand-constructed zero-image view (the fields are public)
+        // must stay total: 0.0, never NaN.
+        run.batch = 0;
+        assert_eq!(run.cycles_per_image(), 0.0);
+        assert_eq!(run.weight_buffer_bytes_per_image(), 0.0);
+        assert!(!run.cycles_per_image().is_nan());
+    }
+
+    #[test]
+    fn scheduler_reuse_counters_accumulate() {
+        let (net, cfg, qparams) = setup();
+        let images: Vec<Tensor<f32>> = (0..3)
+            .map(|s| Tensor::from_fn(&[1, 12, 12], |i| ((i[1] * (s + 2) + i[2]) % 7) as f32 / 7.0))
+            .collect();
+        let mut sched = BatchScheduler::new(cfg);
+        sched.run(&net, &qparams, &images).expect("batch 1");
+        sched.run(&net, &qparams, &images[..2]).expect("batch 2");
+        assert_eq!(sched.batches_run(), 2);
+        assert_eq!(sched.images_run(), 5);
+        // The consumed accelerator carries the cumulative counters of
+        // both batches (strictly more than one batch's worth).
+        let acc = sched.into_accelerator();
+        assert!(acc.array_cycles() > 0);
+        assert!(acc.traffic().total_bytes() > 0);
     }
 }

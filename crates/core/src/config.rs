@@ -206,6 +206,34 @@ mod tests {
     }
 
     #[test]
+    fn memory_validation_is_wired_into_accelerator_validation() {
+        // A zero-bandwidth or zero-burst DRAM channel divides by zero in
+        // the channel cycle math: `AcceleratorConfig::validate` must
+        // surface `MemoryConfig::validate`'s rejection, so no engine can
+        // be constructed around a divide-by-zero hierarchy.
+        let mut c = AcceleratorConfig::paper();
+        c.memory.dram.bytes_per_cycle = 0;
+        assert!(c.validate().unwrap_err().contains("DRAM"));
+        let mut c = AcceleratorConfig::paper();
+        c.memory.dram.burst_bytes = 0;
+        assert!(c.validate().unwrap_err().contains("DRAM"));
+        let mut c = AcceleratorConfig::paper();
+        c.memory.prefetch_buffers = 0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::paper();
+        c.memory.weight_spm.banks = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid accelerator configuration")]
+    fn accelerator_refuses_divide_by_zero_memory() {
+        let mut c = AcceleratorConfig::test_4x4();
+        c.memory.dram.burst_bytes = 0;
+        let _ = crate::Accelerator::new(c);
+    }
+
+    #[test]
     fn default_dataflow_enables_all_reuse() {
         let d = DataflowOptions::default();
         assert!(d.weight_reuse && d.pipelined_tiles && d.routing_feedback && d.skip_first_softmax);

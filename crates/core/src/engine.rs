@@ -581,14 +581,18 @@ impl Accelerator {
     ///
     /// # Panics
     ///
-    /// Panics if `image` is not `[1, input_side, input_side]`.
+    /// Panics if `image` is not `[1, input_side, input_side]` (the
+    /// batched entry point [`Accelerator::run_batch`] reports the same
+    /// condition as a [`crate::BatchError`] instead).
     pub fn run_inference(
         &mut self,
         net: &CapsNetConfig,
         qparams: &QuantizedParams,
         image: &Tensor<f32>,
     ) -> InferenceRun {
-        let mut run = self.run_batch(net, qparams, std::slice::from_ref(image));
+        let mut run = self
+            .run_batch(net, qparams, std::slice::from_ref(image))
+            .unwrap_or_else(|e| panic!("run_inference: {e}"));
         InferenceRun {
             trace: run.traces.pop().expect("batch of one"),
             layers: run.layers,
@@ -604,9 +608,10 @@ impl Accelerator {
 mod tests {
     use super::*;
     use crate::config::AcceleratorConfig;
-    use crate::timing::{matmul_cycles, MatmulShape};
+    use crate::timing::{batch_matmul_cycles, matmul_cycles, MatmulShape};
     use capsacc_capsnet::{infer_q8_traced, CapsNetParams};
     use capsacc_tensor::qops;
+    use proptest::prelude::*;
 
     fn test_acc() -> Accelerator {
         Accelerator::new(AcceleratorConfig::test_4x4())
@@ -788,6 +793,47 @@ mod tests {
         );
         assert_eq!(run.layers.len(), 3);
         assert!(run.layers.iter().all(|l| l.cycles() > 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Extreme-but-valid shapes after the checked-cast audit
+        /// (deep-K reductions hundreds of tiles long, wider than any
+        /// layer in the paper's network): the closed-form model and the
+        /// ticked engine must still agree cycle-exactly on serial
+        /// tiles — the conversion to checked/`try_from` arithmetic
+        /// changed no in-range value.
+        #[test]
+        fn extreme_shapes_model_and_engine_agree(
+            m in 1usize..4,
+            k in 1024usize..3072,
+            n in 1usize..10,
+            batch in 1usize..3,
+        ) {
+            let mut cfg = AcceleratorConfig::test_4x4();
+            cfg.dataflow.pipelined_tiles = false;
+            let mut acc = Accelerator::new(cfg);
+            let before = acc.array_cycles();
+            acc.matmul_batch(
+                batch,
+                &|img, mi, ki| ((img + mi + ki) % 5) as i8,
+                &|ki, ni| ((ki ^ ni) % 7) as i8,
+                m,
+                k,
+                n,
+                None,
+                6,
+                ActivationKind::Identity,
+            );
+            let got = acc.array_cycles() - before;
+            let expect = batch_matmul_cycles(
+                MatmulShape { m: m as u64, k: k as u64, n: n as u64 },
+                batch as u64,
+                &cfg,
+            );
+            prop_assert_eq!(got, expect, "engine/model divergence at m={} k={} n={} b={}", m, k, n, batch);
+        }
     }
 
     #[test]

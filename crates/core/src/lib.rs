@@ -67,7 +67,7 @@ mod traffic;
 
 pub use accumulator::AccumulatorUnit;
 pub use activation::{ActivationKind, ActivationUnit};
-pub use batch::{BatchRun, BatchScheduler};
+pub use batch::{BatchError, BatchRun, BatchScheduler};
 pub use capsacc_memory::{
     DramConfig, MatmulGeometry, MemReport, MemoryConfig, MemoryMode, MemorySubsystem, SpmActivity,
     SpmConfig, SpmKind, TileSchedule,

@@ -41,6 +41,27 @@ fn ceil_div(a: u64, b: u64) -> u64 {
     a.div_ceil(b)
 }
 
+/// Widens a `usize` dimension into the `u64` cycle domain. Lossless on
+/// every supported target; funnelling all widenings through one audited
+/// site keeps the bare-`as`-cast inventory of this module at zero.
+fn u64_from(x: usize) -> u64 {
+    u64::try_from(x).expect("dimension exceeds u64")
+}
+
+/// Narrows a `u64` shape back to the `usize` geometry domain (for the
+/// memory-subsystem replay), loud on 32-bit targets instead of
+/// truncating.
+fn usize_from(x: u64) -> usize {
+    usize::try_from(x).expect("shape exceeds usize")
+}
+
+/// Product of shape factors with overflow detection: an adversarially
+/// large (but type-valid) network must fail loudly — release builds
+/// would otherwise wrap `u64` multiplications silently and report
+/// garbage cycle counts. (The shared fold lives in `capsacc-tensor`
+/// next to the geometry products it also guards.)
+use capsacc_tensor::checked_product_u64 as checked_product;
+
 /// Whether consecutive tiles can actually pipeline: the dataflow switch
 /// must be on **and** the Weight Buffer must hold two tiles (the double
 /// buffer the overlap physically needs). Undersized buffers silently
@@ -81,7 +102,7 @@ fn debug_assert_tile_fits(cfg: &AcceleratorConfig) {
 /// all).
 pub fn matmul_cycles(shape: MatmulShape, cfg: &AcceleratorConfig) -> u64 {
     debug_assert_tile_fits(cfg);
-    let (r, c) = (cfg.rows as u64, cfg.cols as u64);
+    let (r, c) = (u64_from(cfg.rows), u64_from(cfg.cols));
     let kk = ceil_div(shape.k, r).max(1);
     let nn = ceil_div(shape.n, c).max(1);
     let m = shape.m;
@@ -89,25 +110,27 @@ pub fn matmul_cycles(shape: MatmulShape, cfg: &AcceleratorConfig) -> u64 {
     if !cfg.dataflow.weight_reuse {
         // Reload the tile before every data row: the weight2 path is
         // disabled, so each row pays a full load.
-        return nn * kk * (m * load + (m + r + c));
+        let per_tile = checked_product("matmul reload schedule", &[m, load]) + (m + r + c);
+        return checked_product("matmul cycle count", &[nn, kk, per_tile]);
     }
     if tiles_pipeline(cfg) {
         // Initial load, then back-to-back K-tiles; each subsequent tile
         // is gated by max(data streaming, weight reload); one drain.
-        nn * (load + m + (kk - 1) * m.max(load) + (r + c))
+        let steady = checked_product("matmul pipelined tiles", &[kk - 1, m.max(load)]);
+        checked_product("matmul cycle count", &[nn, load + m + steady + (r + c)])
     } else {
-        nn * kk * (load + m + r + c)
+        checked_product("matmul cycle count", &[nn, kk, load + m + r + c])
     }
 }
 
 /// Weight bytes a matmul reads from the weight store (each weight once
 /// per N-tile visit with reuse; once per data row without).
 pub fn matmul_weight_bytes(shape: MatmulShape, cfg: &AcceleratorConfig) -> u64 {
-    let per_visit = shape.k * shape.n;
+    let per_visit = checked_product("matmul weight footprint", &[shape.k, shape.n]);
     if cfg.dataflow.weight_reuse {
         per_visit
     } else {
-        per_visit * shape.m.max(1)
+        checked_product("matmul weight reloads", &[per_visit, shape.m.max(1)])
     }
 }
 
@@ -126,11 +149,11 @@ pub fn matmul_weight_bytes(shape: MatmulShape, cfg: &AcceleratorConfig) -> u64 {
 /// reuse-enabled configurations (the ones the engine can execute).
 pub fn batch_matmul_cycles(shape: MatmulShape, batch: u64, cfg: &AcceleratorConfig) -> u64 {
     if !cfg.dataflow.weight_reuse {
-        return batch * matmul_cycles(shape, cfg);
+        return checked_product("batched matmul cycles", &[batch, matmul_cycles(shape, cfg)]);
     }
     matmul_cycles(
         MatmulShape {
-            m: shape.m * batch,
+            m: checked_product("batched data rows", &[shape.m, batch]),
             ..shape
         },
         cfg,
@@ -143,7 +166,10 @@ pub fn batch_matmul_weight_bytes(shape: MatmulShape, batch: u64, cfg: &Accelerat
     if cfg.dataflow.weight_reuse {
         matmul_weight_bytes(shape, cfg)
     } else {
-        batch * matmul_weight_bytes(shape, cfg)
+        checked_product(
+            "batched weight reloads",
+            &[batch, matmul_weight_bytes(shape, cfg)],
+        )
     }
 }
 
@@ -203,12 +229,12 @@ pub fn conv_layer(
     cfg: &AcceleratorConfig,
 ) -> LayerTiming {
     let shape = MatmulShape {
-        m: g.patches() as u64,
-        k: g.patch_len() as u64,
-        n: g.out_ch as u64,
+        m: u64_from(g.patches()),
+        k: u64_from(g.patch_len()),
+        n: u64_from(g.out_ch),
     };
     let compute = matmul_cycles(shape, cfg);
-    let weight_bytes = matmul_weight_bytes(shape, cfg) + g.out_ch as u64; // + biases
+    let weight_bytes = matmul_weight_bytes(shape, cfg) + u64_from(g.out_ch); // + biases
     let act = if relu {
         // ReLU is pipelined behind the output stream: latency only.
         ActivationUnit::reduce_cycles(0)
@@ -223,9 +249,9 @@ pub fn conv_layer(
 pub fn primary_caps_layer(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> LayerTiming {
     let g = net.primary_caps_geometry();
     let conv = conv_layer("PrimaryCaps", &g, false, cfg);
-    let caps = net.num_primary_caps() as u64;
-    let au = cfg.activation_units as u64;
-    let squash = ceil_div(caps, au) * ActivationUnit::squash_cycles(net.pc_caps_dim as u64);
+    let caps = u64_from(net.num_primary_caps());
+    let au = u64_from(cfg.activation_units);
+    let squash = ceil_div(caps, au) * ActivationUnit::squash_cycles(u64_from(net.pc_caps_dim));
     LayerTiming::new(
         "PrimaryCaps",
         conv.compute_cycles,
@@ -297,13 +323,17 @@ impl RoutingStepTiming {
 /// is replaced by the direct `c_ij = 1/J` initialization (Sec. V), whose
 /// cost is a single coupling broadcast into the Routing Buffer.
 pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<RoutingStepTiming> {
-    let caps = net.num_primary_caps() as u64;
-    let classes = net.num_classes as u64;
-    let in_dim = net.pc_caps_dim as u64;
-    let out_dim = net.class_caps_dim as u64;
-    let au = cfg.activation_units as u64;
-    let u_hat_bytes = caps * classes * out_dim;
-    let coupling_bytes = caps * classes;
+    let caps = u64_from(net.num_primary_caps());
+    let classes = u64_from(net.num_classes);
+    let in_dim = u64_from(net.pc_caps_dim);
+    let out_dim = u64_from(net.class_caps_dim);
+    let au = u64_from(cfg.activation_units);
+    let u_hat_bytes = checked_product("û working set", &[caps, classes, out_dim]);
+    let coupling_bytes = checked_product("coupling set", &[caps, classes]);
+    // Checked independently of `u_hat_bytes`/`coupling_bytes`: with
+    // `caps == 0` those products are 0 and would mask an overflow here.
+    let cc_bytes = checked_product("class capsules", &[classes, out_dim]);
+    let coupling_rw = checked_product("coupling read+write", &[2, coupling_bytes]);
     let mut steps = Vec::new();
 
     // Load: stage the û working set into the Data Buffer once.
@@ -315,13 +345,24 @@ pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<Routin
 
     // FC: û_{j|i} = W_ij · u_i — one (in_dim × classes·out_dim) matmul
     // per input capsule with M = 1; tiles pipeline across capsules.
-    let fc_weight_bytes = caps * classes * out_dim * in_dim;
-    let fc_shape_tiles = caps * ceil_div(classes * out_dim, cfg.cols as u64);
-    let load = cfg.rows as u64 + 1;
+    let fc_weight_bytes = checked_product("ClassCaps FC weights", &[u_hat_bytes, in_dim]);
+    let fc_shape_tiles = checked_product(
+        "ClassCaps FC tiles",
+        &[caps, ceil_div(cc_bytes, u64_from(cfg.cols))],
+    );
+    let load = u64_from(cfg.rows) + 1;
     let fc_compute = if tiles_pipeline(cfg) {
-        load + 1 + (fc_shape_tiles - 1) * 1u64.max(load) + (cfg.rows + cfg.cols) as u64
+        load + 1
+            + checked_product(
+                "ClassCaps FC pipeline",
+                &[fc_shape_tiles - 1, 1u64.max(load)],
+            )
+            + u64_from(cfg.rows + cfg.cols)
     } else {
-        fc_shape_tiles * (load + 1 + (cfg.rows + cfg.cols) as u64)
+        checked_product(
+            "ClassCaps FC cycles",
+            &[fc_shape_tiles, load + 1 + u64_from(cfg.rows + cfg.cols)],
+        )
     };
     let fc_stream = ceil_div(fc_weight_bytes, cfg.weight_mem_bw);
     steps.push(RoutingStepTiming {
@@ -339,7 +380,7 @@ pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<Routin
             ceil_div(coupling_bytes, cfg.routing_buf_bw)
         } else {
             let compute = ceil_div(caps, au) * ActivationUnit::softmax_cycles(classes);
-            let traffic = ceil_div(2 * coupling_bytes, cfg.routing_buf_bw);
+            let traffic = ceil_div(coupling_rw, cfg.routing_buf_bw);
             compute.max(traffic)
         };
         steps.push(RoutingStepTiming {
@@ -350,14 +391,16 @@ pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<Routin
 
         // Sum: per class, û tiles (R capsules × out_dim) weight-stationary
         // with the coupling row streamed (M = 1).
-        let chunks = ceil_div(caps, cfg.rows as u64);
-        let ntiles = ceil_div(out_dim, cfg.cols as u64);
+        let chunks = ceil_div(caps, u64_from(cfg.rows));
+        let ntiles = ceil_div(out_dim, u64_from(cfg.cols));
+        let drain = u64_from(cfg.rows + cfg.cols);
         let per_class = if tiles_pipeline(cfg) {
-            ntiles * (load + 1 + (chunks - 1) * 1u64.max(load) + (cfg.rows + cfg.cols) as u64)
+            let steady = checked_product("routing Sum pipeline", &[chunks - 1, 1u64.max(load)]);
+            checked_product("routing Sum tiles", &[ntiles, load + 1 + steady + drain])
         } else {
-            ntiles * chunks * (load + 1 + (cfg.rows + cfg.cols) as u64)
+            checked_product("routing Sum tiles", &[ntiles, chunks, load + 1 + drain])
         };
-        let mut sum_cycles = classes * per_class;
+        let mut sum_cycles = checked_product("routing Sum cycles", &[classes, per_class]);
         let mut sum_mem = 0;
         if !cfg.dataflow.routing_feedback {
             // No feedback: re-read û from Data Memory for this pass.
@@ -372,7 +415,7 @@ pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<Routin
 
         // Squash: one class capsule per activation unit.
         let squash_compute = ceil_div(classes, au) * ActivationUnit::squash_cycles(out_dim);
-        let squash_traffic = ceil_div(classes * out_dim, cfg.routing_buf_bw); // write v_j
+        let squash_traffic = ceil_div(cc_bytes, cfg.routing_buf_bw); // write v_j
         steps.push(RoutingStepTiming {
             step: RoutingStep::Squash(iter),
             cycles: squash_compute.max(squash_traffic),
@@ -382,9 +425,10 @@ pub fn routing_steps(net: &CapsNetConfig, cfg: &AcceleratorConfig) -> Vec<Routin
         // Update (all but the last iteration): per class, v_j is the
         // weight tile (out_dim × 1) and all û rows stream (M = caps).
         if iter < net.routing_iterations {
-            let per_class_update = load + caps + (cfg.rows + cfg.cols) as u64;
-            let mut upd_cycles = classes * per_class_update;
-            let traffic = ceil_div(2 * coupling_bytes, cfg.routing_buf_bw); // b read+write
+            let per_class_update = load + caps + drain;
+            let mut upd_cycles =
+                checked_product("routing Update cycles", &[classes, per_class_update]);
+            let traffic = ceil_div(coupling_rw, cfg.routing_buf_bw); // b read+write
             upd_cycles = upd_cycles.max(traffic);
             let mut upd_mem = 0;
             if !cfg.dataflow.routing_feedback {
@@ -480,12 +524,15 @@ pub fn full_inference(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Inference
 /// ```
 pub fn working_set_check(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Vec<String> {
     let mut warnings = Vec::new();
-    let caps = net.num_primary_caps();
-    let classes = net.num_classes;
-    let out_dim = net.class_caps_dim;
+    // Footprints are computed in u64 with overflow checks: a working-set
+    // *checker* wrapping silently on an adversarial net would defeat its
+    // own purpose.
+    let caps = u64_from(net.num_primary_caps());
+    let classes = u64_from(net.num_classes);
+    let out_dim = u64_from(net.class_caps_dim);
 
-    let u_hat_bytes = caps * classes * out_dim;
-    if u_hat_bytes > cfg.data_buffer_bytes {
+    let u_hat_bytes = checked_product("û working set", &[caps, classes, out_dim]);
+    if u_hat_bytes > u64_from(cfg.data_buffer_bytes) {
         warnings.push(format!(
             "û working set ({u_hat_bytes} B) exceeds the Data Buffer ({} B): \
              routing reuse degrades to memory re-reads",
@@ -496,8 +543,11 @@ pub fn working_set_check(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Vec<St
         ("Conv1", net.conv1_geometry()),
         ("PrimaryCaps", net.primary_caps_geometry()),
     ] {
-        let stripe = g.patches() * cfg.rows.min(g.patch_len());
-        if stripe > cfg.data_buffer_bytes {
+        let stripe = checked_product(
+            "im2col stripe",
+            &[u64_from(g.patches()), u64_from(cfg.rows.min(g.patch_len()))],
+        );
+        if stripe > u64_from(cfg.data_buffer_bytes) {
             warnings.push(format!(
                 "{name} im2col stripe ({stripe} B) exceeds the Data Buffer ({} B)",
                 cfg.data_buffer_bytes
@@ -505,8 +555,9 @@ pub fn working_set_check(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Vec<St
         }
     }
 
-    let routing_set = 2 * caps * classes + classes * out_dim;
-    if routing_set > cfg.routing_buffer_bytes {
+    let routing_set = checked_product("routing state", &[2, caps, classes])
+        + checked_product("class capsules", &[classes, out_dim]);
+    if routing_set > u64_from(cfg.routing_buffer_bytes) {
         warnings.push(format!(
             "routing state ({routing_set} B of couplings+logits+capsules) exceeds \
              the Routing Buffer ({} B)",
@@ -534,15 +585,15 @@ pub fn conv_layer_batch(
     cfg: &AcceleratorConfig,
 ) -> LayerTiming {
     let shape = MatmulShape {
-        m: g.patches() as u64,
-        k: g.patch_len() as u64,
-        n: g.out_ch as u64,
+        m: u64_from(g.patches()),
+        k: u64_from(g.patch_len()),
+        n: u64_from(g.out_ch),
     };
     let compute = batch_matmul_cycles(shape, batch, cfg);
     let biases = if cfg.dataflow.weight_reuse {
-        g.out_ch as u64
+        u64_from(g.out_ch)
     } else {
-        batch * g.out_ch as u64
+        checked_product("bias reloads", &[batch, u64_from(g.out_ch)])
     };
     let weight_bytes = batch_matmul_weight_bytes(shape, batch, cfg) + biases;
     let act = if relu {
@@ -551,7 +602,8 @@ pub fn conv_layer_batch(
     } else {
         0
     };
-    LayerTiming::new(name, compute, weight_bytes, act, batch * g.macs(), cfg)
+    let macs = checked_product("batched conv MACs", &[batch, g.macs()]);
+    LayerTiming::new(name, compute, weight_bytes, act, macs, cfg)
 }
 
 /// Batched PrimaryCaps timing: the weight-resident convolution plus the
@@ -564,9 +616,16 @@ pub fn primary_caps_layer_batch(
 ) -> LayerTiming {
     let g = net.primary_caps_geometry();
     let conv = conv_layer_batch("PrimaryCaps", &g, false, batch, cfg);
-    let caps = net.num_primary_caps() as u64;
-    let au = cfg.activation_units as u64;
-    let squash = batch * ceil_div(caps, au) * ActivationUnit::squash_cycles(net.pc_caps_dim as u64);
+    let caps = u64_from(net.num_primary_caps());
+    let au = u64_from(cfg.activation_units);
+    let squash = checked_product(
+        "batched squash cycles",
+        &[
+            batch,
+            ceil_div(caps, au),
+            ActivationUnit::squash_cycles(u64_from(net.pc_caps_dim)),
+        ],
+    );
     LayerTiming::new(
         "PrimaryCaps",
         conv.compute_cycles,
@@ -592,25 +651,41 @@ pub fn batch_routing_steps(
     let mut steps = routing_steps(net, cfg);
     for s in steps.iter_mut() {
         if s.step == RoutingStep::Fc && cfg.dataflow.weight_reuse {
-            let caps = net.num_primary_caps() as u64;
-            let classes = net.num_classes as u64;
-            let out_dim = net.class_caps_dim as u64;
-            let in_dim = net.pc_caps_dim as u64;
-            let fc_weight_bytes = caps * classes * out_dim * in_dim;
-            let fc_tiles = caps * ceil_div(classes * out_dim, cfg.cols as u64);
-            let load = cfg.rows as u64 + 1;
+            let caps = u64_from(net.num_primary_caps());
+            let classes = u64_from(net.num_classes);
+            let out_dim = u64_from(net.class_caps_dim);
+            let in_dim = u64_from(net.pc_caps_dim);
+            let fc_weight_bytes =
+                checked_product("ClassCaps FC weights", &[caps, classes, out_dim, in_dim]);
+            let fc_tiles = checked_product(
+                "ClassCaps FC tiles",
+                &[
+                    caps,
+                    ceil_div(
+                        checked_product("class capsules", &[classes, out_dim]),
+                        u64_from(cfg.cols),
+                    ),
+                ],
+            );
+            let load = u64_from(cfg.rows) + 1;
             // M = batch rows per capsule-tile instead of 1.
             let fc_compute = if tiles_pipeline(cfg) {
-                load + batch + (fc_tiles - 1) * batch.max(load) + (cfg.rows + cfg.cols) as u64
+                load + batch
+                    + checked_product("ClassCaps FC pipeline", &[fc_tiles - 1, batch.max(load)])
+                    + u64_from(cfg.rows + cfg.cols)
             } else {
-                fc_tiles * (load + batch + (cfg.rows + cfg.cols) as u64)
+                checked_product(
+                    "ClassCaps FC cycles",
+                    &[fc_tiles, load + batch + u64_from(cfg.rows + cfg.cols)],
+                )
             };
             let fc_stream = ceil_div(fc_weight_bytes, cfg.weight_mem_bw);
             s.cycles = fc_compute.max(fc_stream);
-            s.data_mem_bytes = batch * caps * classes * out_dim;
+            s.data_mem_bytes =
+                checked_product("batched û stream", &[batch, caps, classes, out_dim]);
         } else {
-            s.cycles *= batch;
-            s.data_mem_bytes *= batch;
+            s.cycles = checked_product("batched step cycles", &[s.cycles, batch]);
+            s.data_mem_bytes = checked_product("batched step bytes", &[s.data_mem_bytes, batch]);
         }
     }
     steps
@@ -690,12 +765,19 @@ pub fn full_inference_batch(
     batch: u64,
 ) -> BatchInferenceTiming {
     assert!(batch > 0, "batch must be non-zero");
-    let fc_once =
-        (net.num_primary_caps() * net.num_classes * net.class_caps_dim * net.pc_caps_dim) as u64;
+    let fc_once = checked_product(
+        "ClassCaps FC weights",
+        &[
+            u64_from(net.num_primary_caps()),
+            u64_from(net.num_classes),
+            u64_from(net.class_caps_dim),
+            u64_from(net.pc_caps_dim),
+        ],
+    );
     let fc_weight_bytes = if cfg.dataflow.weight_reuse {
         fc_once
     } else {
-        batch * fc_once
+        checked_product("batched FC weight reloads", &[batch, fc_once])
     };
     BatchInferenceTiming {
         batch,
@@ -762,18 +844,19 @@ pub fn batch_traffic_estimate(
     use crate::{MemoryKind, TrafficReport};
     assert!(batch > 0, "batch must be non-zero");
     let mut t = TrafficReport::default();
-    let (r, c) = (cfg.rows as u64, cfg.cols as u64);
+    let (r, c) = (u64_from(cfg.rows), u64_from(cfg.cols));
+    let product = checked_product;
 
     let conv = |t: &mut TrafficReport, g: &ConvGeometry| {
         let shape = MatmulShape {
-            m: g.patches() as u64,
-            k: g.patch_len() as u64,
-            n: g.out_ch as u64,
+            m: u64_from(g.patches()),
+            k: u64_from(g.patch_len()),
+            n: u64_from(g.out_ch),
         };
         let biases = if cfg.dataflow.weight_reuse {
-            g.out_ch as u64
+            u64_from(g.out_ch)
         } else {
-            batch * g.out_ch as u64
+            product("bias reloads", &[batch, u64_from(g.out_ch)])
         };
         let wbytes = batch_matmul_weight_bytes(shape, batch, cfg) + biases;
         t.read(MemoryKind::WeightMemory, wbytes);
@@ -781,71 +864,118 @@ pub fn batch_traffic_estimate(
         // Off chip, each weight and bias crosses the DRAM channel once
         // per batch (the engine's prefetcher fetches every tile exactly
         // once; biases ride along with the layer's stream).
-        t.read(MemoryKind::Dram, shape.k * shape.n + g.out_ch as u64);
+        t.read(
+            MemoryKind::Dram,
+            product("conv weights", &[shape.k, shape.n]) + u64_from(g.out_ch),
+        );
         // Every N-tile re-streams all data rows over each K-slice, for
         // every image.
         let nn = ceil_div(shape.n, c);
-        t.read(MemoryKind::DataBuffer, batch * nn * shape.m * shape.k);
-        t.read(MemoryKind::DataMemory, batch * g.input_len() as u64);
-        t.write(MemoryKind::DataMemory, batch * g.output_len() as u64);
+        t.read(
+            MemoryKind::DataBuffer,
+            product("conv data stream", &[batch, nn, shape.m, shape.k]),
+        );
+        t.read(
+            MemoryKind::DataMemory,
+            product("conv inputs", &[batch, u64_from(g.input_len())]),
+        );
+        t.write(
+            MemoryKind::DataMemory,
+            product("conv outputs", &[batch, u64_from(g.output_len())]),
+        );
     };
     // Input images are staged from DRAM once per image.
     t.read(
         MemoryKind::Dram,
-        batch * net.conv1_geometry().input_len() as u64,
+        product(
+            "input staging",
+            &[batch, u64_from(net.conv1_geometry().input_len())],
+        ),
     );
     conv(&mut t, &net.conv1_geometry());
     conv(&mut t, &net.primary_caps_geometry());
 
-    let caps = net.num_primary_caps() as u64;
-    let classes = net.num_classes as u64;
-    let in_dim = net.pc_caps_dim as u64;
-    let out_dim = net.class_caps_dim as u64;
-    let u_hat_bytes = caps * classes * out_dim;
-    let coupling_bytes = caps * classes;
+    let caps = u64_from(net.num_primary_caps());
+    let classes = u64_from(net.num_classes);
+    let in_dim = u64_from(net.pc_caps_dim);
+    let out_dim = u64_from(net.class_caps_dim);
+    let u_hat_bytes = product("û working set", &[caps, classes, out_dim]);
+    let coupling_bytes = product("coupling set", &[caps, classes]);
 
     // FC: each W_ij read once per batch (its block stays resident while
     // every image streams); capsule inputs streamed per N-tile per image.
-    let fc_once = caps * classes * out_dim * in_dim;
+    let fc_once = product("ClassCaps FC weights", &[u_hat_bytes, in_dim]);
     let fc_weights = if cfg.dataflow.weight_reuse {
         fc_once
     } else {
-        batch * fc_once
+        product("batched FC weight reloads", &[batch, fc_once])
     };
     t.read(MemoryKind::WeightMemory, fc_weights);
     t.read(MemoryKind::WeightBuffer, fc_weights);
     t.read(MemoryKind::Dram, fc_once);
     t.read(
         MemoryKind::DataBuffer,
-        batch * caps * ceil_div(classes * out_dim, c) * in_dim,
+        product(
+            "FC capsule stream",
+            &[
+                batch,
+                caps,
+                ceil_div(product("class capsules", &[classes, out_dim]), c),
+                in_dim,
+            ],
+        ),
     );
-    t.write(MemoryKind::DataMemory, batch * u_hat_bytes);
+    t.write(
+        MemoryKind::DataMemory,
+        product("û writeback", &[batch, u_hat_bytes]),
+    );
     // û staged into the Data Buffer once per image (the Load step).
-    t.read(MemoryKind::DataMemory, batch * u_hat_bytes);
-    t.write(MemoryKind::DataBuffer, batch * u_hat_bytes);
+    t.read(
+        MemoryKind::DataMemory,
+        product("û staging", &[batch, u_hat_bytes]),
+    );
+    t.write(
+        MemoryKind::DataBuffer,
+        product("û staging", &[batch, u_hat_bytes]),
+    );
 
-    let iters = net.routing_iterations as u64;
+    let iters = u64_from(net.routing_iterations);
     // Sums: û tiles read from the Data Buffer each iteration; couplings
     // read per iteration. Ceil the capsule chunking like the mapping.
     // All routing state is per-image, so the batch scales it linearly.
-    let sum_tile_reads = classes * ceil_div(caps, r) * r * out_dim.min(c);
-    t.read(MemoryKind::DataBuffer, batch * sum_tile_reads * iters);
-    t.read(MemoryKind::RoutingBuffer, batch * coupling_bytes * iters);
-    t.write(MemoryKind::RoutingBuffer, batch * classes * out_dim * iters);
-    // Updates: v read, logits updated, couplings rewritten.
+    let sum_tile_reads = product(
+        "routing Sum tile reads",
+        &[classes, ceil_div(caps, r), r, out_dim.min(c)],
+    );
+    t.read(
+        MemoryKind::DataBuffer,
+        product("routing Sum stream", &[batch, sum_tile_reads, iters]),
+    );
     t.read(
         MemoryKind::RoutingBuffer,
-        batch * (classes * out_dim) * (iters - 1),
+        product("coupling reads", &[batch, coupling_bytes, iters]),
     );
     t.write(
         MemoryKind::RoutingBuffer,
-        batch * 2 * coupling_bytes * (iters - 1),
+        product("capsule writes", &[batch, classes, out_dim, iters]),
+    );
+    // Updates: v read, logits updated, couplings rewritten.
+    t.read(
+        MemoryKind::RoutingBuffer,
+        product("update v reads", &[batch, classes, out_dim, iters - 1]),
+    );
+    t.write(
+        MemoryKind::RoutingBuffer,
+        product(
+            "update logit writes",
+            &[batch, 2, coupling_bytes, iters - 1],
+        ),
     );
     if !cfg.dataflow.routing_feedback {
         // Re-read û from Data Memory for every later sum and update.
         t.read(
             MemoryKind::DataMemory,
-            batch * u_hat_bytes * (iters - 1 + iters - 1),
+            product("û re-reads", &[batch, u_hat_bytes, 2 * (iters - 1)]),
         );
     }
     t
@@ -865,10 +995,10 @@ fn geometry(
     weights_offchip: bool,
 ) -> MatmulGeometry {
     MatmulGeometry {
-        m: shape.m as usize,
-        k: shape.k as usize,
-        n: shape.n as usize,
-        batch: batch as usize,
+        m: usize_from(shape.m),
+        k: usize_from(shape.k),
+        n: usize_from(shape.n),
+        batch: usize_from(batch),
         rows: cfg.rows,
         cols: cfg.cols,
         weights_offchip,
@@ -949,13 +1079,13 @@ fn replay_inference_memory(
     let mut mem = MemorySubsystem::new(cfg.memory);
     let g1 = net.conv1_geometry();
     let gp = net.primary_caps_geometry();
-    let (caps, classes) = (net.num_primary_caps(), net.num_classes);
-    let (in_dim, out_dim) = (net.pc_caps_dim, net.class_caps_dim);
+    let (caps, classes) = (u64_from(net.num_primary_caps()), u64_from(net.num_classes));
+    let (in_dim, out_dim) = (u64_from(net.pc_caps_dim), u64_from(net.class_caps_dim));
 
     let conv_shape = |g: &ConvGeometry| MatmulShape {
-        m: g.patches() as u64,
-        k: g.patch_len() as u64,
-        n: g.out_ch as u64,
+        m: u64_from(g.patches()),
+        k: u64_from(g.patch_len()),
+        n: u64_from(g.out_ch),
     };
     // Many of run_batch's transactions are identical repeats (one FC
     // matmul per input capsule, one Sum/Update matmul per class per
@@ -972,42 +1102,44 @@ fn replay_inference_memory(
         one * count
     };
 
-    let conv1 = mem.stage_input(batch * g1.input_len() as u64)
-        + mem.matmul(&geometry(conv_shape(&g1), batch, cfg, true));
-    mem.stage_bias(g1.out_ch as u64);
+    let conv1 = mem.stage_input(checked_product(
+        "input staging",
+        &[batch, u64_from(g1.input_len())],
+    )) + mem.matmul(&geometry(conv_shape(&g1), batch, cfg, true));
+    mem.stage_bias(u64_from(g1.out_ch));
     let primary = mem.matmul(&geometry(conv_shape(&gp), batch, cfg, true));
-    mem.stage_bias(gp.out_ch as u64);
+    mem.stage_bias(u64_from(gp.out_ch));
 
     let fc_shape = MatmulShape {
         m: 1,
-        k: in_dim as u64,
-        n: (classes * out_dim) as u64,
+        k: in_dim,
+        n: checked_product("ClassCaps FC width", &[classes, out_dim]),
     };
-    let mut class_caps = repeat(&mut mem, &geometry(fc_shape, batch, cfg, true), caps as u64);
+    let mut class_caps = repeat(&mut mem, &geometry(fc_shape, batch, cfg, true), caps);
     // Routing operates on per-image on-chip state through the exact
     // sequential code path: per class, Sum streams the coupling row
     // against resident û tiles; Update streams every û row against the
     // resident v_j column.
     let sum_shape = MatmulShape {
         m: 1,
-        k: caps as u64,
-        n: out_dim as u64,
+        k: caps,
+        n: out_dim,
     };
     let update_shape = MatmulShape {
-        m: caps as u64,
-        k: out_dim as u64,
+        m: caps,
+        k: out_dim,
         n: 1,
     };
-    let iters = net.routing_iterations as u64;
+    let iters = u64_from(net.routing_iterations);
     class_caps += repeat(
         &mut mem,
         &geometry(sum_shape, 1, cfg, false),
-        batch * iters * classes as u64,
+        checked_product("routing Sum repeats", &[batch, iters, classes]),
     );
     class_caps += repeat(
         &mut mem,
         &geometry(update_shape, 1, cfg, false),
-        batch * (iters - 1) * classes as u64,
+        checked_product("routing Update repeats", &[batch, iters - 1, classes]),
     );
     (mem.report(), [conv1, primary, class_caps])
 }
@@ -1483,6 +1615,63 @@ mod tests {
         assert_eq!(
             t.conv1_stall_cycles + t.primary_caps_stall_cycles + t.class_caps_stall_cycles,
             t.report.stall_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn adversarial_net_shape_fails_loudly_instead_of_wrapping() {
+        // ~2^50 primary capsules × 2^10 classes × 2^8 capsule bytes: the
+        // û working set exceeds u64, and the checked products must panic
+        // with context — release builds would otherwise wrap silently
+        // and report garbage cycle counts.
+        let net = CapsNetConfig {
+            input_side: 1 << 21,
+            conv1_channels: 1,
+            conv1_kernel: 1,
+            conv1_stride: 1,
+            pc_channels: 1 << 8,
+            pc_caps_dim: 1 << 8,
+            pc_kernel: 1,
+            pc_stride: 1,
+            num_classes: 1 << 10,
+            class_caps_dim: 1 << 8,
+            routing_iterations: 3,
+        };
+        let _ = routing_steps(&net, &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn working_set_check_rejects_overflowing_nets_loudly() {
+        // The working-set checker itself must not wrap while checking.
+        let net = CapsNetConfig {
+            input_side: 1 << 21,
+            conv1_channels: 1,
+            conv1_kernel: 1,
+            conv1_stride: 1,
+            pc_channels: 1 << 8,
+            pc_caps_dim: 1 << 8,
+            pc_kernel: 1,
+            pc_stride: 1,
+            num_classes: 1 << 10,
+            class_caps_dim: 1 << 8,
+            routing_iterations: 3,
+        };
+        let _ = working_set_check(&cfg(), &net);
+    }
+
+    #[test]
+    fn checked_products_are_exact_in_range() {
+        // The audit must not perturb any in-range formula: spot-check the
+        // paper design point against hand-computed values that predate
+        // the checked-cast conversion.
+        let steps = routing_steps(&CapsNetConfig::mnist(), &cfg());
+        assert_eq!(steps[0].cycles, 23_040); // Load: 184 320 B at 8 B/cy
+        let t = full_inference(&cfg(), &CapsNetConfig::mnist());
+        assert_eq!(
+            t.total_cycles(),
+            t.conv1.cycles + t.primary_caps.cycles + t.class_caps_cycles()
         );
     }
 

@@ -77,6 +77,11 @@ mod tests {
         assert!(d.validate().is_ok());
         d.bytes_per_cycle = 0;
         assert!(d.validate().is_err());
+        // Zero burst granularity divides by zero in `transfer_cycles`
+        // just like zero bandwidth: both rejection paths are covered.
+        d.bytes_per_cycle = 8;
+        d.burst_bytes = 0;
+        assert!(d.validate().is_err());
     }
 
     proptest! {

@@ -78,6 +78,15 @@ impl PrefetchPipeline {
 
     /// Resets the timeline for a new tile stream (a new matmul): the
     /// first tile of every stream pays its fill cold.
+    ///
+    /// This is the *complete* reuse contract: **all** timeline state —
+    /// the DRAM-channel free time and every buffered compute-end — is
+    /// cleared, so a reused pipeline produces [`TileOutcome`]s
+    /// bit-identical to a freshly constructed one for any subsequent
+    /// stream (pinned by the `reused_pipeline_is_bit_identical_to_fresh`
+    /// proptest). A long-lived serving worker replays thousands of
+    /// matmuls through one pipeline; any carry-over here would silently
+    /// skew every stall count after the first batch.
     pub fn begin_stream(&mut self) {
         self.dram_free = 0;
         self.compute_ends.clear();
@@ -159,6 +168,39 @@ mod tests {
         p.begin_stream();
         // Cold again: no credit carried over from the previous stream.
         assert_eq!(p.tile(50, 10).stall_cycles, 50);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The reuse contract of `begin_stream`: a pipeline that has
+        /// already replayed arbitrary earlier streams must produce
+        /// **bit-identical** `TileOutcome`s to a freshly constructed
+        /// one — outcome by outcome *and* in its full internal timeline
+        /// state (`dram_free` / `compute_ends` carry nothing over).
+        #[test]
+        fn reused_pipeline_is_bit_identical_to_fresh(
+            prior_fills in proptest::collection::vec(0u64..500, 0..16),
+            prior_computes in proptest::collection::vec(1u64..500, 0..16),
+            fills in proptest::collection::vec(0u64..500, 1..16),
+            computes in proptest::collection::vec(1u64..500, 1..16),
+            buffers in 1usize..5,
+        ) {
+            // Dirty a pipeline with a random prior stream...
+            let mut reused = PrefetchPipeline::new(buffers);
+            reused.begin_stream();
+            for (&f, &c) in prior_fills.iter().zip(&prior_computes) {
+                reused.tile(f, c);
+            }
+            // ...then replay a second stream against a fresh twin.
+            reused.begin_stream();
+            let mut fresh = PrefetchPipeline::new(buffers);
+            fresh.begin_stream();
+            for (&f, &c) in fills.iter().zip(&computes) {
+                prop_assert_eq!(reused.tile(f, c), fresh.tile(f, c));
+            }
+            prop_assert_eq!(&reused, &fresh, "internal timeline state diverged");
+        }
     }
 
     proptest! {

@@ -401,6 +401,54 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_every_degenerate_channel_parameter() {
+        // The channel cycle math divides by `bytes_per_cycle` and
+        // `burst_bytes`, and the SPM burst math divides by the per-bank
+        // port bandwidth: every zero that could reach those divisions
+        // must be rejected here, before a subsystem is ever built.
+        let ok = MemoryConfig::paper();
+        assert!(ok.validate().is_ok());
+        assert!(MemoryConfig::ideal().validate().is_ok());
+
+        let mut c = ok;
+        c.dram.bytes_per_cycle = 0;
+        assert!(c.validate().unwrap_err().contains("DRAM"));
+        let mut c = ok;
+        c.dram.burst_bytes = 0;
+        assert!(c.validate().unwrap_err().contains("DRAM"));
+        let mut c = ok;
+        c.prefetch_buffers = 0;
+        assert!(c.validate().unwrap_err().contains("prefetch"));
+        let spms: [fn(&mut MemoryConfig) -> &mut SpmConfig; 3] = [
+            |c| &mut c.data_spm,
+            |c| &mut c.weight_spm,
+            |c| &mut c.acc_spm,
+        ];
+        for spm in spms {
+            let mut c = ok;
+            spm(&mut c).banks = 0;
+            assert!(c.validate().unwrap_err().contains("SPM"));
+            let mut c = ok;
+            spm(&mut c).word_bytes = 0;
+            assert!(c.validate().unwrap_err().contains("SPM"));
+            let mut c = ok;
+            spm(&mut c).ports_per_bank = 0;
+            assert!(c.validate().unwrap_err().contains("SPM"));
+            let mut c = ok;
+            spm(&mut c).bytes = 0;
+            assert!(c.validate().unwrap_err().contains("capacity"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid memory configuration")]
+    fn subsystem_refuses_divide_by_zero_configs() {
+        let mut cfg = MemoryConfig::paper();
+        cfg.dram.bytes_per_cycle = 0;
+        let _ = MemorySubsystem::new(cfg);
+    }
+
+    #[test]
     fn ideal_memory_never_stalls_but_still_counts() {
         let mut mem = MemorySubsystem::new(MemoryConfig::ideal());
         let stalls = mem.matmul(&geometry(5, 8, 8, 2, true)) + mem.stage_input(1000);

@@ -1,0 +1,212 @@
+//! The dynamic micro-batcher.
+//!
+//! Serving traffic arrives one request at a time, but the accelerator's
+//! layer-major residency ([`capsacc_core::BatchScheduler`]) only pays
+//! off across a *batch*. The micro-batcher trades the two off: it holds
+//! requests back to grow the batch, but never longer than a deadline —
+//! the classic dynamic-batching policy of production inference servers.
+//!
+//! A batch opens at its first request's arrival `t0` and closes at
+//! whichever comes first:
+//!
+//! - **size**: the [`BatcherConfig::max_batch`]-th request arrives
+//!   (close at that arrival cycle), or
+//! - **deadline**: `t0 + max_wait_cycles` passes (close at the
+//!   deadline, with however many requests arrived by then — arrivals
+//!   *exactly on* the deadline still join).
+//!
+//! Batch formation is a pure function of the arrival trace — it does
+//! not depend on worker availability or service times — which is one
+//! half of the serving simulator's determinism invariant.
+
+/// Micro-batching policy.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BatcherConfig {
+    /// Largest batch a worker accepts (closes the batch early).
+    pub max_batch: usize,
+    /// Longest a request may wait for co-batching, in cycles from the
+    /// batch's first arrival. Zero means "never wait": a batch is
+    /// whatever arrived on one cycle.
+    pub max_wait_cycles: u64,
+}
+
+impl BatcherConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint (`max_batch`
+    /// of zero).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One closed micro-batch: a contiguous run of requests (requests are
+/// batched strictly in arrival order) plus the cycle it closed.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MicroBatch {
+    /// Index of the first request in the batch.
+    pub first: usize,
+    /// Number of requests in the batch (1 ..= `max_batch`).
+    pub len: usize,
+    /// Cycle the batch closed and became dispatchable.
+    pub close_cycle: u64,
+}
+
+impl MicroBatch {
+    /// The request indices of this batch.
+    pub fn requests(&self) -> std::ops::Range<usize> {
+        self.first..self.first + self.len
+    }
+}
+
+/// Forms micro-batches over a sorted arrival trace.
+///
+/// Every request lands in exactly one batch, batches preserve arrival
+/// order, and each batch's `close_cycle` is at least its last member's
+/// arrival.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_serve::{form_batches, BatcherConfig};
+/// let arrivals = [0, 10, 11, 12, 500];
+/// let cfg = BatcherConfig { max_batch: 3, max_wait_cycles: 100 };
+/// let batches = form_batches(&arrivals, &cfg);
+/// // [0, 10, 11] fills max_batch at cycle 11; [12] closes at its
+/// // deadline 112 (the next arrival is beyond it); [500] likewise.
+/// assert_eq!(batches.len(), 3);
+/// assert_eq!((batches[0].first, batches[0].len, batches[0].close_cycle), (0, 3, 11));
+/// assert_eq!((batches[1].first, batches[1].len, batches[1].close_cycle), (3, 1, 112));
+/// assert_eq!((batches[2].first, batches[2].len, batches[2].close_cycle), (4, 1, 600));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`BatcherConfig::validate`] or
+/// `arrivals` is not sorted.
+pub fn form_batches(arrivals: &[u64], cfg: &BatcherConfig) -> Vec<MicroBatch> {
+    cfg.validate().expect("invalid batcher configuration");
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrival trace must be sorted"
+    );
+    let mut batches = Vec::new();
+    let mut first = 0;
+    while first < arrivals.len() {
+        let t0 = arrivals[first];
+        let deadline = t0.saturating_add(cfg.max_wait_cycles);
+        let mut next = first + 1;
+        while next < arrivals.len() && next - first < cfg.max_batch && arrivals[next] <= deadline {
+            next += 1;
+        }
+        let len = next - first;
+        let close_cycle = if len == cfg.max_batch {
+            arrivals[next - 1]
+        } else {
+            deadline
+        };
+        batches.push(MicroBatch {
+            first,
+            len,
+            close_cycle,
+        });
+        first = next;
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn size_trigger_closes_at_last_arrival() {
+        let cfg = BatcherConfig {
+            max_batch: 2,
+            max_wait_cycles: 1000,
+        };
+        let b = form_batches(&[5, 7, 9, 11], &cfg);
+        assert_eq!(b.len(), 2);
+        assert_eq!((b[0].first, b[0].len, b[0].close_cycle), (0, 2, 7));
+        assert_eq!((b[1].first, b[1].len, b[1].close_cycle), (2, 2, 11));
+    }
+
+    #[test]
+    fn deadline_trigger_closes_at_deadline_and_includes_edge_arrivals() {
+        let cfg = BatcherConfig {
+            max_batch: 10,
+            max_wait_cycles: 50,
+        };
+        // 50 arrives exactly on the deadline of the batch opened at 0 —
+        // it joins; 51 misses it and opens the next batch.
+        let b = form_batches(&[0, 50, 51], &cfg);
+        assert_eq!(b.len(), 2);
+        assert_eq!((b[0].first, b[0].len, b[0].close_cycle), (0, 2, 50));
+        assert_eq!((b[1].first, b[1].len, b[1].close_cycle), (2, 1, 101));
+    }
+
+    #[test]
+    fn zero_wait_batches_only_same_cycle_arrivals() {
+        let cfg = BatcherConfig {
+            max_batch: 8,
+            max_wait_cycles: 0,
+        };
+        let b = form_batches(&[3, 3, 3, 4, 9], &cfg);
+        assert_eq!(b.len(), 3);
+        assert_eq!((b[0].len, b[0].close_cycle), (3, 3));
+        assert_eq!((b[1].len, b[1].close_cycle), (1, 4));
+        assert_eq!((b[2].len, b[2].close_cycle), (1, 9));
+    }
+
+    #[test]
+    fn empty_trace_forms_no_batches() {
+        let cfg = BatcherConfig {
+            max_batch: 4,
+            max_wait_cycles: 10,
+        };
+        assert!(form_batches(&[], &cfg).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Structural invariants: batches partition the trace in order,
+        /// never exceed `max_batch`, close no earlier than their last
+        /// member's arrival and no later than first arrival + wait
+        /// (unless closed by size on the exact arrival).
+        #[test]
+        fn batches_partition_the_trace(
+            gaps in proptest::collection::vec(0u64..300, 1..100),
+            max_batch in 1usize..9,
+            max_wait in 0u64..500,
+        ) {
+            let mut t = 0u64;
+            let arrivals: Vec<u64> = gaps.iter().map(|&g| { t += g; t }).collect();
+            let cfg = BatcherConfig { max_batch, max_wait_cycles: max_wait };
+            let batches = form_batches(&arrivals, &cfg);
+            let mut next = 0usize;
+            for b in &batches {
+                prop_assert_eq!(b.first, next, "batches must tile the trace");
+                prop_assert!(b.len >= 1 && b.len <= max_batch);
+                let last_arrival = arrivals[b.first + b.len - 1];
+                prop_assert!(b.close_cycle >= last_arrival);
+                prop_assert!(b.close_cycle <= arrivals[b.first] + max_wait);
+                // Deadline-closed batches really were starved: the next
+                // request (if any) must miss the deadline.
+                if b.len < max_batch {
+                    if let Some(&next_arrival) = arrivals.get(b.first + b.len) {
+                        prop_assert!(next_arrival > arrivals[b.first] + max_wait);
+                    }
+                }
+                next = b.first + b.len;
+            }
+            prop_assert_eq!(next, arrivals.len(), "every request is batched");
+        }
+    }
+}

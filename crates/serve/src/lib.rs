@@ -1,0 +1,341 @@
+//! # capsacc-serve — deterministic multi-worker request serving
+//!
+//! The ROADMAP's north star is an accelerator that *serves traffic*,
+//! not one that runs a benchmark loop. This crate builds that serving
+//! layer over the engine in `capsacc-core`, as a simulator with one
+//! hard invariant: **everything is virtual time** — no wall clock, no
+//! nondeterminism — so every run is byte-for-byte reproducible, even
+//! though real OS threads do the engine work.
+//!
+//! The pipeline, each stage a pure function of the previous one:
+//!
+//! 1. [`arrival_trace`] — a seeded synthetic request stream
+//!    ([`TraceConfig`]: rate + burstiness), arrival cycles only;
+//! 2. [`form_batches`] — the dynamic micro-batcher ([`BatcherConfig`]):
+//!    a batch closes on `max_batch` or on a `max_wait_cycles` deadline,
+//!    whichever comes first;
+//! 3. [`dispatch_batches`] — virtual-time dispatch onto N workers
+//!    (earliest-free, lowest-id ties), with `service(n)` supplied by
+//!    the engine's cycle model — batch cycle counts are
+//!    data-independent, so one number per batch size is exact;
+//! 4. [`ShardPool`] — N long-lived [`capsacc_core::BatchScheduler`]
+//!    replicas on OS threads, weights resident across batches, for the
+//!    runs that need real traces (bit-exact against sequential runs).
+//!
+//! Latency is reported per request (queue wait + batch position +
+//! batch cycles → [`RequestStat`]) and aggregated into p50/p95/p99 and
+//! throughput by [`SimOutcome`].
+//!
+//! # Example
+//!
+//! ```
+//! use capsacc_capsnet::CapsNetConfig;
+//! use capsacc_core::AcceleratorConfig;
+//! use capsacc_serve::{simulate_serve, BatcherConfig, ServeConfig, TraceConfig};
+//!
+//! let cfg = ServeConfig {
+//!     workers: 4,
+//!     batcher: BatcherConfig { max_batch: 16, max_wait_cycles: 100_000 },
+//!     trace: TraceConfig { seed: 7, requests: 64, mean_gap_cycles: 2_000.0, mean_burst: 4.0 },
+//! };
+//! let out = simulate_serve(&AcceleratorConfig::paper(), &CapsNetConfig::mnist(), &cfg);
+//! assert_eq!(out.requests.len(), 64);
+//! let [p50, p95, p99] = out.latency_percentiles();
+//! assert!(p50 <= p95 && p95 <= p99);
+//! // Byte-identical on rerun: the whole pipeline is virtual-time.
+//! assert_eq!(out, simulate_serve(&AcceleratorConfig::paper(), &CapsNetConfig::mnist(), &cfg));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod pool;
+mod sim;
+mod trace;
+
+pub use batcher::{form_batches, BatcherConfig, MicroBatch};
+pub use pool::ShardPool;
+pub use sim::{dispatch_batches, percentile, BatchStat, RequestStat, SimOutcome};
+pub use trace::{arrival_trace, TraceConfig};
+
+use capsacc_capsnet::{CapsNetConfig, QuantTrace, QuantizedParams};
+use capsacc_core::{timing, AcceleratorConfig, BatchError, BatchScheduler};
+use capsacc_tensor::Tensor;
+
+/// Full configuration of one simulated serve.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct ServeConfig {
+    /// Number of shard-pool workers (engine replicas).
+    pub workers: usize,
+    /// Micro-batching policy.
+    pub batcher: BatcherConfig,
+    /// Synthetic arrival trace.
+    pub trace: TraceConfig,
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("at least one worker required".into());
+        }
+        self.batcher.validate()?;
+        self.trace.validate()
+    }
+}
+
+/// Precomputes the closed-form cycle model for every batch size up to
+/// `max_batch`, including memory-hierarchy stalls under `cfg.memory` —
+/// the `service(n)` the dispatcher charges at MNIST scale, where
+/// ticking the engine per batch would be prohibitive.
+pub fn service_cycles_table(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    max_batch: usize,
+) -> Vec<u64> {
+    let mut table = vec![0u64; max_batch + 1];
+    for (n, slot) in table.iter_mut().enumerate().skip(1) {
+        *slot = timing::full_inference_batch_mem(cfg, net, n as u64).total_cycles();
+    }
+    table
+}
+
+/// Measures the *engine's* [`capsacc_core::BatchRun`] cycle cost for
+/// every batch size up to `max_batch`, by running scratch batches of
+/// deterministic dummy images through a fresh scheduler per size.
+///
+/// Batch cycle counts are data-independent (the array ticks by shape,
+/// not value) and independent of scheduler reuse, so this table is
+/// exact for every real batch of the same size —
+/// [`serve_with_engine`] asserts exactly that against each batch the
+/// shard pool actually serves.
+pub fn engine_service_cycles_table(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    qparams: &QuantizedParams,
+    max_batch: usize,
+) -> Vec<u64> {
+    let mut table = vec![0u64; max_batch + 1];
+    for (n, slot) in table.iter_mut().enumerate().skip(1) {
+        *slot = measure_batch_cycles(cfg, net, qparams, n);
+    }
+    table
+}
+
+/// Runs one scratch batch of `n` deterministic dummy images through a
+/// fresh scheduler and returns its measured cycle cost.
+fn measure_batch_cycles(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    qparams: &QuantizedParams,
+    n: usize,
+) -> u64 {
+    let dummy = Tensor::from_fn(&[1, net.input_side, net.input_side], |i| {
+        ((i[1] * 3 + i[2]) % 11) as f32 / 11.0
+    });
+    let mut sched = BatchScheduler::new(*cfg);
+    let images = vec![dummy; n];
+    sched
+        .run(net, qparams, &images)
+        .expect("dummy batch is valid")
+        .total_cycles()
+}
+
+/// Runs the whole serving pipeline — trace → micro-batcher → worker
+/// dispatch — against the closed-form cycle model (usable at MNIST
+/// scale, where ticking the engine per request would be prohibitive).
+///
+/// Deterministic in `serve.trace.seed`: reruns are byte-identical.
+///
+/// # Panics
+///
+/// Panics if `serve` fails [`ServeConfig::validate`] or `cfg` fails
+/// [`AcceleratorConfig::validate`].
+pub fn simulate_serve(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    serve: &ServeConfig,
+) -> SimOutcome {
+    serve.validate().expect("invalid serve configuration");
+    cfg.validate().expect("invalid accelerator configuration");
+    let arrivals = arrival_trace(&serve.trace);
+    let batches = form_batches(&arrivals, &serve.batcher);
+    let table = service_cycles_table(cfg, net, serve.batcher.max_batch);
+    dispatch_batches(&arrivals, &batches, serve.workers, &|n| table[n])
+}
+
+/// Runs the serving pipeline with the batches *actually executed* by a
+/// [`ShardPool`] of engine replicas on OS threads, and returns the
+/// virtual-time outcome plus every request's functional trace in
+/// request order.
+///
+/// The dispatcher charges the **engine's own** `BatchRun` cycle costs
+/// ([`engine_service_cycles_table`]) as service times, and every batch
+/// the pool serves is asserted to cost exactly its table entry — the
+/// simulated latencies *are* engine latencies, not estimates.
+///
+/// `image_for(r)` supplies request `r`'s input. Each returned
+/// [`QuantTrace`] is bit-exact against a fresh-accelerator sequential
+/// run of the same image — the serving generalization of the
+/// batch-equivalence invariant, pinned by `tests/serve_equivalence.rs`.
+///
+/// # Errors
+///
+/// Returns [`BatchError`] if any generated image has the wrong shape.
+///
+/// # Panics
+///
+/// Panics if `serve` fails [`ServeConfig::validate`], a worker thread
+/// panics, or a served batch's measured cycles diverge from the service
+/// table (which would mean batch cycles are not data-independent — a
+/// broken engine invariant).
+pub fn serve_with_engine(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    qparams: &QuantizedParams,
+    serve: &ServeConfig,
+    image_for: &dyn Fn(usize) -> Tensor<f32>,
+) -> Result<(SimOutcome, Vec<QuantTrace>), BatchError> {
+    serve.validate().expect("invalid serve configuration");
+    let arrivals = arrival_trace(&serve.trace);
+    let batches = form_batches(&arrivals, &serve.batcher);
+    // Measure only the batch sizes this trace actually formed (a
+    // saturating trace mostly produces `max_batch` plus a ragged tail):
+    // the full 1..=max_batch table would cost O(max_batch²) warm-up
+    // images for nothing.
+    let mut sizes: Vec<usize> = batches.iter().map(|b| b.len).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut table = vec![0u64; serve.batcher.max_batch + 1];
+    for n in sizes {
+        table[n] = measure_batch_cycles(cfg, net, qparams, n);
+    }
+    let outcome = dispatch_batches(&arrivals, &batches, serve.workers, &|n| table[n]);
+
+    // Materialize each worker's batch list and run the pool.
+    let assignments = outcome.assignments();
+    let work: Vec<Vec<Vec<Tensor<f32>>>> = assignments
+        .iter()
+        .map(|batch_ids| {
+            batch_ids
+                .iter()
+                .map(|&b| batches[b].requests().map(image_for).collect())
+                .collect()
+        })
+        .collect();
+    let pool = ShardPool::new(*cfg, serve.workers);
+    let runs = pool.run_assignments(net, qparams, &work)?;
+
+    // Reassemble per-request traces into request order, checking that
+    // every measured batch cost matches what the dispatcher charged.
+    let mut traces: Vec<Option<QuantTrace>> = vec![None; arrivals.len()];
+    for (worker, batch_ids) in assignments.iter().enumerate() {
+        for (pos, &b) in batch_ids.iter().enumerate() {
+            let run = &runs[worker][pos];
+            assert_eq!(
+                run.total_cycles(),
+                table[run.batch],
+                "measured batch cycles diverged from the service table \
+                 (batch of {} on worker {worker})",
+                run.batch
+            );
+            for (slot, req) in batches[b].requests().enumerate() {
+                traces[req] = Some(run.traces[slot].clone());
+            }
+        }
+    }
+    let traces = traces
+        .into_iter()
+        .map(|t| t.expect("every request served exactly once"))
+        .collect();
+    Ok((outcome, traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsacc_capsnet::CapsNetParams;
+
+    #[test]
+    fn serve_config_validation_composes() {
+        let ok = ServeConfig {
+            workers: 2,
+            batcher: BatcherConfig {
+                max_batch: 4,
+                max_wait_cycles: 100,
+            },
+            trace: TraceConfig {
+                seed: 1,
+                requests: 8,
+                mean_gap_cycles: 10.0,
+                mean_burst: 1.0,
+            },
+        };
+        assert!(ok.validate().is_ok());
+        assert!(ServeConfig { workers: 0, ..ok }.validate().is_err());
+        let mut bad = ok;
+        bad.batcher.max_batch = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.trace.requests = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn service_table_is_monotone_and_subadditive() {
+        let cfg = AcceleratorConfig::paper();
+        let net = CapsNetConfig::mnist();
+        let table = service_cycles_table(&cfg, &net, 8);
+        assert_eq!(table[0], 0);
+        for n in 1..table.len() {
+            assert!(table[n] > table[n - 1], "bigger batches cost more total");
+        }
+        // ...but amortize per image: the whole point of micro-batching.
+        assert!(table[8] < 8 * table[1]);
+    }
+
+    #[test]
+    fn engine_backed_serve_reproduces_its_own_dispatch() {
+        // The pool-backed path charges the engine's measured batch
+        // costs: its outcome must equal a bare dispatch over the same
+        // trace with the engine service table, and be rerun-identical.
+        let net = CapsNetConfig::tiny();
+        let cfg = AcceleratorConfig::test_4x4();
+        let qparams = CapsNetParams::generate(&net, 1).quantize(cfg.numeric);
+        let serve = ServeConfig {
+            workers: 2,
+            batcher: BatcherConfig {
+                max_batch: 3,
+                max_wait_cycles: 50_000,
+            },
+            trace: TraceConfig {
+                seed: 11,
+                requests: 10,
+                mean_gap_cycles: 3_000.0,
+                mean_burst: 2.0,
+            },
+        };
+        let image = |s: usize| {
+            Tensor::from_fn(&[1, net.input_side, net.input_side], move |i| {
+                ((i[1] * (s + 2) + i[2] * 7 + s) % 11) as f32 / 11.0
+            })
+        };
+        let (outcome, traces) =
+            serve_with_engine(&cfg, &net, &qparams, &serve, &image).expect("valid serve");
+        assert_eq!(traces.len(), 10);
+        let arrivals = arrival_trace(&serve.trace);
+        let batches = form_batches(&arrivals, &serve.batcher);
+        let table = engine_service_cycles_table(&cfg, &net, &qparams, serve.batcher.max_batch);
+        let bare = dispatch_batches(&arrivals, &batches, serve.workers, &|n| table[n]);
+        assert_eq!(outcome, bare);
+        let (again, traces_again) =
+            serve_with_engine(&cfg, &net, &qparams, &serve, &image).expect("valid serve");
+        assert_eq!(outcome, again);
+        assert_eq!(traces, traces_again);
+    }
+}

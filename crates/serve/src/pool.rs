@@ -1,0 +1,164 @@
+//! The shard pool: N long-lived `BatchScheduler` workers on OS threads.
+//!
+//! Each worker owns one [`BatchScheduler`] for its whole lifetime —
+//! weights stay resident in its accelerator across every batch it
+//! serves, exactly like a real serving replica — and executes its
+//! assigned batch list in order on its own OS thread. Moving the
+//! schedulers onto threads is what the `Send` audit in
+//! `capsacc_core::batch` exists for: the whole engine is plain owned
+//! data, so the pool needs no locks and no `unsafe`.
+//!
+//! Determinism: thread scheduling affects *wall-clock* finishing order
+//! only. Each worker's result vector is keyed by its position in the
+//! assignment list, every trace is bit-exact against a sequential run
+//! of the same image (the batch-equivalence invariant), and cycle
+//! counts are pure functions of batch shapes — so the pool's output is
+//! identical no matter how the OS interleaves the threads.
+
+use capsacc_capsnet::{CapsNetConfig, QuantizedParams};
+use capsacc_core::{AcceleratorConfig, BatchError, BatchRun, BatchScheduler};
+use capsacc_tensor::Tensor;
+
+/// A pool of `workers` weight-resident engine replicas.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_serve::ShardPool;
+/// use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
+/// use capsacc_core::AcceleratorConfig;
+/// use capsacc_tensor::Tensor;
+///
+/// let net = CapsNetConfig::tiny();
+/// let cfg = AcceleratorConfig::test_4x4();
+/// let qparams = CapsNetParams::generate(&net, 1).quantize(cfg.numeric);
+/// let image = |s: usize| {
+///     Tensor::from_fn(&[1, 12, 12], move |i| ((i[1] * (s + 2) + i[2]) % 7) as f32 / 7.0)
+/// };
+/// let pool = ShardPool::new(cfg, 2);
+/// // Worker 0 serves two batches, worker 1 serves one.
+/// let work = vec![
+///     vec![vec![image(0), image(1)], vec![image(2)]],
+///     vec![vec![image(3), image(4)]],
+/// ];
+/// let runs = pool.run_assignments(&net, &qparams, &work).expect("valid batches");
+/// assert_eq!(runs[0].len(), 2);
+/// assert_eq!(runs[1][0].traces.len(), 2);
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct ShardPool {
+    cfg: AcceleratorConfig,
+    workers: usize,
+}
+
+impl ShardPool {
+    /// Builds a pool of `workers` replicas of the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or the configuration fails
+    /// [`AcceleratorConfig::validate`].
+    pub fn new(cfg: AcceleratorConfig, workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker required");
+        cfg.validate().expect("invalid accelerator configuration");
+        Self { cfg, workers }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes per-worker batch lists in parallel, one OS thread per
+    /// worker, each on its own long-lived weight-resident scheduler.
+    ///
+    /// `work[w]` is worker `w`'s ordered batch list (as produced by
+    /// [`crate::SimOutcome::assignments`]); the result mirrors its
+    /// shape. Traces are bit-exact against fresh sequential runs and
+    /// independent of thread interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BatchError`] any worker hit (empty batch or
+    /// mis-shaped image), by lowest worker id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work.len()` differs from the pool's worker count or a
+    /// worker thread panics.
+    pub fn run_assignments(
+        &self,
+        net: &CapsNetConfig,
+        qparams: &QuantizedParams,
+        work: &[Vec<Vec<Tensor<f32>>>],
+    ) -> Result<Vec<Vec<BatchRun>>, BatchError> {
+        assert_eq!(work.len(), self.workers, "one batch list per worker");
+        // Schedulers are built outside the threads and moved in: this is
+        // the `Send` requirement the core crate's audit pins down.
+        let schedulers: Vec<BatchScheduler> = (0..self.workers)
+            .map(|_| BatchScheduler::new(self.cfg))
+            .collect();
+        let results: Vec<Result<Vec<BatchRun>, BatchError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = schedulers
+                .into_iter()
+                .zip(work)
+                .map(|(mut sched, batches)| {
+                    scope.spawn(move || {
+                        batches
+                            .iter()
+                            .map(|images| sched.run(net, qparams, images))
+                            .collect::<Result<Vec<BatchRun>, BatchError>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker thread panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsacc_capsnet::CapsNetParams;
+
+    fn image(net: &CapsNetConfig, s: usize) -> Tensor<f32> {
+        Tensor::from_fn(&[1, net.input_side, net.input_side], move |i| {
+            ((i[1] * (s + 2) + i[2] * 7 + s) % 11) as f32 / 11.0
+        })
+    }
+
+    #[test]
+    fn pool_results_mirror_assignment_shape() {
+        let net = CapsNetConfig::tiny();
+        let cfg = AcceleratorConfig::test_4x4();
+        let qparams = CapsNetParams::generate(&net, 0).quantize(cfg.numeric);
+        let pool = ShardPool::new(cfg, 3);
+        let work = vec![
+            vec![vec![image(&net, 0)], vec![image(&net, 1), image(&net, 2)]],
+            vec![],
+            vec![vec![image(&net, 3)]],
+        ];
+        let runs = pool.run_assignments(&net, &qparams, &work).expect("valid");
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].len(), 2);
+        assert!(runs[1].is_empty());
+        assert_eq!(runs[0][1].traces.len(), 2);
+    }
+
+    #[test]
+    fn pool_surfaces_batch_errors_instead_of_panicking() {
+        let net = CapsNetConfig::tiny();
+        let cfg = AcceleratorConfig::test_4x4();
+        let qparams = CapsNetParams::generate(&net, 0).quantize(cfg.numeric);
+        let pool = ShardPool::new(cfg, 2);
+        let work = vec![vec![vec![image(&net, 0)]], vec![vec![]]];
+        assert_eq!(
+            pool.run_assignments(&net, &qparams, &work).unwrap_err(),
+            BatchError::EmptyBatch
+        );
+    }
+}

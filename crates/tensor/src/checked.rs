@@ -1,0 +1,65 @@
+//! Overflow-checked shape arithmetic shared across the workspace.
+//!
+//! Every cycle, traffic and parameter formula downstream of this crate
+//! multiplies network dimensions together; an adversarially large (but
+//! type-valid) configuration must fail loudly at the first overflowing
+//! product instead of wrapping silently in release builds and feeding
+//! plausible-looking garbage to everything built on top. One shared
+//! fold keeps the panic contract (`"<what> overflows <type>"`) uniform.
+
+/// Product of `usize` shape factors, panicking with context on
+/// overflow.
+///
+/// # Example
+///
+/// ```
+/// use capsacc_tensor::checked_product;
+/// assert_eq!(checked_product("tile", &[3, 4, 5]), 60);
+/// ```
+///
+/// # Panics
+///
+/// Panics with `"<what> overflows usize"` if the product overflows.
+pub fn checked_product(what: &str, factors: &[usize]) -> usize {
+    factors
+        .iter()
+        .try_fold(1usize, |acc, &f| acc.checked_mul(f))
+        .unwrap_or_else(|| panic!("{what} overflows usize"))
+}
+
+/// Product of `u64` shape factors, panicking with context on overflow.
+///
+/// # Panics
+///
+/// Panics with `"<what> overflows u64"` if the product overflows.
+pub fn checked_product_u64(what: &str, factors: &[u64]) -> u64 {
+    factors
+        .iter()
+        .try_fold(1u64, |acc, &f| acc.checked_mul(f))
+        .unwrap_or_else(|| panic!("{what} overflows u64"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_products_are_exact() {
+        assert_eq!(checked_product("x", &[]), 1);
+        assert_eq!(checked_product("x", &[7]), 7);
+        assert_eq!(checked_product("x", &[2, 3, 4]), 24);
+        assert_eq!(checked_product_u64("x", &[1 << 32, 1 << 31]), 1 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile count overflows usize")]
+    fn usize_overflow_panics_with_context() {
+        checked_product("tile count", &[usize::MAX, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle count overflows u64")]
+    fn u64_overflow_panics_with_context() {
+        checked_product_u64("cycle count", &[u64::MAX, 2]);
+    }
+}

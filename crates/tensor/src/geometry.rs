@@ -1,5 +1,7 @@
 //! Convolution geometry — the loop-nest bounds of Fig. 13 in the paper.
 
+use crate::checked::{checked_product, checked_product_u64};
+
 /// Geometry of a 2-D convolution over `[C_in, H, W]` inputs.
 ///
 /// This is the shape algebra behind the paper's mapping algorithm
@@ -81,41 +83,73 @@ impl ConvGeometry {
     }
 
     /// Number of output pixels (im2col rows): `out_h · out_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of wrapping) if the product overflows `usize`.
     #[inline]
     pub fn patches(&self) -> usize {
-        self.out_h() * self.out_w()
+        checked_product("patch count", &[self.out_h(), self.out_w()])
     }
 
     /// Length of one im2col patch (reduction dimension):
     /// `in_ch · k_h · k_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of wrapping) if the product overflows `usize`.
     #[inline]
     pub fn patch_len(&self) -> usize {
-        self.in_ch * self.k_h * self.k_w
+        checked_product("patch length", &[self.in_ch, self.k_h, self.k_w])
     }
 
     /// Total elements in the output feature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of wrapping) if the product overflows `usize`.
     #[inline]
     pub fn output_len(&self) -> usize {
-        self.patches() * self.out_ch
+        checked_product("output length", &[self.patches(), self.out_ch])
     }
 
     /// Total elements in the input feature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of wrapping) if the product overflows `usize`.
     #[inline]
     pub fn input_len(&self) -> usize {
-        self.in_ch * self.in_h * self.in_w
+        checked_product("input length", &[self.in_ch, self.in_h, self.in_w])
     }
 
     /// Multiply-accumulate operations for the full layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of wrapping) if the product overflows `u64`.
     #[inline]
     pub fn macs(&self) -> u64 {
-        self.patches() as u64 * self.patch_len() as u64 * self.out_ch as u64
+        checked_product_u64(
+            "MAC count",
+            &[
+                self.patches() as u64,
+                self.patch_len() as u64,
+                self.out_ch as u64,
+            ],
+        )
     }
 
     /// Number of trainable parameters (`out_ch` biases included when
     /// `bias` is set) — the Table I accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of wrapping) if the count overflows `usize`.
     #[inline]
     pub fn parameter_count(&self, bias: bool) -> usize {
-        self.out_ch * self.patch_len() + if bias { self.out_ch } else { 0 }
+        checked_product("parameter count", &[self.out_ch, self.patch_len()])
+            + if bias { self.out_ch } else { 0 }
     }
 
     /// The flat input index (into a row-major `[C_in, H, W]` tensor) read
@@ -215,6 +249,16 @@ mod tests {
     fn input_index_bounds_checked() {
         let g = ConvGeometry::new(1, 5, 5, 1, 3, 3, 1);
         g.input_index(g.patches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn adversarial_geometry_fails_loudly_instead_of_wrapping() {
+        // A type-valid kernel-1 geometry whose output product exceeds
+        // usize: patches() must panic with context, not wrap silently in
+        // release builds and feed garbage to the cycle formulas.
+        let g = ConvGeometry::new(1, 1 << 33, 1 << 33, 1, 1, 1, 1);
+        let _ = g.patches();
     }
 
     proptest! {

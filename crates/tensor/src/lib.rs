@@ -25,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checked;
 mod geometry;
 pub mod ops;
 pub mod qops;
 mod tensor;
 
+pub use checked::{checked_product, checked_product_u64};
 pub use geometry::ConvGeometry;
 pub use tensor::{ShapeError, Tensor};

@@ -9,6 +9,8 @@
 //! - [`capsnet`] — reference CapsuleNet with routing-by-agreement
 //! - [`memory`] — banked scratchpads, DRAM channel and tile prefetcher
 //! - [`core`] — the cycle-accurate CapsAcc accelerator simulator
+//! - [`serve`] — deterministic request serving: arrival traces, dynamic
+//!   micro-batching, multi-worker shard pool
 //! - [`gpu`] — analytical GPU baseline timing model
 //! - [`power`] — analytical 32nm area/power model
 //!
@@ -26,4 +28,5 @@ pub use capsacc_gpu_model as gpu;
 pub use capsacc_memory as memory;
 pub use capsacc_mnist as mnist;
 pub use capsacc_power as power;
+pub use capsacc_serve as serve;
 pub use capsacc_tensor as tensor;

@@ -28,7 +28,7 @@ fn assert_batch_equivalent(
         .collect();
 
     let mut sched = BatchScheduler::new(cfg);
-    let run = sched.run(net, &qparams, &images);
+    let run = sched.run(net, &qparams, &images).expect("valid batch");
     assert_eq!(run.traces.len(), batch);
     assert_eq!(run.batch, batch);
 
@@ -107,7 +107,7 @@ fn batch_of_16_amortizes_weights_and_cycles() {
     let qparams = CapsNetParams::generate(&net, 42).quantize(cfg.numeric);
     let images: Vec<Tensor<f32>> = (0..16).map(|s| image_for(&net, s + 42)).collect();
     let mut sched = BatchScheduler::new(cfg);
-    let run = sched.run(&net, &qparams, &images);
+    let run = sched.run(&net, &qparams, &images).expect("valid batch");
     let mut acc = Accelerator::new(cfg);
     let single = acc.run_inference(&net, &qparams, &images[0]);
     let single_cycles: u64 = single.layers.iter().map(|l| l.cycles()).sum();
@@ -131,7 +131,7 @@ fn onchip_weight_traffic_covers_offchip_at_batch() {
     for batch in [2usize, 4, 8] {
         let images: Vec<Tensor<f32>> = (0..batch).map(|s| image_for(&net, s)).collect();
         let mut sched = BatchScheduler::new(cfg);
-        let run = sched.run(&net, &qparams, &images);
+        let run = sched.run(&net, &qparams, &images).expect("valid batch");
         let onchip = run.traffic.counter(MemoryKind::WeightBuffer).read_bytes;
         let offchip = run.memory.dram_weight_bytes;
         assert!(offchip > 0, "weights must cross the off-chip channel");
@@ -178,7 +178,9 @@ fn single_image_batch_matches_run_inference_accounting() {
     let image = image_for(&net, 5);
 
     let mut sched = BatchScheduler::new(cfg);
-    let run = sched.run(&net, &qparams, std::slice::from_ref(&image));
+    let run = sched
+        .run(&net, &qparams, std::slice::from_ref(&image))
+        .expect("valid batch");
     let mut acc = Accelerator::new(cfg);
     let single = acc.run_inference(&net, &qparams, &image);
 
@@ -200,8 +202,8 @@ fn reused_scheduler_reports_per_batch_deltas() {
     let images: Vec<Tensor<f32>> = (0..3).map(|s| image_for(&net, s)).collect();
 
     let mut sched = BatchScheduler::new(cfg);
-    let run1 = sched.run(&net, &qparams, &images);
-    let run2 = sched.run(&net, &qparams, &images);
+    let run1 = sched.run(&net, &qparams, &images).expect("valid batch");
+    let run2 = sched.run(&net, &qparams, &images).expect("valid batch");
     assert_eq!(run1.traces, run2.traces);
     assert_eq!(run1.traffic, run2.traffic, "traffic must be batch-scoped");
     assert_eq!(run1.accumulator_saturations, run2.accumulator_saturations);
@@ -291,7 +293,7 @@ fn saturation_counters_flow_into_batch_traces() {
     let images: Vec<Tensor<f32>> = (0..5).map(|s| image_for(&net, s)).collect();
 
     let mut sched = BatchScheduler::new(cfg);
-    let run = sched.run(&net, &qparams, &images);
+    let run = sched.run(&net, &qparams, &images).expect("valid batch");
     let batch_total = run.accumulator_saturations;
     let mut seq_total = 0u64;
     for (i, image) in images.iter().enumerate() {

@@ -78,7 +78,7 @@ fn golden_batched_trace_matches_same_digests() {
     let qparams = CapsNetParams::generate(&net, 0).quantize(cfg.numeric);
     let images = [image_for(&net, 0), image_for(&net, 1)];
     let mut sched = capsacc::core::BatchScheduler::new(cfg);
-    let run = sched.run(&net, &qparams, &images);
+    let run = sched.run(&net, &qparams, &images).expect("valid batch");
     assert_eq!(
         trace_digests(&run.traces[0]),
         trace_digests(&golden_trace())

@@ -9,6 +9,7 @@ use capsacc::gpu::GpuModel;
 use capsacc::memory::{MemoryConfig, MemoryMode, MemorySubsystem, PrefetchPipeline, SpmKind};
 use capsacc::mnist::{SyntheticMnist, WeightGen};
 use capsacc::power::PowerModel;
+use capsacc::serve::{simulate_serve, BatcherConfig, ServeConfig, ShardPool, TraceConfig};
 use capsacc::tensor::{ConvGeometry, Tensor};
 
 #[test]
@@ -44,7 +45,9 @@ fn reexport_paths_resolve_and_interoperate() {
         (i[1] + i[2]) as f32 / 24.0
     });
     let mut sched = BatchScheduler::new(acc_cfg);
-    let run: BatchRun = sched.run(&net, &qparams, &[image.clone(), image]);
+    let run: BatchRun = sched
+        .run(&net, &qparams, &[image.clone(), image])
+        .expect("valid batch");
     assert_eq!(run.traces.len(), 2);
     assert_eq!(run.traces[0], run.traces[1]);
     assert!(run.cycles_per_image() > 0.0);
@@ -70,6 +73,30 @@ fn reexport_paths_resolve_and_interoperate() {
             .stall_cycles,
         0
     );
+
+    // serve ← core + capsnet + tensor
+    let serve_cfg = ServeConfig {
+        workers: 2,
+        batcher: BatcherConfig {
+            max_batch: 8,
+            max_wait_cycles: 50_000,
+        },
+        trace: TraceConfig {
+            seed: 3,
+            requests: 32,
+            mean_gap_cycles: 5_000.0,
+            mean_burst: 2.0,
+        },
+    };
+    let outcome = simulate_serve(
+        &AcceleratorConfig::paper(),
+        &CapsNetConfig::mnist(),
+        &serve_cfg,
+    );
+    assert_eq!(outcome.requests.len(), 32);
+    let [p50, p95, p99] = outcome.latency_percentiles();
+    assert!(p50 <= p95 && p95 <= p99);
+    assert_eq!(ShardPool::new(acc_cfg, 2).workers(), 2);
 
     // gpu ← capsnet
     assert!(

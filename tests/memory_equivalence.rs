@@ -78,9 +78,9 @@ fn finite_memory_never_changes_results_and_only_adds_stalls() {
     let images: Vec<Tensor<f32>> = (0..3).map(|s| image_for(&net, s + 17)).collect();
 
     let mut a = BatchScheduler::new(ideal);
-    let run_ideal = a.run(&net, &qparams, &images);
+    let run_ideal = a.run(&net, &qparams, &images).expect("valid batch");
     let mut b = BatchScheduler::new(finite);
-    let run_finite = b.run(&net, &qparams, &images);
+    let run_finite = b.run(&net, &qparams, &images).expect("valid batch");
 
     assert_eq!(run_ideal.traces, run_finite.traces);
     assert_eq!(run_ideal.steps, run_finite.steps);
@@ -105,7 +105,7 @@ fn engine_memory_report_matches_closed_form_replay_exactly() {
         let qparams = CapsNetParams::generate(&net, batch as u64).quantize(cfg.numeric);
         let images: Vec<Tensor<f32>> = (0..batch).map(|s| image_for(&net, s)).collect();
         let mut sched = BatchScheduler::new(cfg);
-        let run = sched.run(&net, &qparams, &images);
+        let run = sched.run(&net, &qparams, &images).expect("valid batch");
         let model = timing::full_inference_batch_mem(&cfg, &net, batch as u64);
         assert_eq!(run.memory, model.report, "batch {batch}");
         let stalls: Vec<u64> = run.layers.iter().map(|l| l.memory_stall_cycles).collect();
@@ -133,7 +133,7 @@ fn engine_dram_traffic_matches_traffic_estimate() {
     for batch in [1usize, 4] {
         let images: Vec<Tensor<f32>> = (0..batch).map(|s| image_for(&net, s)).collect();
         let mut sched = BatchScheduler::new(cfg);
-        let run = sched.run(&net, &qparams, &images);
+        let run = sched.run(&net, &qparams, &images).expect("valid batch");
         let estimate = timing::batch_traffic_estimate(&cfg, &net, batch as u64);
         assert_eq!(
             run.traffic.counter(MemoryKind::Dram),

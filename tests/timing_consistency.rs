@@ -124,7 +124,9 @@ fn batched_engine_and_model_agree_on_amortization_direction() {
         .collect();
     let run_at = |b: usize| {
         let mut sched = capsacc::core::BatchScheduler::new(cfg);
-        sched.run(&net, &qparams, &images[..b])
+        sched
+            .run(&net, &qparams, &images[..b])
+            .expect("valid batch")
     };
     let b1 = run_at(1);
     let b8 = run_at(8);
