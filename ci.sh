@@ -29,6 +29,12 @@ run cargo run --release -q -p capsacc-bench --bin exp_memdse
 # shard-pool trace bit-exactness at the tiny scale; refreshes
 # BENCH_serve.json so the serving-perf trajectory is recorded.
 run cargo run --release -q -p capsacc-bench --bin exp_serve
+# Engine wall-clock smoke run: asserts the functional backend is
+# bit-identical to the ticked RTL engine on a full MNIST inference at
+# the paper 16x16 design point AND at least 10x faster in host time;
+# refreshes BENCH_engine.json (the wall-clock perf trajectory — its
+# host-time fields vary run to run by design).
+run cargo run --release -q -p capsacc-bench --bin exp_engine_speed
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 
 echo

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
-use capsacc_core::{Accelerator, AcceleratorConfig, ActivationKind};
+use capsacc_core::{Accelerator, AcceleratorConfig, ActivationKind, EngineBackend, SystolicArray};
 use capsacc_tensor::Tensor;
 
 fn bench_tile_matmul(c: &mut Criterion) {
@@ -35,6 +35,67 @@ fn bench_tile_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_raw_stream_scratch_reuse(c: &mut Criterion) {
+    // Regression guard for the per-edge allocation hoist: `tick` used to
+    // allocate five Vecs per clock edge, and `stream`/`load_weights`
+    // rebuilt their staging buffers per call. This pins the per-call
+    // cost of the convolutional reuse pattern (load once, stream many
+    // times on one long-lived array) so an accidental reintroduction of
+    // per-edge allocation shows up as a step change in this number.
+    let mut arr = SystolicArray::new(16, 16);
+    let tile: Vec<Vec<i8>> = (0..16)
+        .map(|r| (0..16).map(|c| ((r * 16 + c) % 251) as i8).collect())
+        .collect();
+    let tile_refs: Vec<&[i8]> = tile.iter().map(|r| r.as_slice()).collect();
+    arr.load_weights(&tile_refs);
+    let data: Vec<Vec<i8>> = (0..64)
+        .map(|m| {
+            (0..16)
+                .map(|k| ((m * 31 + k * 7) % 127) as i8 - 64)
+                .collect()
+        })
+        .collect();
+    // Scratch reuse must be invisible: repeated identical streams are
+    // bit-identical (cheap sanity assert, not a timed section).
+    assert_eq!(arr.stream(&data), arr.stream(&data));
+    c.bench_function("systolic/stream_64rows_16x16_reused", |b| {
+        b.iter(|| arr.stream(black_box(&data)))
+    });
+    c.bench_function("systolic/load_weights_16x16_reused", |b| {
+        b.iter(|| arr.load_weights(black_box(&tile_refs)))
+    });
+}
+
+fn bench_backend_matmul(c: &mut Criterion) {
+    // Ticked vs functional on the same 16x16 matmul: the wall-clock gap
+    // the `exp_engine_speed` experiment measures at full-inference
+    // scale, visible here at tile scale.
+    let mut group = c.benchmark_group("engine/backend_matmul_64x64x64");
+    for (label, backend) in [
+        ("ticked", EngineBackend::Ticked),
+        ("functional", EngineBackend::Functional),
+    ] {
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.backend = backend;
+        group.bench_with_input(BenchmarkId::new("backend", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut acc = Accelerator::new(*cfg);
+                acc.matmul(
+                    &|m, k| ((m * 7 + k) % 100) as i8,
+                    &|k, n| ((k * 3 + n) % 50) as i8,
+                    black_box(64),
+                    black_box(64),
+                    black_box(64),
+                    None,
+                    6,
+                    ActivationKind::Identity,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_full_cycle_accurate_inference(c: &mut Criterion) {
     let net = CapsNetConfig::tiny();
     let cfg = AcceleratorConfig::test_4x4();
@@ -51,6 +112,8 @@ fn bench_full_cycle_accurate_inference(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tile_matmul,
+    bench_raw_stream_scratch_reuse,
+    bench_backend_matmul,
     bench_full_cycle_accurate_inference
 );
 criterion_main!(benches);

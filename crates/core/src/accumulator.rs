@@ -68,9 +68,21 @@ impl AccumulatorUnit {
         self.saturations
     }
 
+    /// One saturating accumulation step: clamps `raw` to the 25-bit
+    /// datapath and reports whether the clamp engaged. The *single*
+    /// definition of the fold semantics — [`AccumulatorUnit::fold`] /
+    /// [`AccumulatorUnit::push_new`] apply it to the FIFO, and the
+    /// engine's `Functional` backend applies it to its flat K-tile
+    /// accumulators, so the two backends' event counting cannot drift
+    /// (the same sharing principle as `Pe::mac_step`).
+    pub(crate) fn fold_step(raw: i64) -> (i64, bool) {
+        let s = saturate_to_bits(raw, Self::BITS);
+        (s, s != raw)
+    }
+
     fn saturate(&mut self, v: i64) -> i64 {
-        let s = saturate_to_bits(v, Self::BITS);
-        if s != v {
+        let (s, clipped) = Self::fold_step(v);
+        if clipped {
             self.saturations += 1;
         }
         s

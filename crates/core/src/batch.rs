@@ -18,6 +18,13 @@
 //! against a fresh-accelerator sequential run of the same image —
 //! enforced by `tests/batch_equivalence.rs`.
 //!
+//! The schedule is backend-agnostic: under
+//! [`crate::EngineBackend::Functional`] the same layer-major pass runs
+//! at wall-clock speed with identical results and identical cycle,
+//! traffic and stall accounting (`tests/backend_equivalence.rs`), which
+//! is what makes MNIST-scale engine-backed serving tables practical
+//! (`capsacc-serve`).
+//!
 //! # Example
 //!
 //! ```
@@ -540,6 +547,32 @@ mod tests {
         assert_eq!(run.cycles_per_image(), 0.0);
         assert_eq!(run.weight_buffer_bytes_per_image(), 0.0);
         assert!(!run.cycles_per_image().is_nan());
+    }
+
+    #[test]
+    fn functional_backend_batch_run_is_identical() {
+        // The layer-major batched pass is backend-agnostic: the whole
+        // BatchRun — traces, layer cycles, steps, traffic, memory,
+        // saturations — is equal across backends on a reused scheduler.
+        let (net, cfg, qparams) = setup();
+        let mut fast_cfg = cfg;
+        fast_cfg.backend = crate::EngineBackend::Functional;
+        let images: Vec<Tensor<f32>> = (0..3)
+            .map(|s| Tensor::from_fn(&[1, 12, 12], |i| ((i[1] * (s + 2) + i[2]) % 7) as f32 / 7.0))
+            .collect();
+        let mut ticked = BatchScheduler::new(cfg);
+        let mut functional = BatchScheduler::new(fast_cfg);
+        for split in [3usize, 2] {
+            let want = ticked.run(&net, &qparams, &images[..split]).expect("batch");
+            let got = functional
+                .run(&net, &qparams, &images[..split])
+                .expect("batch");
+            assert_eq!(got, want);
+        }
+        assert_eq!(
+            functional.into_accelerator().array_cycles(),
+            ticked.into_accelerator().array_cycles()
+        );
     }
 
     #[test]

@@ -36,6 +36,55 @@ impl Default for DataflowOptions {
     }
 }
 
+/// How the engine executes the systolic-array portion of a tiled matmul.
+///
+/// Both backends produce **bit-identical** results — functional outputs
+/// (including Acc25 saturation order and per-image `MacStats`), cycle
+/// counts, traffic counters and memory-subsystem stalls — enforced by
+/// `tests/backend_equivalence.rs` and the shared golden digests. They
+/// differ only in wall-clock cost of the *simulation itself*.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum EngineBackend {
+    /// Register-transfer-level execution: every PE register is ticked
+    /// every clock edge ([`crate::SystolicArray::tick`]). Authoritative
+    /// for microarchitectural questions (wavefront timing, register
+    /// contents, edge-by-edge observability) and the reference the
+    /// `Functional` backend is differentially tested against.
+    #[default]
+    Ticked,
+    /// Direct tile evaluation: each output column is computed as the
+    /// per-column saturating fold the PE datapath performs
+    /// ([`crate::Pe::mac_step`] applied in fixed north→south order)
+    /// over flat row-major tile buffers, with zero per-edge work.
+    /// Cycles are charged per tile from the exact serial-schedule
+    /// counts the ticked array would execute (`R + 1` per weight load,
+    /// `M + R + C` per stream), so all accounting is identical. Use
+    /// this to run MNIST-scale engine workloads at wall-clock speed
+    /// (see `exp_engine_speed`).
+    Functional,
+}
+
+/// How much of the functional trace the engine materializes.
+///
+/// Snapshot capture is pure observation: it never changes results,
+/// cycles or traffic — only whether the per-iteration routing tensors
+/// are cloned into the returned [`capsacc_capsnet::QuantTrace`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum TraceLevel {
+    /// Capture everything, including one [`capsacc_capsnet::
+    /// RoutingIterationTrace`] snapshot per routing iteration — four
+    /// tensor clones per iteration. The default, and what the
+    /// bit-exactness suites compare against the reference model.
+    #[default]
+    Full,
+    /// Skip the per-iteration routing snapshots
+    /// (`QuantTrace::iterations` stays empty); final outputs, cycle
+    /// counts and traffic are identical to [`TraceLevel::Full`]. The
+    /// serving configuration: avoids cloning the routing state per
+    /// iteration per image on the hot path.
+    Outputs,
+}
+
 /// Static configuration of a CapsAcc instance.
 ///
 /// [`AcceleratorConfig::paper`] is the synthesized design point of
@@ -85,6 +134,15 @@ pub struct AcceleratorConfig {
     pub numeric: NumericConfig,
     /// Dataflow policy switches.
     pub dataflow: DataflowOptions,
+    /// Execution backend of the tiled-matmul engine. Defaults to
+    /// [`EngineBackend::Ticked`] (the RTL reference);
+    /// [`EngineBackend::Functional`] is bit-identical and orders of
+    /// magnitude faster in wall-clock time.
+    pub backend: EngineBackend,
+    /// Trace capture level. Defaults to [`TraceLevel::Full`];
+    /// [`TraceLevel::Outputs`] skips the per-iteration routing
+    /// snapshots on the serving hot path.
+    pub trace_level: TraceLevel,
     /// Memory-hierarchy model (`capsacc-memory`). Defaults to
     /// [`MemoryConfig::ideal`] — "IdealMemory", which keeps every cycle
     /// count and trace identical to the pre-hierarchy engine; switch to
@@ -110,6 +168,8 @@ impl AcceleratorConfig {
             activation_units: 16,
             numeric: NumericConfig::default(),
             dataflow: DataflowOptions::default(),
+            backend: EngineBackend::default(),
+            trace_level: TraceLevel::default(),
             memory: MemoryConfig::ideal(),
         }
     }
@@ -242,5 +302,19 @@ mod tests {
     #[test]
     fn test_config_is_valid() {
         AcceleratorConfig::test_4x4().validate().unwrap();
+    }
+
+    #[test]
+    fn defaults_are_ticked_and_fully_traced() {
+        // The reference behaviors stay the defaults: existing callers
+        // (and every pinned digest) see the RTL backend and full traces
+        // unless they opt out.
+        let c = AcceleratorConfig::paper();
+        assert_eq!(c.backend, EngineBackend::Ticked);
+        assert_eq!(c.trace_level, TraceLevel::Full);
+        let mut fast = c;
+        fast.backend = EngineBackend::Functional;
+        fast.trace_level = TraceLevel::Outputs;
+        fast.validate().expect("backend choice is always valid");
     }
 }

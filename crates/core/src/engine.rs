@@ -14,6 +14,15 @@
 //! ([`crate::timing`]). The engine executes tiles serially — the
 //! pipelined "full throttle" overlap is modelled analytically and
 //! cross-checked against the serial engine with pipelining disabled.
+//!
+//! Two execution backends produce this identical behavior
+//! ([`crate::EngineBackend`]): `Ticked` drives every PE register through
+//! [`SystolicArray::tick`], while `Functional` evaluates each tile as
+//! the per-column saturating fold the PE datapath performs
+//! ([`Pe::mac_step`] in fixed north→south order) and charges the exact
+//! per-tile cycle counts the ticked schedule executes — bit-identical
+//! results and accounting at wall-clock speed (differentially pinned by
+//! `tests/backend_equivalence.rs`).
 
 use capsacc_capsnet::{
     primary_capsules, CapsNetConfig, QuantPipeline, QuantTrace, QuantizedParams,
@@ -24,7 +33,8 @@ use capsacc_tensor::Tensor;
 
 use crate::accumulator::AccumulatorUnit;
 use crate::activation::{ActivationKind, ActivationUnit};
-use crate::config::AcceleratorConfig;
+use crate::config::{AcceleratorConfig, EngineBackend, TraceLevel};
+use crate::pe::Pe;
 use crate::systolic::SystolicArray;
 use crate::timing::RoutingStep;
 use crate::traffic::{MemoryKind, TrafficReport};
@@ -312,6 +322,23 @@ impl Accelerator {
         let mut outs: Vec<Tensor<i8>> = (0..batch).map(|_| Tensor::zeros(&[m, n])).collect();
         let mut saturations = vec![0u64; batch];
 
+        if self.cfg.backend == EngineBackend::Functional {
+            self.matmul_batch_functional(
+                batch,
+                data,
+                weight,
+                m,
+                k,
+                n,
+                bias,
+                shift,
+                kind,
+                &mut outs,
+                &mut saturations,
+            );
+            return (outs, saturations);
+        }
+
         for n0 in (0..n).step_by(cols) {
             let nt = cols.min(n - n0);
             // One accumulator set per image: keeps K-tile folding — and
@@ -373,6 +400,248 @@ impl Accelerator {
         (outs, saturations)
     }
 
+    /// The `Functional` backend's tile evaluator: bit-identical to the
+    /// ticked schedule above, at wall-clock speed.
+    ///
+    /// Exactness argument, piece by piece:
+    ///
+    /// - **In-tile fold.** The ticked array folds one tile column as
+    ///   `psum' = saturate_25(psum + d·w)` through [`Pe::mac_step`] in
+    ///   fixed north→south order. Every running prefix is bounded by
+    ///   `kt · 128²`, so for `kt ≤ 1023` no step can reach the ±2^24
+    ///   clip and the saturating fold *is* the exact dot product —
+    ///   computed here branch-free in `i32` (bound 2^24 · 1023/1040 <
+    ///   i32::MAX). Taller tiles (arrays over 1023 rows) take the
+    ///   literal per-step `mac_step` fold. Zero operands contribute +0
+    ///   to an in-range psum, so skipping all-zero data rows cannot
+    ///   change either fold.
+    /// - **K-tile accumulation.** [`AccumulatorUnit`] saturates each
+    ///   fold (`sat(acc + tile_psum)`) and counts an event when the
+    ///   clamp engages; the flat per-(image, row, column) accumulators
+    ///   here apply the identical chain in the identical tile order
+    ///   with identical event counting (`push_new` never clips in
+    ///   either backend: its input is in range by the bound above).
+    /// - **Cycle charge.** Per tile, exactly the edges the ticked
+    ///   serial schedule executes: `R + 1` per weight load and
+    ///   `batch·M + R + C` per stream (`SystolicArray::load_weights` /
+    ///   `stream`), so `array_cycles()` deltas — and everything built
+    ///   on them — are equal, not merely equivalent.
+    /// - **Data staging.** Operands are staged once per matmul into a
+    ///   flat row-major panel (the ticked path re-invokes the operand
+    ///   closures per N-tile revisit); traffic is charged per tile
+    ///   from the same formulas either way.
+    #[allow(clippy::too_many_arguments)]
+    fn matmul_batch_functional(
+        &mut self,
+        batch: usize,
+        data: &dyn Fn(usize, usize, usize) -> i8,
+        weight: &dyn Fn(usize, usize) -> i8,
+        m: usize,
+        k: usize,
+        n: usize,
+        bias: Option<&[i32]>,
+        shift: u32,
+        kind: ActivationKind,
+        outs: &mut [Tensor<i8>],
+        saturations: &mut [u64],
+    ) {
+        /// Tallest tile whose in-tile fold provably cannot clip:
+        /// `kt · 128² ≤ 2^24 − 1`.
+        const EXACT_FOLD_MAX_KT: usize = ((1 << 24) - 1) / (128 * 128);
+        /// Lane count of the fixed-width kernel — the paper's column
+        /// count, so the 16×16 design point takes the register path.
+        const LANES: usize = 16;
+        /// Data rows folded together in the fixed-width kernel.
+        const ROW_BLOCK: usize = 4;
+        let (rows, cols) = (self.cfg.rows, self.cfg.cols);
+        let total_rows = batch * m;
+
+        // Stage the whole data panel once, row-major: tile slices below
+        // are plain subslices, and the operand closure runs once per
+        // element instead of once per N-tile visit.
+        let mut panel: Vec<i8> = Vec::with_capacity(total_rows * k);
+        for ri in 0..total_rows {
+            let (img, mi) = (ri / m.max(1), ri % m.max(1));
+            panel.extend((0..k).map(|ki| data(img, mi, ki)));
+        }
+        // A zero data element contributes +0 to an in-range psum, so
+        // either fixed-width kernel below may skip it: pick per matmul
+        // between the row-blocked dense kernel and the zero-skipping
+        // one. Post-ReLU operands (the PrimaryCaps input is ~50% zeros
+        // at MNIST scale) favor skipping; dense operands favor the
+        // blocking. Both are exact — this is a speed choice only.
+        let sparse_data = panel.iter().filter(|&&d| d == 0).count() * 4 >= panel.len().max(1);
+
+        let mut tile_w: Vec<i8> = Vec::new(); // resident tile, row-major kt × nt
+        let mut psum_row: Vec<i32> = Vec::new(); // exact-fold lane accumulators
+        let mut acc_flat: Vec<i64> = Vec::new(); // per-(ri, c) K-tile accumulators
+        let mut events: Vec<u64> = Vec::new(); // per-image clip events
+
+        for n0 in (0..n).step_by(cols) {
+            let nt = cols.min(n - n0);
+            acc_flat.clear();
+            acc_flat.resize(total_rows * nt, 0);
+            events.clear();
+            events.resize(batch, 0);
+
+            for (kt_idx, k0) in (0..k).step_by(rows).enumerate() {
+                let kt = rows.min(k - k0);
+                self.traffic
+                    .read(MemoryKind::WeightBuffer, (kt * nt) as u64);
+                self.traffic
+                    .read(MemoryKind::DataBuffer, (total_rows * kt) as u64);
+                let edges = self.array.load_edges() + self.array.stream_edges(total_rows);
+                self.array.advance_cycles(edges);
+                // Column-outer fill: the parameter layers store weights
+                // `[out_ch][patch]`-major, so walking `kr` innermost
+                // reads each channel's taps contiguously instead of
+                // striding the whole weight tensor per element (the
+                // tile itself is ≤ R·C bytes — write order is free).
+                tile_w.clear();
+                tile_w.resize(kt * nt, 0);
+                for nc in 0..nt {
+                    for kr in 0..kt {
+                        tile_w[kr * nt + nc] = weight(k0 + kr, n0 + nc);
+                    }
+                }
+                let exact_fold = kt <= EXACT_FOLD_MAX_KT;
+
+                // Folds a finished tile psum into the K-tile chain with
+                // the accumulator's exact saturate-and-count semantics
+                // (`AccumulatorUnit::fold_step` — the shared
+                // definition; the first tile mirrors `push_new`, whose
+                // clamp provably never engages on an in-range psum).
+                let fold = |acc: &mut i64, psum: i64, ev: &mut u64, first: bool| {
+                    let raw = if first { psum } else { *acc + psum };
+                    let (sat, clipped) = AccumulatorUnit::fold_step(raw);
+                    if clipped {
+                        *ev += 1;
+                    }
+                    *acc = sat;
+                };
+
+                if exact_fold && nt == LANES {
+                    // Full-width tiles on the paper-style array: fixed
+                    // lane accumulators the compiler keeps in vector
+                    // registers, register-blocked over `ROW_BLOCK` data
+                    // rows so each extended weight row is reused across
+                    // the block (the dynamic-width path below
+                    // round-trips every lane through memory per data
+                    // element). Per row the mac order is still the
+                    // north→south reduction; blocking only interleaves
+                    // *independent* rows, exactly like the skewed
+                    // wavefronts of the ticked array.
+                    let mut ri = 0;
+                    while !sparse_data && ri + ROW_BLOCK <= total_rows {
+                        let mut lanes = [[0i32; LANES]; ROW_BLOCK];
+                        for r in 0..kt {
+                            let wrow = &tile_w[r * LANES..(r + 1) * LANES];
+                            for (j, lane) in lanes.iter_mut().enumerate() {
+                                let d = panel[(ri + j) * k + k0 + r] as i32;
+                                for (p, &w) in lane.iter_mut().zip(wrow) {
+                                    *p += d * w as i32;
+                                }
+                            }
+                        }
+                        for (j, lane) in lanes.iter().enumerate() {
+                            let img = (ri + j) / m.max(1);
+                            let base = (ri + j) * nt;
+                            for (c, &p) in lane.iter().enumerate() {
+                                fold(
+                                    &mut acc_flat[base + c],
+                                    p as i64,
+                                    &mut events[img],
+                                    kt_idx == 0,
+                                );
+                            }
+                        }
+                        ri += ROW_BLOCK;
+                    }
+                    while ri < total_rows {
+                        let img = ri / m.max(1);
+                        let drow = &panel[ri * k + k0..ri * k + k0 + kt];
+                        let base = ri * nt;
+                        let mut lanes = [0i32; LANES];
+                        for (r, &d) in drow.iter().enumerate() {
+                            if d != 0 {
+                                let wrow = &tile_w[r * LANES..(r + 1) * LANES];
+                                for (p, &w) in lanes.iter_mut().zip(wrow) {
+                                    *p += d as i32 * w as i32;
+                                }
+                            }
+                        }
+                        for (c, &p) in lanes.iter().enumerate() {
+                            fold(
+                                &mut acc_flat[base + c],
+                                p as i64,
+                                &mut events[img],
+                                kt_idx == 0,
+                            );
+                        }
+                        ri += 1;
+                    }
+                    continue;
+                }
+                for ri in 0..total_rows {
+                    let img = ri / m.max(1);
+                    let drow = &panel[ri * k + k0..ri * k + k0 + kt];
+                    let base = ri * nt;
+                    if exact_fold {
+                        psum_row.clear();
+                        psum_row.resize(nt, 0);
+                        for (r, &d) in drow.iter().enumerate() {
+                            if d != 0 {
+                                let wrow = &tile_w[r * nt..(r + 1) * nt];
+                                for (p, &w) in psum_row.iter_mut().zip(wrow) {
+                                    *p += d as i32 * w as i32;
+                                }
+                            }
+                        }
+                        for (c, &p) in psum_row.iter().enumerate() {
+                            fold(
+                                &mut acc_flat[base + c],
+                                p as i64,
+                                &mut events[img],
+                                kt_idx == 0,
+                            );
+                        }
+                    } else {
+                        for c in 0..nt {
+                            let mut psum = 0i64;
+                            for (r, &d) in drow.iter().enumerate() {
+                                let w = tile_w[r * nt + c];
+                                if d != 0 && w != 0 {
+                                    psum = Pe::mac_step(psum, d, w);
+                                }
+                            }
+                            fold(&mut acc_flat[base + c], psum, &mut events[img], kt_idx == 0);
+                        }
+                    }
+                }
+            }
+
+            // Drain through the activation units, image by image —
+            // the same sequence (and activation-cycle charge) as the
+            // ticked drain above. With `k == 0` no K-tile ever ran, so
+            // like the ticked path's empty accumulator FIFOs nothing
+            // is written (in particular, no bias-only outputs), but
+            // the per-image drain charge is still paid.
+            let drained_rows = if k == 0 { 0 } else { m };
+            for img in 0..batch {
+                saturations[img] += events[img];
+                self.accumulator_saturations += events[img];
+                for c in 0..nt {
+                    let b = bias.map_or(0i64, |b| b[n0 + c] as i64);
+                    for mi in 0..drained_rows {
+                        let raw = acc_flat[(img * m + mi) * nt + c];
+                        outs[img][[mi, n0 + c]] = self.activation.reduce(raw + b, shift, kind);
+                    }
+                }
+                self.activation_cycles += ActivationUnit::reduce_cycles(m as u64);
+            }
+        }
+    }
+
     /// Squashes every primary capsule of one image through the
     /// activation units, charging the Sec. IV-C cycle cost.
     pub(crate) fn squash_primary(
@@ -422,7 +691,13 @@ impl Accelerator {
         let mut couplings: Tensor<i8> = Tensor::zeros(&[in_caps, classes]);
         let mut class_caps: Tensor<i8> = Tensor::zeros(&[classes, out_dim]);
         let mut s_norms = vec![0u8; classes];
-        let mut iterations = Vec::with_capacity(net.routing_iterations);
+        // Snapshot capture is observation only: under
+        // `TraceLevel::Outputs` the four per-iteration tensor clones are
+        // skipped entirely and `iterations` stays empty, with final
+        // outputs, cycles and traffic untouched (pinned by
+        // `untraced_run_matches_traced_outputs`).
+        let tracing = self.cfg.trace_level == TraceLevel::Full;
+        let mut iterations = Vec::with_capacity(if tracing { net.routing_iterations } else { 0 });
         let coupling_bytes = (in_caps * classes) as u64;
 
         for r in 0..net.routing_iterations {
@@ -528,18 +803,20 @@ impl Accelerator {
                 self.traffic
                     .write(MemoryKind::RoutingBuffer, coupling_bytes);
                 steps.push((RoutingStep::Update(r + 1), self.array.cycles() - c0));
-                Some(logits.clone())
+                tracing.then(|| logits.clone())
             } else {
                 None
             };
 
-            iterations.push(RoutingIterationTrace {
-                couplings: couplings.clone(),
-                s: s_t,
-                v: class_caps.clone(),
-                norms: s_norms.clone(),
-                logits_after_update,
-            });
+            if tracing {
+                iterations.push(RoutingIterationTrace {
+                    couplings: couplings.clone(),
+                    s: s_t,
+                    v: class_caps.clone(),
+                    norms: s_norms.clone(),
+                    logits_after_update,
+                });
+            }
         }
 
         // Final classification: norm unit over the squashed capsules.
@@ -834,6 +1111,120 @@ mod tests {
             );
             prop_assert_eq!(got, expect, "engine/model divergence at m={} k={} n={} b={}", m, k, n, batch);
         }
+    }
+
+    #[test]
+    fn functional_backend_is_bit_identical_including_accounting() {
+        // Same inference, both backends: not just the functional trace —
+        // the *entire* InferenceRun (layer cycles, step cycles, traffic
+        // counters, memory report, saturations) must be equal.
+        let net = CapsNetConfig::tiny();
+        let cfg = AcceleratorConfig::test_4x4();
+        let qparams = CapsNetParams::generate(&net, 11).quantize(cfg.numeric);
+        let image = Tensor::from_fn(&[1, 12, 12], |i| ((i[1] * 3 + i[2]) % 9) as f32 / 9.0);
+        let mut ticked = Accelerator::new(cfg);
+        let want = ticked.run_inference(&net, &qparams, &image);
+        let mut fast_cfg = cfg;
+        fast_cfg.backend = crate::EngineBackend::Functional;
+        let mut functional = Accelerator::new(fast_cfg);
+        let got = functional.run_inference(&net, &qparams, &image);
+        assert_eq!(got, want);
+        assert_eq!(functional.array_cycles(), ticked.array_cycles());
+    }
+
+    #[test]
+    fn functional_matmul_charges_ticked_cycles() {
+        // Tile-by-tile cycle charging equals the ticked serial schedule
+        // (and therefore the closed-form serial formula) on shapes with
+        // ragged tiles.
+        for (m, k, n) in [(1, 4, 4), (3, 9, 6), (7, 2, 10), (5, 17, 3)] {
+            let mut cfg = AcceleratorConfig::test_4x4();
+            cfg.backend = crate::EngineBackend::Functional;
+            let mut acc = Accelerator::new(cfg);
+            let out_fun = acc.matmul(
+                &|mi, ki| ((mi * 5 + ki) % 17) as i8,
+                &|ki, ni| ((ki * 3 + ni) % 13) as i8,
+                m,
+                k,
+                n,
+                None,
+                6,
+                ActivationKind::Identity,
+            );
+            let mut reference = Accelerator::new(AcceleratorConfig::test_4x4());
+            let out_ref = reference.matmul(
+                &|mi, ki| ((mi * 5 + ki) % 17) as i8,
+                &|ki, ni| ((ki * 3 + ni) % 13) as i8,
+                m,
+                k,
+                n,
+                None,
+                6,
+                ActivationKind::Identity,
+            );
+            assert_eq!(
+                acc.array_cycles(),
+                reference.array_cycles(),
+                "({m},{k},{n})"
+            );
+            assert_eq!(out_fun, out_ref, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_k_matmul_matches_ticked() {
+        // k == 0 means no K-tile ever runs: the ticked path's FIFOs
+        // drain empty, so outputs stay zero even with a bias. The
+        // functional drain must mirror that, not write bias-only rows.
+        let bias = vec![1024i32; 4];
+        let run = |backend| {
+            let mut cfg = AcceleratorConfig::test_4x4();
+            cfg.backend = backend;
+            let mut acc = Accelerator::new(cfg);
+            let out = acc.matmul(
+                &|_, _| 7,
+                &|_, _| 7,
+                3,
+                0,
+                4,
+                Some(&bias),
+                6,
+                ActivationKind::Identity,
+            );
+            (out, acc.array_cycles(), acc.activation_cycles())
+        };
+        let ticked = run(crate::EngineBackend::Ticked);
+        let functional = run(crate::EngineBackend::Functional);
+        assert_eq!(functional, ticked);
+        assert!(ticked.0.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn untraced_run_matches_traced_outputs() {
+        // TraceLevel::Outputs skips the per-iteration snapshot clones:
+        // everything except `trace.iterations` must be identical.
+        let net = CapsNetConfig::tiny();
+        let cfg = AcceleratorConfig::test_4x4();
+        let qparams = CapsNetParams::generate(&net, 23).quantize(cfg.numeric);
+        let image = Tensor::from_fn(&[1, 12, 12], |i| ((i[1] + 2 * i[2]) % 7) as f32 / 7.0);
+        let mut traced = Accelerator::new(cfg);
+        let full = traced.run_inference(&net, &qparams, &image);
+        let mut light_cfg = cfg;
+        light_cfg.trace_level = crate::TraceLevel::Outputs;
+        let mut untraced = Accelerator::new(light_cfg);
+        let light = untraced.run_inference(&net, &qparams, &image);
+        assert_eq!(full.trace.iterations.len(), net.routing_iterations);
+        assert!(light.trace.iterations.is_empty());
+        assert_eq!(light.trace.output, full.trace.output);
+        assert_eq!(light.trace.input_q, full.trace.input_q);
+        assert_eq!(light.trace.conv1_out, full.trace.conv1_out);
+        assert_eq!(light.trace.pc_out, full.trace.pc_out);
+        assert_eq!(light.trace.capsules, full.trace.capsules);
+        assert_eq!(light.trace.u_hat, full.trace.u_hat);
+        assert_eq!(light.layers, full.layers);
+        assert_eq!(light.steps, full.steps);
+        assert_eq!(light.traffic, full.traffic);
+        assert_eq!(light.memory, full.memory);
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub use capsacc_memory::{
     DramConfig, MatmulGeometry, MemReport, MemoryConfig, MemoryMode, MemorySubsystem, SpmActivity,
     SpmConfig, SpmKind, TileSchedule,
 };
-pub use config::{AcceleratorConfig, DataflowOptions};
+pub use config::{AcceleratorConfig, DataflowOptions, EngineBackend, TraceLevel};
 pub use control::{ControlOp, ControlUnit, DataSource, Program, WeightSource};
 pub use engine::{Accelerator, InferenceRun, LayerRun};
 pub use pe::{Pe, PeControl, PeInput, PeOutput, WeightSelect};

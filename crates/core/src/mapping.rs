@@ -8,6 +8,13 @@
 //! partial sums each per-column accumulator FIFO must hold and the
 //! number of weight-tile switches, for both the paper's loop order and
 //! the alternative that interleaves output channels.
+//!
+//! The analysis is execution-backend independent: `Ticked` and
+//! `Functional` ([`crate::EngineBackend`]) drive the *same* per-column
+//! [`crate::AccumulatorUnit`] FIFOs through the same tile schedule, so
+//! `peak_accumulator_entries` bounds the in-flight partial sums of
+//! either backend (the functional path differs only in how a tile's
+//! psums are produced, never in how many are live).
 
 use capsacc_tensor::ConvGeometry;
 

@@ -1,7 +1,5 @@
 //! The processing element (Fig. 11b of the paper).
 
-use capsacc_fixed::saturate_to_bits;
-
 /// Which weight register feeds the multiplier.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum WeightSelect {
@@ -78,6 +76,20 @@ impl Pe {
     /// Width of the partial-sum datapath (25 bits, Sec. IV-A).
     pub const PSUM_BITS: u32 = 25;
 
+    /// The PE's MAC datapath as a pure function: one 8×8-bit multiply
+    /// folded into an incoming partial sum through the 25-bit saturating
+    /// adder. This is the *single* definition of the per-step arithmetic
+    /// — [`Pe::tick`] calls it for the ticked array, and the engine's
+    /// `Functional` backend applies it in the same fixed north→south
+    /// order, which is what makes the two backends bit-identical by
+    /// construction (saturation is order-sensitive, so sharing the step
+    /// is not a convenience but a correctness requirement).
+    #[inline]
+    #[must_use]
+    pub fn mac_step(psum: i64, data: i8, weight: i8) -> i64 {
+        capsacc_fixed::saturate_to_bits(psum + data as i64 * weight as i64, Self::PSUM_BITS)
+    }
+
     /// Creates a PE with all registers cleared.
     pub const fn new() -> Self {
         Self {
@@ -102,8 +114,7 @@ impl Pe {
             WeightSelect::Stream => self.weight1_reg,
             WeightSelect::Held => self.weight2_reg,
         };
-        let product = input.data as i64 * w as i64;
-        self.psum_reg = saturate_to_bits(input.psum + product, Self::PSUM_BITS);
+        self.psum_reg = Self::mac_step(input.psum, input.data, w);
         self.data_reg = input.data;
         if ctrl.latch_weight2 {
             self.weight2_reg = self.weight1_reg;
@@ -280,6 +291,21 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn mac_step_is_the_saturating_fold(
+            d in any::<i8>(), w in any::<i8>(), p in -(1i64<<24)..(1i64<<24)
+        ) {
+            // The shared datapath step equals the library clamp — and is
+            // what `tick` commits into the psum register.
+            let want = capsacc_fixed::saturate_to_bits(
+                p + d as i64 * w as i64, Pe::PSUM_BITS);
+            prop_assert_eq!(Pe::mac_step(p, d, w), want);
+            let mut pe = Pe::new();
+            pe.tick(PeInput { data: 0, weight: w, psum: 0 }, PeControl::default());
+            pe.tick(PeInput { data: d, weight: 0, psum: p }, PeControl::default());
+            prop_assert_eq!(pe.psum(), Pe::mac_step(p, d, w));
+        }
+
         #[test]
         fn mac_arithmetic_exact_when_unsaturated(
             d in any::<i8>(), w in any::<i8>(), p in -(1i64<<23)..(1i64<<23)

@@ -32,12 +32,99 @@ pub struct ArrayOutput {
 /// // Output column c = Σ_r data[r] · w[r][c].
 /// assert_eq!(outs[0], vec![10 * 1 + 20 * 3, 10 * 2 + 20 * 4]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct SystolicArray {
     rows: usize,
     cols: usize,
     pes: Vec<Pe>,
     cycles: u64,
+    edge: EdgeBuffers,
+    feed: FeedBuffers,
+}
+
+/// Reusable per-edge wavefront and edge-output buffers. In hardware
+/// these are wires, not state: hoisting them out of [`SystolicArray::
+/// tick`]'s body removes five heap allocations per clock edge from the
+/// hot loop without changing a single observable value.
+#[derive(Clone, Debug, Default)]
+struct EdgeBuffers {
+    weight_down: Vec<i8>,
+    psum_down: Vec<i64>,
+    data_east: Vec<i8>,
+    psum_south: Vec<i64>,
+    weight_south: Vec<i8>,
+}
+
+/// Reusable west/north edge-input staging buffers for
+/// [`SystolicArray::stream`] and [`SystolicArray::load_weights`]
+/// (`west`/`wrow`/`zeros` used to be rebuilt per call).
+#[derive(Clone, Debug, Default)]
+struct FeedBuffers {
+    west: Vec<i8>,
+    north: Vec<i8>,
+}
+
+/// Scratch buffers are wires, not architectural state: equality is the
+/// PE registers plus the cycle counter, so a freshly built array
+/// compares equal to a reset one regardless of scratch history.
+impl PartialEq for SystolicArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.pes == other.pes
+            && self.cycles == other.cycles
+    }
+}
+
+impl Eq for SystolicArray {}
+
+/// Advances the whole PE grid one clock edge, writing the edge outputs
+/// into `edge` (a free function over disjoint field borrows so the
+/// callers can stage inputs in their own reusable buffers).
+fn tick_edge(
+    rows: usize,
+    cols: usize,
+    pes: &mut [Pe],
+    data_west: &[i8],
+    weight_north: &[i8],
+    ctrl: PeControl,
+    edge: &mut EdgeBuffers,
+) {
+    assert_eq!(data_west.len(), rows, "west data width");
+    assert_eq!(weight_north.len(), cols, "north weight width");
+    edge.data_east.resize(rows, 0);
+    edge.psum_south.resize(cols, 0);
+    edge.weight_south.resize(cols, 0);
+    // Per-column wavefronts flowing south within this cycle.
+    edge.weight_down.clear();
+    edge.weight_down.extend_from_slice(weight_north);
+    edge.psum_down.clear();
+    edge.psum_down.resize(cols, 0);
+
+    for r in 0..rows {
+        // Per-row wavefront flowing east within this cycle.
+        let mut data_right = data_west[r];
+        for c in 0..cols {
+            let out: PeOutput = pes[r * cols + c].tick(
+                PeInput {
+                    data: data_right,
+                    weight: edge.weight_down[c],
+                    psum: edge.psum_down[c],
+                },
+                ctrl,
+            );
+            data_right = out.data;
+            edge.weight_down[c] = out.weight;
+            edge.psum_down[c] = out.psum;
+            if c == cols - 1 {
+                edge.data_east[r] = out.data;
+            }
+            if r == rows - 1 {
+                edge.psum_south[c] = out.psum;
+                edge.weight_south[c] = out.weight;
+            }
+        }
+    }
 }
 
 impl SystolicArray {
@@ -53,6 +140,8 @@ impl SystolicArray {
             cols,
             pes: vec![Pe::new(); rows * cols],
             cycles: 0,
+            edge: EdgeBuffers::default(),
+            feed: FeedBuffers::default(),
         }
     }
 
@@ -79,9 +168,29 @@ impl SystolicArray {
         self.cycles = 0;
     }
 
-    #[inline]
-    fn pe_index(&self, r: usize, c: usize) -> usize {
-        r * self.cols + c
+    /// Clock edges one [`load_weights`](Self::load_weights) call
+    /// consumes: `rows` skewed weight rows plus the latch edge. The
+    /// single definition of the load cost — the ticked loader returns
+    /// it and the `Functional` backend charges it.
+    pub fn load_edges(&self) -> u64 {
+        self.rows as u64 + 1
+    }
+
+    /// Clock edges one [`stream`](Self::stream) call consumes for `m`
+    /// data rows: skewed injection plus pipeline drain. The single
+    /// definition of the stream cost — the ticked streamer executes
+    /// exactly this many edges and the `Functional` backend charges it.
+    pub fn stream_edges(&self, m: usize) -> u64 {
+        (m + self.rows + self.cols) as u64
+    }
+
+    /// Charges `n` clock edges to the cycle counter without ticking a
+    /// single PE — the `Functional` engine backend computes tile
+    /// results directly and accounts the edges it provably would have
+    /// spent ([`load_edges`](Self::load_edges) /
+    /// [`stream_edges`](Self::stream_edges) per tile).
+    pub(crate) fn advance_cycles(&mut self, n: u64) {
+        self.cycles += n;
     }
 
     /// Advances the whole array one clock edge.
@@ -98,47 +207,20 @@ impl SystolicArray {
     ///
     /// Panics if the input slices do not match the array dimensions.
     pub fn tick(&mut self, data_west: &[i8], weight_north: &[i8], ctrl: PeControl) -> ArrayOutput {
-        assert_eq!(data_west.len(), self.rows, "west data width");
-        assert_eq!(weight_north.len(), self.cols, "north weight width");
         self.cycles += 1;
-
-        let mut data_east = vec![0i8; self.rows];
-        let mut psum_south = vec![0i64; self.cols];
-        let mut weight_south = vec![0i8; self.cols];
-        // Per-column wavefronts flowing south within this cycle.
-        let mut weight_down = weight_north.to_vec();
-        let mut psum_down = vec![0i64; self.cols];
-
-        for r in 0..self.rows {
-            // Per-row wavefront flowing east within this cycle.
-            let mut data_right = data_west[r];
-            for c in 0..self.cols {
-                let idx = self.pe_index(r, c);
-                let out: PeOutput = self.pes[idx].tick(
-                    PeInput {
-                        data: data_right,
-                        weight: weight_down[c],
-                        psum: psum_down[c],
-                    },
-                    ctrl,
-                );
-                data_right = out.data;
-                weight_down[c] = out.weight;
-                psum_down[c] = out.psum;
-                if c == self.cols - 1 {
-                    data_east[r] = out.data;
-                }
-                if r == self.rows - 1 {
-                    psum_south[c] = out.psum;
-                    weight_south[c] = out.weight;
-                }
-            }
-        }
-
+        tick_edge(
+            self.rows,
+            self.cols,
+            &mut self.pes,
+            data_west,
+            weight_north,
+            ctrl,
+            &mut self.edge,
+        );
         ArrayOutput {
-            data_east,
-            psum_south,
-            weight_south,
+            data_east: self.edge.data_east.clone(),
+            psum_south: self.edge.psum_south.clone(),
+            weight_south: self.edge.weight_south.clone(),
         }
     }
 
@@ -155,29 +237,54 @@ impl SystolicArray {
     pub fn load_weights(&mut self, tile: &[&[i8]]) -> u64 {
         let k = tile.len();
         assert!(k <= self.rows, "weight tile taller than the array");
-        let zeros = vec![0i8; self.rows];
-        let mut wrow = vec![0i8; self.cols];
+        let edges = self.load_edges();
+        let Self {
+            rows,
+            cols,
+            pes,
+            cycles,
+            edge,
+            feed,
+        } = self;
+        let (rows, cols) = (*rows, *cols);
+        feed.west.clear();
+        feed.west.resize(rows, 0); // all-zero west edge during loads
+        feed.north.resize(cols, 0);
         // Rows enter in reverse so row r settles in PE row r. If the tile
         // is shorter than the array, unused rows receive zeros first.
-        for t in 0..self.rows {
-            wrow.fill(0);
-            if self.rows - 1 - t < k {
-                let src = tile[self.rows - 1 - t];
-                assert!(src.len() <= self.cols, "weight tile wider than the array");
-                wrow[..src.len()].copy_from_slice(src);
+        for t in 0..rows {
+            feed.north.fill(0);
+            if rows - 1 - t < k {
+                let src = tile[rows - 1 - t];
+                assert!(src.len() <= cols, "weight tile wider than the array");
+                feed.north[..src.len()].copy_from_slice(src);
             }
-            self.tick(&zeros, &wrow, PeControl::default());
+            *cycles += 1;
+            tick_edge(
+                rows,
+                cols,
+                pes,
+                &feed.west,
+                &feed.north,
+                PeControl::default(),
+                edge,
+            );
         }
-        wrow.fill(0);
-        self.tick(
-            &zeros,
-            &wrow,
+        feed.north.fill(0);
+        *cycles += 1;
+        tick_edge(
+            rows,
+            cols,
+            pes,
+            &feed.west,
+            &feed.north,
             PeControl {
                 latch_weight2: true,
                 ..PeControl::default()
             },
+            edge,
         );
-        self.rows as u64 + 1
+        edges
     }
 
     /// Streams data rows through the array against the resident weights
@@ -194,16 +301,26 @@ impl SystolicArray {
     pub fn stream(&mut self, data: &[Vec<i8>]) -> Vec<Vec<i64>> {
         use crate::pe::WeightSelect;
         let m = data.len();
-        let total_edges = m + self.rows + self.cols;
         let mut out = vec![vec![0i64; self.cols]; m];
         let ctrl = PeControl {
             select: WeightSelect::Held,
             latch_weight2: false,
         };
-        let wzero = vec![0i8; self.cols];
-        let mut west = vec![0i8; self.rows];
+        let total_edges = self.stream_edges(m) as usize;
+        let Self {
+            rows,
+            cols,
+            pes,
+            cycles,
+            edge,
+            feed,
+        } = self;
+        let (rows, cols) = (*rows, *cols);
+        feed.north.clear();
+        feed.north.resize(cols, 0); // weights held, nothing streams north
+        feed.west.resize(rows, 0);
         for s in 0..total_edges {
-            for (r, w) in west.iter_mut().enumerate() {
+            for (r, w) in feed.west.iter_mut().enumerate() {
                 // Skewed injection: row r sees data row (s - r).
                 *w = if s >= r && s - r < m {
                     let row = &data[s - r];
@@ -216,12 +333,13 @@ impl SystolicArray {
                     0
                 };
             }
-            let o = self.tick(&west, &wzero, ctrl);
+            *cycles += 1;
+            tick_edge(rows, cols, pes, &feed.west, &feed.north, ctrl, edge);
             // The psum visible at the south edge of column c on edge s
             // belongs to data row m = s - rows - c.
-            for (c, &psum) in o.psum_south.iter().enumerate() {
-                if s >= self.rows + c {
-                    let mm = s - self.rows - c;
+            for (c, &psum) in edge.psum_south.iter().enumerate() {
+                if s >= rows + c {
+                    let mm = s - rows - c;
                     if mm < m {
                         out[mm][c] = psum;
                     }
@@ -306,6 +424,20 @@ mod tests {
         assert_eq!(arr.cycles(), 0);
         let out = arr.stream(&[vec![5, 5]]);
         assert_eq!(out[0], vec![0, 0]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        // The hoisted edge/feed buffers must not leak state between
+        // calls: a long-used array equals a fresh one after reset, and
+        // repeated identical streams produce identical outputs.
+        let mut used = SystolicArray::new(3, 3);
+        used.load_weights(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
+        let a = used.stream(&[vec![1, -2, 3], vec![4, 5, -6]]);
+        let b = used.stream(&[vec![1, -2, 3], vec![4, 5, -6]]);
+        assert_eq!(a, b);
+        used.reset();
+        assert_eq!(used, SystolicArray::new(3, 3));
     }
 
     #[test]

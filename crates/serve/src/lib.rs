@@ -114,6 +114,14 @@ pub fn service_cycles_table(
 /// exact for every real batch of the same size —
 /// [`serve_with_engine`] asserts exactly that against each batch the
 /// shard pool actually serves.
+///
+/// At MNIST scale, build the table with
+/// `cfg.backend = EngineBackend::Functional` (and typically
+/// `cfg.trace_level = TraceLevel::Outputs`): the functional backend
+/// charges the identical cycles at wall-clock speed, so paper-scale
+/// engine service tables are practical where ticking every PE was not
+/// (pinned by `tests/serve_equivalence.rs::
+/// engine_service_cycles_table_holds_at_mnist_scale`).
 pub fn engine_service_cycles_table(
     cfg: &AcceleratorConfig,
     net: &CapsNetConfig,

@@ -86,6 +86,30 @@ fn golden_batched_trace_matches_same_digests() {
 }
 
 #[test]
+fn golden_functional_backend_matches_same_digests() {
+    // Both execution backends must reproduce the identical pinned trace
+    // — sequential and batched — so the fast path can never drift away
+    // from the RTL reference without this failing.
+    let net = CapsNetConfig::tiny();
+    let mut cfg = AcceleratorConfig::test_4x4();
+    cfg.backend = capsacc::core::EngineBackend::Functional;
+    let qparams = CapsNetParams::generate(&net, 0).quantize(cfg.numeric);
+    let mut acc = Accelerator::new(cfg);
+    let run = acc.run_inference(&net, &qparams, &image_for(&net, 0));
+    let got = trace_digests(&run.trace);
+    for ((name, want), (_, got_hash)) in GOLDEN_DIGESTS.iter().zip(&got) {
+        assert_eq!(
+            want, got_hash,
+            "functional backend diverged from the pinned digest at `{name}`"
+        );
+    }
+    let images = [image_for(&net, 0), image_for(&net, 1)];
+    let mut sched = capsacc::core::BatchScheduler::new(cfg);
+    let run = sched.run(&net, &qparams, &images).expect("valid batch");
+    assert_eq!(trace_digests(&run.traces[0]), got);
+}
+
+#[test]
 #[ignore = "regeneration helper: prints the digest table for GOLDEN_DIGESTS"]
 fn print_golden_digests() {
     for (name, hash) in trace_digests(&golden_trace()) {

@@ -7,7 +7,7 @@
 //! the OS schedules the worker threads.
 
 use capsacc::capsnet::{CapsNetConfig, CapsNetParams};
-use capsacc::core::{timing, Accelerator, AcceleratorConfig};
+use capsacc::core::{timing, Accelerator, AcceleratorConfig, BatchScheduler, EngineBackend};
 use capsacc::serve::{
     arrival_trace, dispatch_batches, engine_service_cycles_table, form_batches, serve_with_engine,
     service_cycles_table, simulate_serve, BatcherConfig, ServeConfig, ShardPool, TraceConfig,
@@ -100,6 +100,51 @@ fn engine_service_cycles_are_data_and_reuse_independent() {
                 run.batch
             );
         }
+    }
+}
+
+#[test]
+fn engine_service_cycles_table_holds_at_mnist_scale() {
+    // Previously the engine-backed service table only existed at the
+    // tiny test scale — ticking a 16×16 MNIST inference per batch size
+    // was prohibitive. The functional backend removes that wall: build
+    // the table at the paper design point and prove the serve layer's
+    // charging discipline against real engine batches at full scale.
+    let net = CapsNetConfig::mnist();
+    let mut cfg = AcceleratorConfig::paper();
+    cfg.backend = EngineBackend::Functional;
+    let qparams = CapsNetParams::generate(&net, 0).quantize(cfg.numeric);
+    let table = engine_service_cycles_table(&cfg, &net, &qparams, 2);
+    assert_eq!(table[0], 0);
+    assert!(table[1] > 0);
+    assert!(
+        table[2] < 2 * table[1],
+        "batched service must amortize at paper scale: {} vs 2x{}",
+        table[2],
+        table[1]
+    );
+    // Data- and reuse-independence at MNIST scale: a long-lived reused
+    // scheduler serving *different* images costs exactly the table
+    // entry per batch — the invariant that makes one number per batch
+    // size a sound service time for the dispatcher.
+    let mut sched = BatchScheduler::new(cfg);
+    let images: Vec<Tensor<f32>> = (0..3).map(|r| image_for(&net, r)).collect();
+    for batch in [&images[..2], &images[2..3], &images[1..3]] {
+        let run = sched.run(&net, &qparams, batch).expect("valid batch");
+        assert_eq!(
+            run.total_cycles(),
+            table[run.batch],
+            "engine cycles diverged from the service table for a batch of {}",
+            run.batch
+        );
+    }
+    // The dispatcher charges those same cycles end to end.
+    let serve = tiny_serve(3, 6, 2, 2);
+    let arrivals = arrival_trace(&serve.trace);
+    let batches = form_batches(&arrivals, &serve.batcher);
+    let out = dispatch_batches(&arrivals, &batches, serve.workers, &|n| table[n]);
+    for r in &out.requests {
+        assert_eq!(r.service_cycles(), table[out.batches[r.batch].len]);
     }
 }
 
