@@ -25,9 +25,14 @@ run cargo run --release -q -p capsacc-bench --bin exp_batch
 # prefetch-recovery bound, and refreshes BENCH_mem.json.
 run cargo run --release -q -p capsacc-bench --bin exp_memdse
 # Serving smoke run: asserts the ≥3x worker-scaling bound (4 workers vs
-# 1 at fixed max_batch), byte-identical determinism of the sweep, and
-# shard-pool trace bit-exactness at the tiny scale; refreshes
-# BENCH_serve.json so the serving-perf trajectory is recorded.
+# 1 at fixed max_batch), the offline anchor (online runtime ≡ offline
+# pipeline with overload features disabled), the overload invariants
+# (flash crowd sheds on the bounded queue; post-spike served fraction
+# recovers to ≥95% of the pre-spike level), byte-identical determinism
+# of every sweep (event digests included), and shard-pool trace
+# bit-exactness at the tiny scale; refreshes BENCH_serve.json —
+# saturating sweep + overload-and-recovery sweep + million-request
+# diurnal scale point — so the serving-perf trajectory is recorded.
 run cargo run --release -q -p capsacc-bench --bin exp_serve
 # Engine wall-clock smoke run: asserts the functional backend is
 # bit-identical to the ticked RTL engine on a full MNIST inference at

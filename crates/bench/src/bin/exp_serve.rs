@@ -1,16 +1,29 @@
-//! Multi-worker serving sweep (beyond the paper): a seeded synthetic
-//! request stream through the dynamic micro-batcher and a shard pool of
-//! weight-resident workers, at the paper 16×16 configuration with the
-//! closed-form cycle model supplying batch service times.
+//! Multi-worker serving sweeps (beyond the paper) at the paper 16×16
+//! configuration with the closed-form cycle model supplying batch
+//! service times.
 //!
-//! Asserts two serving invariants on every run:
+//! Two sweeps:
+//!
+//! 1. **saturating** — the PR-4 offline pipeline under saturating
+//!    load: throughput/latency/utilization across workers × batcher
+//!    policies;
+//! 2. **overload-and-recovery** — the online runtime against a flash
+//!    crowd (Spike regime): admission queue bounds × autoscaling, with
+//!    goodput, shed rate and per-class SLO attainment columns, plus a
+//!    million-request diurnal scale point.
+//!
+//! Asserts serving invariants on every run:
 //!
 //! 1. **worker scaling** — under saturating load, 4 workers deliver at
 //!    least 3× the aggregate throughput of 1 worker at fixed
 //!    `max_batch`;
-//! 2. **determinism** — rerunning the identical sweep produces a
-//!    byte-identical serialized report (virtual time only, no wall
-//!    clock), so `BENCH_serve.json` is reproducible.
+//! 2. **offline anchor** — the online runtime with overload features
+//!    disabled reproduces the offline sweep's outcome bit-exactly;
+//! 3. **overload behavior** — the flash crowd forces a positive shed
+//!    rate on the bounded queue, and the served fraction of post-spike
+//!    arrivals recovers to ≥ 95% of the pre-spike level;
+//! 4. **determinism** — rerunning every sweep produces byte-identical
+//!    reports and event digests (virtual time only, no wall clock).
 //!
 //! Plus a cycle-accurate validation at the tiny scale: requests served
 //! through real OS-thread `BatchScheduler` workers produce traces
@@ -25,10 +38,14 @@ use std::fs;
 use capsacc_bench::print_table;
 use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
 use capsacc_core::{Accelerator, AcceleratorConfig};
-use capsacc_serve::{simulate_serve, BatcherConfig, ServeConfig, SimOutcome, TraceConfig};
+use capsacc_serve::{
+    arrival_trace, run_runtime, service_cycles_table, simulate_serve, workload_trace,
+    ArrivalRegime, AutoscalerConfig, BatcherConfig, ClassConfig, Request, RuntimeConfig,
+    RuntimeOutcome, ScalingEvent, ServeConfig, SimOutcome, TraceConfig, WorkloadConfig,
+};
 use capsacc_tensor::Tensor;
 
-/// One measured point of the sweep.
+/// One measured point of the saturating sweep.
 struct Row {
     workers: usize,
     max_batch: usize,
@@ -39,6 +56,19 @@ struct Row {
     p99_cycles: u64,
     mean_batch: f64,
     mean_utilization: f64,
+}
+
+/// One measured point of the overload sweep.
+struct OverloadRow {
+    queue_capacity: usize,
+    autoscale: bool,
+    served: usize,
+    shed_rate: f64,
+    goodput_img_s: f64,
+    attainment_standard: f64,
+    attainment_premium: f64,
+    peak_workers: usize,
+    event_digest: u64,
 }
 
 /// A saturating trace: ~1 request per 500 cycles of virtual time —
@@ -88,12 +118,141 @@ fn sweep(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Vec<Row> {
     rows
 }
 
-fn render_json(rows: &[Row]) -> String {
+/// The overload workload: comfortable base traffic with a flash crowd
+/// sized off the service table, so the spike overloads the base pool
+/// by ~8× regardless of how the cycle model evolves.
+fn overload_workload(per_request_cycles: u64, service_1: u64) -> (WorkloadConfig, u64, u64) {
+    // Two base workers: base traffic at 1/3 of their joint capacity,
+    // spike at ~8/3 of it.
+    let base_gap = (3 * per_request_cycles / 2) as f64;
+    let spike_gap = (per_request_cycles / 4).max(1) as f64;
+    let spike_start = 200 * per_request_cycles;
+    let spike_cycles = 300 * per_request_cycles;
+    let cfg = WorkloadConfig {
+        seed: 23,
+        requests: 2_000,
+        regime: ArrivalRegime::Spike {
+            base_gap_cycles: base_gap,
+            spike_start_cycle: spike_start,
+            spike_cycles,
+            spike_gap_cycles: spike_gap,
+        },
+        classes: vec![
+            ClassConfig {
+                weight: 2,
+                slo_cycles: None,
+            },
+            // "standard": generous latency budget.
+            ClassConfig {
+                weight: 2,
+                slo_cycles: Some(30 * service_1),
+            },
+            // "premium": tight but feasible budget, shed last.
+            ClassConfig {
+                weight: 1,
+                slo_cycles: Some(6 * service_1),
+            },
+        ],
+    };
+    (cfg, spike_start, spike_start + spike_cycles)
+}
+
+fn overload_runtime(queue_capacity: usize, autoscale: bool) -> RuntimeConfig {
+    RuntimeConfig {
+        workers: 2,
+        batcher: BatcherConfig {
+            max_batch: 16,
+            max_wait_cycles: 20_000,
+        },
+        queue_capacity: Some(queue_capacity),
+        deadline_aware: true,
+        autoscaler: autoscale.then_some(AutoscalerConfig {
+            min_workers: 2,
+            max_workers: 6,
+            scale_up_queue_per_worker: 8,
+            scale_down_idle_cycles: 200_000,
+            eval_period_cycles: 50_000,
+        }),
+        record_events: false,
+    }
+}
+
+fn overload_sweep(
+    requests: &[Request],
+    service: &dyn Fn(usize) -> u64,
+    warmup: u64,
+    clock_hz: f64,
+) -> Vec<OverloadRow> {
+    let mut rows = Vec::new();
+    for &queue_capacity in &[16usize, 64, 256] {
+        for &autoscale in &[false, true] {
+            let out = run_runtime(
+                &overload_runtime(queue_capacity, autoscale),
+                requests,
+                service,
+                warmup,
+            );
+            // Peak concurrently-active pool size, replayed from the
+            // in-order scaling record.
+            let mut active = 2usize;
+            let mut peak_workers = active;
+            for s in &out.scaling {
+                match s {
+                    ScalingEvent::Up { .. } => active += 1,
+                    ScalingEvent::Down { .. } => active -= 1,
+                }
+                peak_workers = peak_workers.max(active);
+            }
+            rows.push(OverloadRow {
+                queue_capacity,
+                autoscale,
+                served: out.served.len(),
+                shed_rate: out.shed_rate(),
+                goodput_img_s: out.goodput_per_cycle() * clock_hz,
+                attainment_standard: out.slo_attainment(1),
+                attainment_premium: out.slo_attainment(2),
+                peak_workers,
+                event_digest: out.event_digest,
+            });
+        }
+    }
+    rows
+}
+
+/// Served fraction of the requests arriving in `[from, to)` — the
+/// windowed goodput the recovery assertion compares across the spike.
+fn served_fraction(requests: &[Request], out: &RuntimeOutcome, from: u64, to: u64) -> f64 {
+    let mut offered = 0usize;
+    let mut served = 0usize;
+    let mut served_flags = vec![false; requests.len()];
+    for &r in &out.served {
+        served_flags[r] = true;
+    }
+    for (i, r) in requests.iter().enumerate() {
+        if r.arrival >= from && r.arrival < to {
+            offered += 1;
+            if served_flags[i] {
+                served += 1;
+            }
+        }
+    }
+    if offered == 0 {
+        return 1.0;
+    }
+    served as f64 / offered as f64
+}
+
+fn render_json(
+    rows: &[Row],
+    overload: &[OverloadRow],
+    recovery: (f64, f64),
+    million: &RuntimeOutcome,
+) -> String {
     let t = trace();
     let mut json = format!(
         "{{\n  \"bench\": \"exp_serve\",\n  \"config\": \"paper_16x16_250MHz\",\n  \
          \"net\": \"mnist\",\n  \"trace\": {{\"seed\": {}, \"requests\": {}, \
-         \"mean_gap_cycles\": {}, \"mean_burst\": {}}},\n  \"rows\": [\n",
+         \"mean_gap_cycles\": {}, \"mean_burst\": {}}},\n  \"saturating_sweep\": [\n",
         t.seed, t.requests, t.mean_gap_cycles, t.mean_burst,
     );
     for (i, r) in rows.iter().enumerate() {
@@ -115,7 +274,46 @@ fn render_json(rows: &[Row]) -> String {
         )
         .expect("write to string");
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"overload_sweep\": [\n");
+    for (i, r) in overload.iter().enumerate() {
+        let sep = if i + 1 < overload.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"queue_capacity\": {}, \"autoscale\": {}, \"served\": {}, \
+             \"shed_rate\": {:.4}, \"goodput_img_s\": {:.1}, \
+             \"slo_attainment_standard\": {:.4}, \"slo_attainment_premium\": {:.4}, \
+             \"peak_workers\": {}, \"event_digest\": \"{:016x}\"}}{sep}",
+            r.queue_capacity,
+            r.autoscale,
+            r.served,
+            r.shed_rate,
+            r.goodput_img_s,
+            r.attainment_standard,
+            r.attainment_premium,
+            r.peak_workers,
+            r.event_digest,
+        )
+        .expect("write to string");
+    }
+    writeln!(
+        json,
+        "  ],\n  \"recovery\": {{\"pre_spike_served_fraction\": {:.4}, \
+         \"post_spike_served_fraction\": {:.4}}},",
+        recovery.0, recovery.1,
+    )
+    .expect("write to string");
+    writeln!(
+        json,
+        "  \"million_request_diurnal\": {{\"requests\": {}, \"served\": {}, \
+         \"shed_rate\": {:.4}, \"makespan_cycles\": {}, \"event_digest\": \"{:016x}\"}}",
+        million.total_requests,
+        million.served.len(),
+        million.shed_rate(),
+        million.sim.makespan_cycles,
+        million.event_digest,
+    )
+    .expect("write to string");
+    json.push_str("}\n");
     json
 }
 
@@ -166,6 +364,7 @@ fn engine_validation() {
 fn main() {
     let cfg = AcceleratorConfig::paper();
     let net = CapsNetConfig::mnist();
+    let clock_hz = cfg.clock_mhz as f64 * 1e6;
 
     let rows = sweep(&cfg, &net);
     let table: Vec<Vec<String>> = rows
@@ -223,15 +422,184 @@ fn main() {
     }
     println!("\nWorker scaling: ≥ 3x aggregate throughput at 4 workers vs 1 (all points)");
 
-    // Invariant 2: the sweep is deterministic — a rerun serializes to
-    // the identical byte string (same seed, virtual time only).
-    let json = render_json(&rows);
-    let rerun = render_json(&sweep(&cfg, &net));
+    // Invariant 2: offline anchor — the online runtime with overload
+    // features disabled reproduces the offline pipeline bit-exactly on
+    // the saturating trace, at the paper design point.
+    let batcher = BatcherConfig {
+        max_batch: 16,
+        max_wait_cycles: 10_000,
+    };
+    let table16 = service_cycles_table(&cfg, &net, batcher.max_batch);
+    let arrivals = arrival_trace(&trace());
+    let anchor_requests: Vec<Request> = arrivals.iter().map(|&a| Request::best_effort(a)).collect();
+    let anchored = RuntimeConfig {
+        workers: 4,
+        batcher,
+        queue_capacity: None,
+        deadline_aware: false,
+        autoscaler: None,
+        record_events: false,
+    };
+    let online = run_runtime(&anchored, &anchor_requests, &|n| table16[n], 0);
+    let offline = simulate_serve(
+        &cfg,
+        &net,
+        &ServeConfig {
+            workers: 4,
+            batcher,
+            trace: trace(),
+        },
+    );
+    assert_eq!(
+        online.sim, offline,
+        "online runtime diverged from the offline pipeline under anchor settings"
+    );
+    println!("Offline anchor: online runtime ≡ offline pipeline (bit-exact SimOutcome)");
+
+    // The overload-and-recovery sweep: flash crowd sized off the
+    // service table, bounded queues, priorities, optional autoscaling.
+    let per_request = table16[16] / 16;
+    let warmup = capsacc_serve::worker_warmup_cycles(&cfg, &net);
+    let (workload, spike_start, spike_end) = overload_workload(per_request, table16[1]);
+    let requests = workload_trace(&workload);
+    let service = |n: usize| table16[n];
+    let orows = overload_sweep(&requests, &service, warmup, clock_hz);
+    let otable: Vec<Vec<String>> = orows
+        .iter()
+        .map(|r| {
+            vec![
+                r.queue_capacity.to_string(),
+                if r.autoscale { "on" } else { "off" }.to_string(),
+                r.served.to_string(),
+                format!("{:.1}%", r.shed_rate * 100.0),
+                format!("{:.0}", r.goodput_img_s),
+                format!("{:.1}%", r.attainment_standard * 100.0),
+                format!("{:.1}%", r.attainment_premium * 100.0),
+                r.peak_workers.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Overload sweep — flash crowd (8x base rate), online runtime",
+        &[
+            "QueueCap",
+            "Autoscale",
+            "Served",
+            "Shed",
+            "Goodput img/s",
+            "SLO std",
+            "SLO prem",
+            "Workers",
+        ],
+        &otable,
+    );
+
+    // Invariant 3a: the bounded queue actually sheds under the spike.
+    let tight = orows
+        .iter()
+        .find(|r| r.queue_capacity == 16 && !r.autoscale)
+        .expect("swept point");
+    assert!(
+        tight.shed_rate > 0.0,
+        "flash crowd failed to overload the bounded queue"
+    );
+    // Autoscaling at the same bound serves at least as much.
+    let tight_scaled = orows
+        .iter()
+        .find(|r| r.queue_capacity == 16 && r.autoscale)
+        .expect("swept point");
+    assert!(
+        tight_scaled.served >= tight.served,
+        "autoscaling must not serve less than the fixed pool"
+    );
+
+    // Invariant 3b: recovery — the served fraction of post-spike
+    // arrivals returns to ≥ 95% of the pre-spike level.
+    let recovery_out = run_runtime(&overload_runtime(16, false), &requests, &service, warmup);
+    let pre = served_fraction(&requests, &recovery_out, 0, spike_start);
+    // Skip one queue-drain's worth of tail after the spike ends.
+    let drain_margin = 16 * per_request;
+    let post = served_fraction(&requests, &recovery_out, spike_end + drain_margin, u64::MAX);
+    assert!(
+        post >= 0.95 * pre,
+        "goodput failed to recover after the burst: {post:.3} post-spike vs {pre:.3} pre-spike"
+    );
+    println!(
+        "Overload: shed rate {:.1}% under the spike; served fraction {:.1}% pre vs {:.1}% \
+         post-spike (recovered)",
+        tight.shed_rate * 100.0,
+        pre * 100.0,
+        post * 100.0
+    );
+
+    // Scale point: a million-request diurnal day through the online
+    // runtime with autoscaling — the "millions of users" regime.
+    let million_cfg = WorkloadConfig {
+        seed: 41,
+        requests: 1_000_000,
+        regime: ArrivalRegime::Diurnal {
+            period_cycles: 500_000 * per_request,
+            offpeak_gap_cycles: (3 * per_request) as f64,
+            peak_gap_cycles: (per_request / 3).max(1) as f64,
+        },
+        classes: vec![
+            ClassConfig {
+                weight: 3,
+                slo_cycles: None,
+            },
+            ClassConfig {
+                weight: 1,
+                slo_cycles: Some(30 * table16[1]),
+            },
+        ],
+    };
+    let million_reqs = workload_trace(&million_cfg);
+    let million_rt = RuntimeConfig {
+        workers: 2,
+        batcher,
+        queue_capacity: Some(256),
+        deadline_aware: true,
+        autoscaler: Some(AutoscalerConfig {
+            min_workers: 2,
+            max_workers: 8,
+            scale_up_queue_per_worker: 16,
+            scale_down_idle_cycles: 500_000,
+            eval_period_cycles: 100_000,
+        }),
+        record_events: false,
+    };
+    let million = run_runtime(&million_rt, &million_reqs, &service, warmup);
+    let spawned = million
+        .scaling
+        .iter()
+        .filter(|s| matches!(s, ScalingEvent::Up { .. }))
+        .count();
+    println!(
+        "Million-request diurnal: {} served / {} offered ({:.2}% shed), {} autoscale \
+         spin-ups, makespan {} cycles",
+        million.served.len(),
+        million.total_requests,
+        million.shed_rate() * 100.0,
+        spawned,
+        million.sim.makespan_cycles
+    );
+
+    // Invariant 4: every sweep is deterministic — a rerun serializes
+    // to the identical byte string, event digests included.
+    let json = render_json(&rows, &orows, (pre, post), &million);
+    let rerun_orows = overload_sweep(&requests, &service, warmup, clock_hz);
+    let rerun_million = run_runtime(&million_rt, &million_reqs, &service, warmup);
+    let rerun = render_json(
+        &sweep(&cfg, &net),
+        &rerun_orows,
+        (pre, post),
+        &rerun_million,
+    );
     assert_eq!(
         json, rerun,
         "serving sweep is not deterministic: reruns must be byte-identical"
     );
-    println!("Determinism: rerun of the sweep is byte-identical");
+    println!("Determinism: rerun of every sweep is byte-identical (event digests included)");
 
     engine_validation();
 

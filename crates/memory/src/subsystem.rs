@@ -358,6 +358,31 @@ impl MemorySubsystem {
         cycles
     }
 
+    /// Stages `bytes` of weight parameters from DRAM into the Weight
+    /// SPM as one exposed bulk fill — nothing to hide the transfer
+    /// behind — and returns the cycles it takes (zero under
+    /// [`MemoryMode::Ideal`]).
+    ///
+    /// This is the cost of bringing a *cold* replica's weights
+    /// on-chip: the serving layer charges it as autoscaler warmup when
+    /// a new weight-resident worker spins up, with `bytes` equal to
+    /// the network's `total_parameters()` so the fill is consistent
+    /// with the engine's own `dram_weight_bytes` accounting.
+    pub fn stage_weights(&mut self, bytes: u64) -> u64 {
+        self.report.dram_weight_bytes += bytes;
+        let busy = self.cfg.weight_spm.burst_cycles(bytes);
+        let w = self.report.spm_mut(SpmKind::Weight);
+        w.write_bytes += bytes;
+        w.busy_cycles += busy;
+        if self.cfg.is_ideal() {
+            return 0;
+        }
+        let cycles = self.cfg.dram.transfer_cycles(bytes);
+        self.report.prefetch_stall_cycles += cycles;
+        self.report.stall_cycles += cycles;
+        cycles
+    }
+
     /// Stages `bytes` of bias parameters from DRAM into the Weight SPM.
     /// Biases ride along with their layer's weight stream, so every
     /// parameter byte crosses the off-chip channel exactly once per
@@ -461,6 +486,26 @@ mod tests {
         // Data streamed once per (K, N) tile pair: 2 × 2 × batch 2 × 5
         // rows × 4 bytes.
         assert_eq!(r.spm(SpmKind::Data).read_bytes, 2 * 2 * 2 * 5 * 4);
+    }
+
+    #[test]
+    fn weight_staging_charges_the_dram_channel_and_weight_spm() {
+        // The autoscaler's cold-replica warmup: a bulk weight fill is
+        // fully exposed (nothing to hide behind), lands on the DRAM
+        // weight counter and the Weight SPM write side, and costs
+        // exactly the channel's transfer time.
+        let cfg = MemoryConfig::paper();
+        let mut mem = MemorySubsystem::new(cfg);
+        let cycles = mem.stage_weights(6_804_224);
+        assert_eq!(cycles, cfg.dram.transfer_cycles(6_804_224));
+        let r = mem.report();
+        assert_eq!(r.dram_weight_bytes, 6_804_224);
+        assert_eq!(r.spm(SpmKind::Weight).write_bytes, 6_804_224);
+        assert_eq!(r.stall_cycles, cycles);
+        // Ideal memory: counted, never stalled.
+        let mut ideal = MemorySubsystem::new(MemoryConfig::ideal());
+        assert_eq!(ideal.stage_weights(1_000), 0);
+        assert_eq!(ideal.report().dram_weight_bytes, 1_000);
     }
 
     #[test]

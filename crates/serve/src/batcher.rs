@@ -19,6 +19,55 @@
 //! not depend on worker availability or service times — which is one
 //! half of the serving simulator's determinism invariant.
 
+use crate::trace::VIRTUAL_TIME_HORIZON;
+
+/// A violated constraint in a serving-policy configuration
+/// ([`BatcherConfig`], [`crate::RuntimeConfig`]) — typed, so callers
+/// can match on *which* constraint failed instead of parsing a string.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// `max_batch` is zero — a batch can never form.
+    ZeroMaxBatch,
+    /// The wait budget exceeds [`VIRTUAL_TIME_HORIZON`]: `t0 +
+    /// max_wait_cycles` could not be represented for every in-horizon
+    /// arrival, so the config is rejected instead of letting deadline
+    /// arithmetic saturate silently at `u64::MAX`.
+    UnrepresentableWait {
+        /// The offending wait budget.
+        max_wait_cycles: u64,
+    },
+    /// The runtime needs at least one initial worker.
+    ZeroWorkers,
+    /// A bounded admission queue must hold at least one request.
+    ZeroQueueCapacity,
+    /// An autoscaler bound or period is degenerate; the payload names
+    /// the constraint.
+    InvalidAutoscaler(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            ConfigError::UnrepresentableWait { max_wait_cycles } => write!(
+                f,
+                "max_wait_cycles of {max_wait_cycles} exceeds the virtual-time horizon \
+                 ({VIRTUAL_TIME_HORIZON}); deadlines would saturate instead of being computed"
+            ),
+            ConfigError::ZeroWorkers => write!(f, "at least one worker required"),
+            ConfigError::ZeroQueueCapacity => {
+                write!(
+                    f,
+                    "queue_capacity of Some(0) admits nothing; use None for unbounded"
+                )
+            }
+            ConfigError::InvalidAutoscaler(what) => write!(f, "invalid autoscaler: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Micro-batching policy.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct BatcherConfig {
@@ -35,11 +84,19 @@ impl BatcherConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the violated constraint (`max_batch`
-    /// of zero).
-    pub fn validate(&self) -> Result<(), String> {
+    /// [`ConfigError::ZeroMaxBatch`] for a `max_batch` of zero;
+    /// [`ConfigError::UnrepresentableWait`] for a wait budget beyond
+    /// [`VIRTUAL_TIME_HORIZON`] (whose deadlines would silently
+    /// saturate at `u64::MAX` instead of being representable for every
+    /// in-horizon arrival).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.max_batch == 0 {
-            return Err("max_batch must be at least 1".into());
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if self.max_wait_cycles > VIRTUAL_TIME_HORIZON {
+            return Err(ConfigError::UnrepresentableWait {
+                max_wait_cycles: self.max_wait_cycles,
+            });
         }
         Ok(())
     }
@@ -99,7 +156,13 @@ pub fn form_batches(arrivals: &[u64], cfg: &BatcherConfig) -> Vec<MicroBatch> {
     let mut first = 0;
     while first < arrivals.len() {
         let t0 = arrivals[first];
-        let deadline = t0.saturating_add(cfg.max_wait_cycles);
+        // Cannot overflow: validate bounds the wait budget by the
+        // horizon and traces clamp arrivals to it, so the sum is at
+        // most `2^63`. `checked_add` (not `saturating_add`) keeps that
+        // claim honest for hand-built out-of-horizon traces.
+        let deadline = t0
+            .checked_add(cfg.max_wait_cycles)
+            .expect("deadline overflows u64: arrival beyond the virtual-time horizon");
         let mut next = first + 1;
         while next < arrivals.len() && next - first < cfg.max_batch && arrivals[next] <= deadline {
             next += 1;
@@ -162,6 +225,51 @@ mod tests {
         assert_eq!((b[0].len, b[0].close_cycle), (3, 3));
         assert_eq!((b[1].len, b[1].close_cycle), (1, 4));
         assert_eq!((b[2].len, b[2].close_cycle), (1, 9));
+    }
+
+    #[test]
+    fn validation_is_typed_and_rejects_unrepresentable_waits() {
+        // The old code saturated `t0 + max_wait_cycles` silently,
+        // pinning every deadline to u64::MAX near the top of the range;
+        // now the config is rejected up front with a typed error.
+        assert_eq!(
+            BatcherConfig {
+                max_batch: 0,
+                max_wait_cycles: 10,
+            }
+            .validate(),
+            Err(ConfigError::ZeroMaxBatch)
+        );
+        assert_eq!(
+            BatcherConfig {
+                max_batch: 4,
+                max_wait_cycles: u64::MAX,
+            }
+            .validate(),
+            Err(ConfigError::UnrepresentableWait {
+                max_wait_cycles: u64::MAX,
+            })
+        );
+        assert_eq!(
+            BatcherConfig {
+                max_batch: 4,
+                max_wait_cycles: VIRTUAL_TIME_HORIZON + 1,
+            }
+            .validate(),
+            Err(ConfigError::UnrepresentableWait {
+                max_wait_cycles: VIRTUAL_TIME_HORIZON + 1,
+            })
+        );
+        // The largest representable wait is accepted, and deadlines at
+        // the horizon compute exactly instead of saturating.
+        let cfg = BatcherConfig {
+            max_batch: 4,
+            max_wait_cycles: VIRTUAL_TIME_HORIZON,
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+        let b = form_batches(&[VIRTUAL_TIME_HORIZON], &cfg);
+        assert_eq!(b[0].close_cycle, 2 * VIRTUAL_TIME_HORIZON);
+        assert!(b[0].close_cycle < u64::MAX);
     }
 
     #[test]

@@ -26,6 +26,17 @@
 //! batch cycles → [`RequestStat`]) and aggregated into p50/p95/p99 and
 //! throughput by [`SimOutcome`].
 //!
+//! Stages 2–3 are the *offline* pipeline: batch formation sees the
+//! whole trace at once. [`run_runtime`] is its **online**
+//! generalization — an event-driven loop ([`RuntimeConfig`]) that adds
+//! admission control and load shedding (typed [`Rejection`]s),
+//! SLO-aware early batch closing, priority classes, and an autoscaler
+//! with explicit weight-fill warmup ([`worker_warmup_cycles`]) — and
+//! with all of those disabled it reproduces the offline pipeline's
+//! outcome bit-exactly (the equivalence anchor in
+//! `tests/serve_equivalence.rs`). Multi-class overload traffic comes
+//! from [`workload_trace`].
+//!
 //! # Example
 //!
 //! ```
@@ -51,16 +62,25 @@
 
 mod batcher;
 mod pool;
+mod runtime;
 mod sim;
 mod trace;
 
-pub use batcher::{form_batches, BatcherConfig, MicroBatch};
-pub use pool::ShardPool;
+pub use batcher::{form_batches, BatcherConfig, ConfigError, MicroBatch};
+pub use pool::{PoolError, ShardPool};
+pub use runtime::{
+    run_runtime, AutoscalerConfig, ClassStats, CloseCause, LoggedEvent, Rejection, RejectionRecord,
+    RuntimeConfig, RuntimeOutcome, ScalingEvent,
+};
 pub use sim::{dispatch_batches, percentile, BatchStat, RequestStat, SimOutcome};
-pub use trace::{arrival_trace, TraceConfig};
+pub use trace::{
+    arrival_trace, workload_trace, ArrivalRegime, ClassConfig, Request, TraceConfig,
+    WorkloadConfig, VIRTUAL_TIME_HORIZON,
+};
 
 use capsacc_capsnet::{CapsNetConfig, QuantTrace, QuantizedParams};
-use capsacc_core::{timing, AcceleratorConfig, BatchError, BatchScheduler};
+use capsacc_core::{timing, AcceleratorConfig, BatchScheduler};
+use capsacc_memory::MemorySubsystem;
 use capsacc_tensor::Tensor;
 
 /// Full configuration of one simulated serve.
@@ -84,7 +104,7 @@ impl ServeConfig {
         if self.workers == 0 {
             return Err("at least one worker required".into());
         }
-        self.batcher.validate()?;
+        self.batcher.validate().map_err(|e| e.to_string())?;
         self.trace.validate()
     }
 }
@@ -177,6 +197,41 @@ pub fn simulate_serve(
     dispatch_batches(&arrivals, &batches, serve.workers, &|n| table[n])
 }
 
+/// Cycles an autoscaled worker spin-up spends filling its weight
+/// memory: the whole parameter set (`dram_weight_bytes ==
+/// total_parameters()`, 8-bit weights) streamed through the
+/// [`MemorySubsystem`]'s weight channel under `cfg.memory`. Zero under
+/// the ideal memory model — spin-ups are then instantaneous, exactly
+/// as the rest of the cycle model treats weights as resident.
+pub fn worker_warmup_cycles(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> u64 {
+    MemorySubsystem::new(cfg.memory).stage_weights(net.total_parameters() as u64)
+}
+
+/// Runs the **online** serving runtime — admission control, SLO-aware
+/// batching, priority classes, autoscaling — over a request trace,
+/// with service times from the closed-form cycle model
+/// ([`service_cycles_table`]) and autoscaler warmup from
+/// [`worker_warmup_cycles`].
+///
+/// Deterministic: reruns are byte-identical, event log included.
+///
+/// # Panics
+///
+/// Panics if `rt` fails [`RuntimeConfig::validate`], `cfg` fails
+/// [`AcceleratorConfig::validate`], or `requests` is unsorted.
+pub fn simulate_runtime(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    rt: &RuntimeConfig,
+    requests: &[Request],
+) -> RuntimeOutcome {
+    rt.validate().expect("invalid runtime configuration");
+    cfg.validate().expect("invalid accelerator configuration");
+    let table = service_cycles_table(cfg, net, rt.batcher.max_batch);
+    let warmup = worker_warmup_cycles(cfg, net);
+    run_runtime(rt, requests, &|n| table[n], warmup)
+}
+
 /// Runs the serving pipeline with the batches *actually executed* by a
 /// [`ShardPool`] of engine replicas on OS threads, and returns the
 /// virtual-time outcome plus every request's functional trace in
@@ -194,21 +249,22 @@ pub fn simulate_serve(
 ///
 /// # Errors
 ///
-/// Returns [`BatchError`] if any generated image has the wrong shape.
+/// Returns [`PoolError::Batch`] if any generated image has the wrong
+/// shape, [`PoolError::WorkerPanicked`] if a pool thread died.
 ///
 /// # Panics
 ///
-/// Panics if `serve` fails [`ServeConfig::validate`], a worker thread
-/// panics, or a served batch's measured cycles diverge from the service
-/// table (which would mean batch cycles are not data-independent — a
-/// broken engine invariant).
+/// Panics if `serve` fails [`ServeConfig::validate`] or a served
+/// batch's measured cycles diverge from the service table (which would
+/// mean batch cycles are not data-independent — a broken engine
+/// invariant).
 pub fn serve_with_engine(
     cfg: &AcceleratorConfig,
     net: &CapsNetConfig,
     qparams: &QuantizedParams,
     serve: &ServeConfig,
     image_for: &dyn Fn(usize) -> Tensor<f32>,
-) -> Result<(SimOutcome, Vec<QuantTrace>), BatchError> {
+) -> Result<(SimOutcome, Vec<QuantTrace>), PoolError> {
     serve.validate().expect("invalid serve configuration");
     let arrivals = arrival_trace(&serve.trace);
     let batches = form_batches(&arrivals, &serve.batcher);

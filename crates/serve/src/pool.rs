@@ -19,6 +19,49 @@ use capsacc_capsnet::{CapsNetConfig, QuantizedParams};
 use capsacc_core::{AcceleratorConfig, BatchError, BatchRun, BatchScheduler};
 use capsacc_tensor::Tensor;
 
+/// A failure of a pool run — either a worker refused its input
+/// (typed [`BatchError`]) or a worker *thread* died mid-batch. Both
+/// surface as values: a crashed replica must never hang the pool or
+/// leak a partial result as if it were complete.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PoolError {
+    /// A worker hit a batch-level input error (empty batch, mis-shaped
+    /// image).
+    Batch(BatchError),
+    /// A worker thread panicked; the payload names the lowest such
+    /// worker id.
+    WorkerPanicked {
+        /// Id of the crashed worker.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Batch(e) => write!(f, "worker batch error: {e}"),
+            PoolError::WorkerPanicked { worker } => {
+                write!(f, "shard worker {worker} panicked mid-run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Batch(e) => Some(e),
+            PoolError::WorkerPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<BatchError> for PoolError {
+    fn from(e: BatchError) -> Self {
+        PoolError::Batch(e)
+    }
+}
+
 /// A pool of `workers` weight-resident engine replicas.
 ///
 /// # Example
@@ -49,6 +92,10 @@ use capsacc_tensor::Tensor;
 pub struct ShardPool {
     cfg: AcceleratorConfig,
     workers: usize,
+    /// Test-only fault hook: `(worker, batch)` slot whose execution
+    /// panics, exercising the [`PoolError::WorkerPanicked`] path.
+    #[cfg(test)]
+    fault: Option<(usize, usize)>,
 }
 
 impl ShardPool {
@@ -61,12 +108,37 @@ impl ShardPool {
     pub fn new(cfg: AcceleratorConfig, workers: usize) -> Self {
         assert!(workers > 0, "at least one worker required");
         cfg.validate().expect("invalid accelerator configuration");
-        Self { cfg, workers }
+        Self {
+            cfg,
+            workers,
+            #[cfg(test)]
+            fault: None,
+        }
     }
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Poisons one `(worker, batch)` slot so its execution panics —
+    /// the injection point for the panic-surfacing test.
+    #[cfg(test)]
+    fn with_fault(mut self, worker: usize, batch: usize) -> Self {
+        self.fault = Some((worker, batch));
+        self
+    }
+
+    /// The batch index poisoned for `worker`, if any.
+    #[cfg(test)]
+    fn fault_for(&self, worker: usize) -> Option<usize> {
+        self.fault.and_then(|(w, b)| (w == worker).then_some(b))
+    }
+
+    /// Production builds have no fault hook: nothing is ever poisoned.
+    #[cfg(not(test))]
+    fn fault_for(&self, _worker: usize) -> Option<usize> {
+        None
     }
 
     /// Executes per-worker batch lists in parallel, one OS thread per
@@ -79,44 +151,59 @@ impl ShardPool {
     ///
     /// # Errors
     ///
-    /// Returns the first [`BatchError`] any worker hit (empty batch or
-    /// mis-shaped image), by lowest worker id.
+    /// [`PoolError::WorkerPanicked`] if a worker thread died mid-run
+    /// (lowest such worker id — every thread is still joined, so no
+    /// replica leaks), else the first [`PoolError::Batch`] any worker
+    /// hit (empty batch or mis-shaped image), by lowest worker id.
     ///
     /// # Panics
     ///
-    /// Panics if `work.len()` differs from the pool's worker count or a
-    /// worker thread panics.
+    /// Panics if `work.len()` differs from the pool's worker count.
     pub fn run_assignments(
         &self,
         net: &CapsNetConfig,
         qparams: &QuantizedParams,
         work: &[Vec<Vec<Tensor<f32>>>],
-    ) -> Result<Vec<Vec<BatchRun>>, BatchError> {
+    ) -> Result<Vec<Vec<BatchRun>>, PoolError> {
         assert_eq!(work.len(), self.workers, "one batch list per worker");
         // Schedulers are built outside the threads and moved in: this is
         // the `Send` requirement the core crate's audit pins down.
         let schedulers: Vec<BatchScheduler> = (0..self.workers)
             .map(|_| BatchScheduler::new(self.cfg))
             .collect();
-        let results: Vec<Result<Vec<BatchRun>, BatchError>> = std::thread::scope(|scope| {
+        let joined: Vec<Option<Result<Vec<BatchRun>, BatchError>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = schedulers
                 .into_iter()
                 .zip(work)
-                .map(|(mut sched, batches)| {
+                .enumerate()
+                .map(|(worker, (mut sched, batches))| {
+                    let fault = self.fault_for(worker);
                     scope.spawn(move || {
                         batches
                             .iter()
-                            .map(|images| sched.run(net, qparams, images))
+                            .enumerate()
+                            .map(|(b, images)| {
+                                if fault == Some(b) {
+                                    panic!("injected shard-worker fault");
+                                }
+                                sched.run(net, qparams, images)
+                            })
                             .collect::<Result<Vec<BatchRun>, BatchError>>()
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker thread panicked"))
-                .collect()
+            // Join every thread before reporting anything: a crash
+            // must not leave siblings running past the call.
+            handles.into_iter().map(|h| h.join().ok()).collect()
         });
-        results.into_iter().collect()
+        if let Some(worker) = joined.iter().position(Option::is_none) {
+            return Err(PoolError::WorkerPanicked { worker });
+        }
+        joined
+            .into_iter()
+            .map(|r| r.expect("panics handled above"))
+            .collect::<Result<Vec<Vec<BatchRun>>, BatchError>>()
+            .map_err(PoolError::Batch)
     }
 }
 
@@ -158,7 +245,41 @@ mod tests {
         let work = vec![vec![vec![image(&net, 0)]], vec![vec![]]];
         assert_eq!(
             pool.run_assignments(&net, &qparams, &work).unwrap_err(),
-            BatchError::EmptyBatch
+            PoolError::Batch(BatchError::EmptyBatch)
+        );
+    }
+
+    #[test]
+    fn pool_surfaces_worker_panics_as_typed_errors() {
+        // A replica that dies mid-batch must come back as a value, not
+        // a hang or a partial result dressed up as success.
+        let net = CapsNetConfig::tiny();
+        let cfg = AcceleratorConfig::test_4x4();
+        let qparams = CapsNetParams::generate(&net, 0).quantize(cfg.numeric);
+        let pool = ShardPool::new(cfg, 3).with_fault(1, 1);
+        let work = vec![
+            vec![vec![image(&net, 0)]],
+            vec![vec![image(&net, 1)], vec![image(&net, 2)]],
+            vec![vec![image(&net, 3)]],
+        ];
+        // The worker thread's panic message is expected on stderr; the
+        // call itself must return cleanly with the typed error.
+        assert_eq!(
+            pool.run_assignments(&net, &qparams, &work).unwrap_err(),
+            PoolError::WorkerPanicked { worker: 1 }
+        );
+        // An un-poisoned rerun of the same pool value still succeeds.
+        let clean = ShardPool::new(cfg, 3);
+        assert!(clean.run_assignments(&net, &qparams, &work).is_ok());
+        // A thread panic outranks a sibling's batch error: the pool
+        // must still join everything and report the crash.
+        let crash_and_error = ShardPool::new(cfg, 2).with_fault(0, 0);
+        let bad = vec![vec![vec![image(&net, 0)]], vec![vec![]]];
+        assert_eq!(
+            crash_and_error
+                .run_assignments(&net, &qparams, &bad)
+                .unwrap_err(),
+            PoolError::WorkerPanicked { worker: 0 }
         );
     }
 }

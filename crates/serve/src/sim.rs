@@ -113,6 +113,37 @@ impl SimOutcome {
         self.requests.len() as f64 / self.makespan_cycles as f64
     }
 
+    /// Goodput under a uniform latency budget: served requests whose
+    /// end-to-end latency is within `budget_cycles`, per cycle of
+    /// virtual time. Throughput counts everything served; goodput only
+    /// counts what was served *usefully* — the number an overloaded
+    /// system can tank even while throughput looks healthy.
+    pub fn goodput_within(&self, budget_cycles: u64) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        let good = self
+            .requests
+            .iter()
+            .filter(|r| r.latency_cycles() <= budget_cycles)
+            .count();
+        good as f64 / self.makespan_cycles as f64
+    }
+
+    /// Fraction of served requests whose latency is within
+    /// `budget_cycles` (1.0 for an empty outcome — no request missed).
+    pub fn attainment_within(&self, budget_cycles: u64) -> f64 {
+        if self.requests.is_empty() {
+            return 1.0;
+        }
+        let good = self
+            .requests
+            .iter()
+            .filter(|r| r.latency_cycles() <= budget_cycles)
+            .count();
+        good as f64 / self.requests.len() as f64
+    }
+
     /// Mean images per dispatched batch (0.0 for an empty trace — total,
     /// like the engine's per-image views).
     pub fn mean_batch_len(&self) -> f64 {

@@ -10,7 +10,9 @@
 //! - [`memory`] — banked scratchpads, DRAM channel and tile prefetcher
 //! - [`core`] — the cycle-accurate CapsAcc accelerator simulator
 //! - [`serve`] — deterministic request serving: arrival traces, dynamic
-//!   micro-batching, multi-worker shard pool
+//!   micro-batching, multi-worker shard pool, and the online overload
+//!   runtime (admission control, SLO-aware batching, priority classes,
+//!   autoscaling)
 //! - [`gpu`] — analytical GPU baseline timing model
 //! - [`power`] — analytical 32nm area/power model
 //!

@@ -9,8 +9,9 @@
 use capsacc::capsnet::{CapsNetConfig, CapsNetParams};
 use capsacc::core::{timing, Accelerator, AcceleratorConfig, BatchScheduler, EngineBackend};
 use capsacc::serve::{
-    arrival_trace, dispatch_batches, engine_service_cycles_table, form_batches, serve_with_engine,
-    service_cycles_table, simulate_serve, BatcherConfig, ServeConfig, ShardPool, TraceConfig,
+    arrival_trace, dispatch_batches, engine_service_cycles_table, form_batches, run_runtime,
+    serve_with_engine, service_cycles_table, simulate_runtime, simulate_serve, BatcherConfig,
+    Request, RuntimeConfig, ServeConfig, ShardPool, TraceConfig,
 };
 use capsacc::tensor::Tensor;
 use proptest::prelude::*;
@@ -223,6 +224,98 @@ proptest! {
             let single = acc.run_inference(&net, &qparams, &image_for(&net, r + seed as usize));
             prop_assert_eq!(&single.trace, trace, "request {} diverged", r);
         }
+    }
+}
+
+/// The online runtime restricted to the offline pipeline's semantics:
+/// unbounded queue, no deadlines, one priority class, autoscaling off.
+fn anchored_runtime(batcher: BatcherConfig, workers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        workers,
+        batcher,
+        queue_capacity: None,
+        deadline_aware: false,
+        autoscaler: None,
+        record_events: false,
+    }
+}
+
+#[test]
+fn online_runtime_reproduces_offline_pipeline_exactly() {
+    // The offline-equivalence anchor: with shedding, deadlines,
+    // priorities and autoscaling all disabled, the event-driven online
+    // runtime must reproduce `form_batches` + `dispatch_batches`
+    // bit-exactly — same batches, same workers, same latencies, same
+    // `SimOutcome` — so every existing BENCH_serve.json number keeps
+    // its meaning under the new runtime.
+    let trace = TraceConfig {
+        seed: 13,
+        requests: 400,
+        mean_gap_cycles: 800.0,
+        mean_burst: 4.0,
+    };
+    let batcher = BatcherConfig {
+        max_batch: 8,
+        max_wait_cycles: 3_000,
+    };
+    let arrivals = arrival_trace(&trace);
+    let requests: Vec<Request> = arrivals.iter().map(|&a| Request::best_effort(a)).collect();
+    let service = |n: usize| 5_000 + 600 * n as u64;
+    for workers in [1, 3] {
+        let offline = dispatch_batches(
+            &arrivals,
+            &form_batches(&arrivals, &batcher),
+            workers,
+            &service,
+        );
+        let online = run_runtime(&anchored_runtime(batcher, workers), &requests, &service, 0);
+        assert_eq!(online.sim, offline, "anchor broken at {workers} workers");
+        assert_eq!(online.served.len(), requests.len());
+        assert!(online.rejections.is_empty());
+        assert!(online.scaling.is_empty());
+    }
+    // And through the closed-form glue at the accelerator design point.
+    let cfg = AcceleratorConfig::paper();
+    let net = CapsNetConfig::mnist();
+    let serve = ServeConfig {
+        workers: 2,
+        batcher,
+        trace,
+    };
+    let offline = simulate_serve(&cfg, &net, &serve);
+    let online = simulate_runtime(&cfg, &net, &anchored_runtime(batcher, 2), &requests);
+    assert_eq!(online.sim, offline);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The offline-equivalence anchor holds across random traces,
+    /// batcher policies and pool sizes — including zero-wait batching
+    /// and same-cycle bursts, the trickiest event-ordering corners.
+    #[test]
+    fn online_offline_equivalence_holds_on_random_traces(
+        gaps in proptest::collection::vec(0u64..400, 1..120),
+        max_batch in 1usize..7,
+        max_wait in 0u64..600,
+        workers in 1usize..5,
+        base in 1u64..4_000,
+    ) {
+        let mut t = 0u64;
+        let arrivals: Vec<u64> = gaps.iter().map(|&g| { t += g; t }).collect();
+        let requests: Vec<Request> =
+            arrivals.iter().map(|&a| Request::best_effort(a)).collect();
+        let batcher = BatcherConfig { max_batch, max_wait_cycles: max_wait };
+        let service = move |n: usize| base + 23 * n as u64;
+        let offline = dispatch_batches(
+            &arrivals,
+            &form_batches(&arrivals, &batcher),
+            workers,
+            &service,
+        );
+        let online = run_runtime(&anchored_runtime(batcher, workers), &requests, &service, 0);
+        prop_assert_eq!(&online.sim, &offline);
+        prop_assert!(online.rejections.is_empty());
     }
 }
 

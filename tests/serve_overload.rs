@@ -1,0 +1,333 @@
+//! Overload invariants of the online serving runtime.
+//!
+//! The runtime's policy sweep (`exp_serve`) is only trustworthy if the
+//! machinery it sweeps is machine-checked, so this suite proptests the
+//! invariants over random trace regimes × runtime configurations:
+//!
+//! - **conservation** — every offered request is served exactly once
+//!   XOR rejected exactly once; per-class ledgers add up;
+//! - **work-conservation** — no available worker sits idle while a
+//!   closed batch waits for dispatch (reconstructed from per-worker
+//!   busy intervals and the autoscaler's availability windows);
+//! - **shed monotonicity** — raising the queue capacity on the same
+//!   trace never increases the shed count;
+//! - **priority correctness** — replayed from the event log: a shed
+//!   request never outranks a surviving forming-batch member at the
+//!   decision point that shed it;
+//! - **determinism** — two runs produce byte-identical event logs,
+//!   digests and outcomes.
+
+use capsacc::serve::{
+    run_runtime, workload_trace, ArrivalRegime, AutoscalerConfig, BatcherConfig, ClassConfig,
+    LoggedEvent, Rejection, Request, RuntimeConfig, RuntimeOutcome, ScalingEvent, WorkloadConfig,
+};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+
+/// The shed-victim ordering the runtime promises: lowest class first,
+/// then latest arrival, then highest index. Smaller key = shed first.
+fn shed_key(requests: &[Request], idx: usize) -> (usize, Reverse<u64>, Reverse<usize>) {
+    let r = requests[idx];
+    (r.class, Reverse(r.arrival), Reverse(idx))
+}
+
+/// Conservation: served and rejected partition the offered requests,
+/// and the per-class ledgers agree with the global ones.
+fn assert_conservation(requests: &[Request], out: &RuntimeOutcome) {
+    assert_eq!(out.total_requests, requests.len());
+    let mut seen = vec![0u32; requests.len()];
+    for &r in &out.served {
+        seen[r] += 1;
+    }
+    for r in &out.rejections {
+        seen[r.request] += 1;
+    }
+    assert!(
+        seen.iter().all(|&c| c == 1),
+        "a request was lost or duplicated"
+    );
+    assert_eq!(out.served.len() + out.rejections.len(), requests.len());
+    assert_eq!(out.sim.requests.len(), out.served.len());
+    for c in &out.class_stats {
+        assert_eq!(c.offered, c.served + c.shed + c.infeasible);
+    }
+    let offered: usize = out.class_stats.iter().map(|c| c.offered).sum();
+    assert_eq!(offered, requests.len());
+}
+
+/// Work-conservation: while any closed batch waited for a worker, no
+/// available worker was idle. Availability windows come from the
+/// scaling record (spawns are unavailable until `ready_at`, retired
+/// workers after their retirement cycle); busy intervals from the
+/// batch stats.
+fn assert_work_conserving(out: &RuntimeOutcome) {
+    let workers = out.sim.worker_busy_cycles.len();
+    let mut avail_from = vec![0u64; workers];
+    let mut avail_until = vec![u64::MAX; workers];
+    for s in &out.scaling {
+        match *s {
+            ScalingEvent::Up {
+                worker, ready_at, ..
+            } => avail_from[worker] = ready_at,
+            ScalingEvent::Down { cycle, worker } => avail_until[worker] = cycle,
+        }
+    }
+    let mut busy: Vec<Vec<(u64, u64)>> = vec![Vec::new(); workers];
+    for b in &out.sim.batches {
+        busy[b.worker].push((b.start_cycle, b.end_cycle));
+    }
+    for v in &mut busy {
+        v.sort_unstable();
+    }
+    for b in &out.sim.batches {
+        if b.start_cycle <= b.close_cycle {
+            continue;
+        }
+        // The batch waited over [close, start): every worker must have
+        // been busy or unavailable for all of it.
+        let (ws, we) = (b.close_cycle, b.start_cycle);
+        for w in 0..workers {
+            let lo = avail_from[w].max(ws);
+            let hi = avail_until[w].min(we);
+            if lo >= hi {
+                continue;
+            }
+            let mut t = lo;
+            for &(s, e) in &busy[w] {
+                if e <= t {
+                    continue;
+                }
+                if s > t {
+                    break;
+                }
+                t = e;
+                if t >= hi {
+                    break;
+                }
+            }
+            assert!(
+                t >= hi,
+                "worker {w} idle from cycle {t} while a closed batch waited in [{ws}, {we})"
+            );
+        }
+    }
+}
+
+/// Priority correctness, replayed from the event log: at every shed
+/// decision the victim's shed key is minimal over the forming batch it
+/// was judged against.
+fn assert_priority_correct(requests: &[Request], out: &RuntimeOutcome) {
+    let mut forming: Vec<usize> = Vec::new();
+    // A ShedLowPriority eviction is immediately followed by the
+    // admission that displaced it; the newcomer must outrank the
+    // victim.
+    let mut pending_eviction: Option<usize> = None;
+    for e in &out.events {
+        match *e {
+            LoggedEvent::Admitted { request, .. } => {
+                if let Some(victim) = pending_eviction.take() {
+                    assert!(
+                        shed_key(requests, victim) < shed_key(requests, request),
+                        "eviction in favor of a request that does not outrank the victim"
+                    );
+                }
+                forming.push(request);
+            }
+            LoggedEvent::Rejected {
+                request, rejection, ..
+            } => match rejection {
+                Rejection::QueueFull => {
+                    for &m in &forming {
+                        assert!(
+                            shed_key(requests, request) < shed_key(requests, m),
+                            "request {request} refused while outranking forming member {m}"
+                        );
+                    }
+                }
+                Rejection::ShedLowPriority => {
+                    for &m in &forming {
+                        assert!(
+                            shed_key(requests, request) <= shed_key(requests, m),
+                            "evicted request {request} outranked by surviving member {m}"
+                        );
+                    }
+                    forming.retain(|&m| m != request);
+                    pending_eviction = Some(request);
+                }
+                Rejection::DeadlineInfeasible => {}
+            },
+            LoggedEvent::BatchClosed { len, .. } => {
+                assert_eq!(forming.len(), len, "event log diverged from membership");
+                forming.clear();
+            }
+            _ => {}
+        }
+    }
+    assert!(forming.is_empty(), "forming batch left open in the log");
+}
+
+fn overload_workload(seed: u64, requests: usize, regime_sel: u8, gap: u64) -> Vec<Request> {
+    let regime = match regime_sel % 3 {
+        0 => ArrivalRegime::Bursty {
+            mean_gap_cycles: gap as f64,
+            mean_burst: 3.0,
+        },
+        1 => ArrivalRegime::Diurnal {
+            period_cycles: 40_000,
+            offpeak_gap_cycles: (4 * gap) as f64,
+            peak_gap_cycles: gap as f64,
+        },
+        _ => ArrivalRegime::Spike {
+            base_gap_cycles: (4 * gap) as f64,
+            spike_start_cycle: 10_000,
+            spike_cycles: 20_000,
+            spike_gap_cycles: (gap / 4).max(1) as f64,
+        },
+    };
+    workload_trace(&WorkloadConfig {
+        seed,
+        requests,
+        regime,
+        classes: vec![
+            ClassConfig {
+                weight: 3,
+                slo_cycles: None,
+            },
+            ClassConfig {
+                weight: 2,
+                slo_cycles: Some(60_000),
+            },
+            ClassConfig {
+                weight: 1,
+                slo_cycles: Some(15_000),
+            },
+        ],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation, work-conservation, priority correctness and
+    /// rerun determinism over random regimes × runtime configs,
+    /// autoscaler included.
+    #[test]
+    fn overload_invariants_hold(
+        seed in 0u64..500,
+        requests in 1usize..250,
+        regime_sel in 0u8..3,
+        gap in 20u64..2_000,
+        max_batch in 1usize..6,
+        max_wait in 0u64..3_000,
+        cap in 1usize..12,
+        workers in 1usize..4,
+        base in 500u64..6_000,
+        autoscale in 0u8..2,
+        deadline_aware in 0u8..2,
+    ) {
+        let reqs = overload_workload(seed, requests, regime_sel, gap);
+        let cfg = RuntimeConfig {
+            workers,
+            batcher: BatcherConfig { max_batch, max_wait_cycles: max_wait },
+            queue_capacity: Some(cap),
+            deadline_aware: deadline_aware == 1,
+            autoscaler: (autoscale == 1).then_some(AutoscalerConfig {
+                min_workers: workers,
+                max_workers: workers + 2,
+                scale_up_queue_per_worker: 2,
+                scale_down_idle_cycles: 5_000,
+                eval_period_cycles: 1_000,
+            }),
+            record_events: true,
+        };
+        let service = move |n: usize| base + 200 * n as u64;
+        let out = run_runtime(&cfg, &reqs, &service, 750);
+        assert_conservation(&reqs, &out);
+        assert_work_conserving(&out);
+        assert_priority_correct(&reqs, &out);
+        // Byte-identical rerun: full event log, digest and outcome.
+        let again = run_runtime(&cfg, &reqs, &service, 750);
+        prop_assert_eq!(&out.events, &again.events);
+        prop_assert_eq!(out.event_digest, again.event_digest);
+        prop_assert_eq!(&out, &again);
+    }
+
+    /// Shed monotonicity: on the same trace and policy, a larger
+    /// admission queue never sheds more (autoscaler off, so the
+    /// comparison isolates admission control from capacity changes).
+    #[test]
+    fn raising_queue_capacity_never_sheds_more(
+        seed in 0u64..500,
+        requests in 1usize..200,
+        regime_sel in 0u8..3,
+        gap in 20u64..1_000,
+        max_batch in 1usize..6,
+        max_wait in 0u64..2_000,
+        cap in 1usize..10,
+        extra in 1usize..8,
+        workers in 1usize..4,
+        base in 500u64..6_000,
+    ) {
+        let reqs = overload_workload(seed, requests, regime_sel, gap);
+        let service = move |n: usize| base + 200 * n as u64;
+        let at = |capacity: Option<usize>| {
+            let cfg = RuntimeConfig {
+                workers,
+                batcher: BatcherConfig { max_batch, max_wait_cycles: max_wait },
+                queue_capacity: capacity,
+                deadline_aware: false,
+                autoscaler: None,
+                record_events: false,
+            };
+            run_runtime(&cfg, &reqs, &service, 0).shed_count()
+        };
+        let tight = at(Some(cap));
+        let roomy = at(Some(cap + extra));
+        prop_assert!(
+            roomy <= tight,
+            "raising capacity {} -> {} increased sheds {} -> {}",
+            cap, cap + extra, tight, roomy
+        );
+        // Unbounded sheds nothing at all.
+        prop_assert_eq!(at(None), 0);
+    }
+}
+
+#[test]
+fn spike_regime_actually_sheds_and_recovers() {
+    // A deliberately undersized pool against a flash crowd: the spike
+    // must force sheds (the queue bound is doing its job) and the
+    // post-spike tail must be served cleanly (the system recovered
+    // instead of collapsing).
+    let reqs = overload_workload(7, 3_000, 2, 400);
+    let cfg = RuntimeConfig {
+        workers: 1,
+        batcher: BatcherConfig {
+            max_batch: 4,
+            max_wait_cycles: 2_000,
+        },
+        queue_capacity: Some(8),
+        deadline_aware: false,
+        autoscaler: None,
+        record_events: false,
+    };
+    let service = |n: usize| 1_500 + 300 * n as u64;
+    let out = run_runtime(&cfg, &reqs, &service, 0);
+    assert!(out.shed_count() > 0, "spike failed to overload the pool");
+    assert!(
+        out.served.len() > out.shed_count(),
+        "shedding must be the exception, not the rule"
+    );
+    // Recovery: the last stretch of offered traffic is served without
+    // rejections once the spike has drained.
+    let tail_start = reqs.len() - reqs.len() / 10;
+    let tail_shed = out
+        .rejections
+        .iter()
+        .filter(|r| r.request >= tail_start)
+        .count();
+    assert_eq!(
+        tail_shed, 0,
+        "post-spike tail still shedding: the system never recovered"
+    );
+}
