@@ -25,20 +25,29 @@ run cargo run --release -q -p capsacc-bench --bin exp_batch
 # prefetch-recovery bound, and refreshes BENCH_mem.json.
 run cargo run --release -q -p capsacc-bench --bin exp_memdse
 # Serving smoke run: asserts the ≥3x worker-scaling bound (4 workers vs
-# 1 at fixed max_batch), the offline anchor (online runtime ≡ offline
-# pipeline with overload features disabled), the overload invariants
-# (flash crowd sheds on the bounded queue; post-spike served fraction
-# recovers to ≥95% of the pre-spike level), byte-identical determinism
-# of every sweep (event digests included), and shard-pool trace
-# bit-exactness at the tiny scale; refreshes BENCH_serve.json —
-# saturating sweep + overload-and-recovery sweep + million-request
-# diurnal scale point — so the serving-perf trajectory is recorded.
+# 1 at fixed max_batch) on BOTH service tables (closed-form model and
+# the engine table measured from parallel+SIMD functional BatchRuns at
+# MNIST scale), the offline anchor (online runtime ≡ offline pipeline
+# with overload features disabled), the overload invariants (flash
+# crowd sheds on the bounded queue — closed-form and engine-table —
+# and the post-spike served fraction recovers to ≥95% of the pre-spike
+# level), monotonicity + batch amortization of the engine service
+# table, byte-identical determinism of every sweep (event digests
+# included), and shard-pool trace bit-exactness at the tiny scale;
+# refreshes BENCH_serve.json — saturating + overload sweeps on both
+# tables, engine_service_cycles, million-request diurnal scale point —
+# so the serving-perf trajectory is recorded.
 run cargo run --release -q -p capsacc-bench --bin exp_serve
-# Engine wall-clock smoke run: asserts the functional backend is
-# bit-identical to the ticked RTL engine on a full MNIST inference at
-# the paper 16x16 design point AND at least 10x faster in host time;
-# refreshes BENCH_engine.json (the wall-clock perf trajectory — its
-# host-time fields vary run to run by design).
+# Engine wall-clock smoke run: asserts ticked, functional-scalar and
+# functional-SIMD (the parallel backend) are bit-identical on a full
+# MNIST inference at the paper 16x16 design point, that explicit
+# thread counts 1/2/4 produce byte-identical batch-16 BatchRuns, that
+# the functional backend clears the 10x wall-clock bound over ticked
+# and the parallel+SIMD batch path clears 5x over the PR 5 functional
+# baseline (98.20 ms/image) — both asserted on median host times;
+# refreshes BENCH_engine.json (reps/min/median per row — the
+# wall-clock perf trajectory; its host-time fields vary run to run by
+# design).
 run cargo run --release -q -p capsacc-bench --bin exp_engine_speed
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 

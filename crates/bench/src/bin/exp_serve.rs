@@ -1,8 +1,12 @@
 //! Multi-worker serving sweeps (beyond the paper) at the paper 16×16
-//! configuration with the closed-form cycle model supplying batch
-//! service times.
+//! configuration, with batch service times supplied two ways: the
+//! closed-form cycle model, and the **measured engine**
+//! ([`engine_service_cycles_table`] over the parallel+SIMD functional
+//! backend — real `BatchRun` cycles per batch size, practical at MNIST
+//! scale only because the functional backend runs at wall-clock
+//! speed).
 //!
-//! Two sweeps:
+//! Two sweeps, each run on both service tables:
 //!
 //! 1. **saturating** — the PR-4 offline pipeline under saturating
 //!    load: throughput/latency/utilization across workers × batcher
@@ -11,6 +15,11 @@
 //!    crowd (Spike regime): admission queue bounds × autoscaling, with
 //!    goodput, shed rate and per-class SLO attainment columns, plus a
 //!    million-request diurnal scale point.
+//!
+//! The engine table is *not* the closed-form table: the ticked array
+//! charges scheduling overheads the analytical model folds away, so
+//! the engine-backed sections record the serving behavior of the
+//! machine as built, not as modeled. Both are emitted side by side.
 //!
 //! Asserts serving invariants on every run:
 //!
@@ -37,11 +46,12 @@ use std::fs;
 
 use capsacc_bench::print_table;
 use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
-use capsacc_core::{Accelerator, AcceleratorConfig};
+use capsacc_core::{Accelerator, AcceleratorConfig, EngineBackend, TraceLevel};
 use capsacc_serve::{
-    arrival_trace, run_runtime, service_cycles_table, simulate_serve, workload_trace,
-    ArrivalRegime, AutoscalerConfig, BatcherConfig, ClassConfig, Request, RuntimeConfig,
-    RuntimeOutcome, ScalingEvent, ServeConfig, SimOutcome, TraceConfig, WorkloadConfig,
+    arrival_trace, engine_service_cycles_table, run_runtime, service_cycles_table, simulate_serve,
+    simulate_serve_with_table, workload_trace, ArrivalRegime, AutoscalerConfig, BatcherConfig,
+    ClassConfig, Request, RuntimeConfig, RuntimeOutcome, ScalingEvent, ServeConfig, SimOutcome,
+    TraceConfig, WorkloadConfig,
 };
 use capsacc_tensor::Tensor;
 
@@ -83,8 +93,19 @@ fn trace() -> TraceConfig {
     }
 }
 
+/// The largest `max_batch` any sweep point uses — both service tables
+/// are built once up to this size and shared across the whole sweep.
+const SWEEP_MAX_BATCH: usize = 32;
+
 fn sweep(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Vec<Row> {
-    let clock_hz = cfg.clock_mhz as f64 * 1e6;
+    let table = service_cycles_table(cfg, net, SWEEP_MAX_BATCH);
+    sweep_with(&table, cfg.clock_mhz as f64 * 1e6)
+}
+
+/// The saturating sweep against an arbitrary `service(n)` table —
+/// closed-form or engine-measured; the pipeline does not care where
+/// the cycle numbers came from.
+fn sweep_with(table: &[u64], clock_hz: f64) -> Vec<Row> {
     let mut rows = Vec::new();
     for &max_batch in &[4usize, 16, 32] {
         for &max_wait_cycles in &[10_000u64, 1_000_000] {
@@ -97,7 +118,7 @@ fn sweep(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> Vec<Row> {
                     },
                     trace: trace(),
                 };
-                let out: SimOutcome = simulate_serve(cfg, net, &serve);
+                let out: SimOutcome = simulate_serve_with_table(&serve, table);
                 let [p50, p95, p99] = out.latency_percentiles();
                 let mean_utilization =
                     (0..workers).map(|w| out.utilization(w)).sum::<f64>() / workers as f64;
@@ -242,19 +263,7 @@ fn served_fraction(requests: &[Request], out: &RuntimeOutcome, from: u64, to: u6
     served as f64 / offered as f64
 }
 
-fn render_json(
-    rows: &[Row],
-    overload: &[OverloadRow],
-    recovery: (f64, f64),
-    million: &RuntimeOutcome,
-) -> String {
-    let t = trace();
-    let mut json = format!(
-        "{{\n  \"bench\": \"exp_serve\",\n  \"config\": \"paper_16x16_250MHz\",\n  \
-         \"net\": \"mnist\",\n  \"trace\": {{\"seed\": {}, \"requests\": {}, \
-         \"mean_gap_cycles\": {}, \"mean_burst\": {}}},\n  \"saturating_sweep\": [\n",
-        t.seed, t.requests, t.mean_gap_cycles, t.mean_burst,
-    );
+fn push_sweep_rows(json: &mut String, rows: &[Row]) {
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
         writeln!(
@@ -274,9 +283,11 @@ fn render_json(
         )
         .expect("write to string");
     }
-    json.push_str("  ],\n  \"overload_sweep\": [\n");
-    for (i, r) in overload.iter().enumerate() {
-        let sep = if i + 1 < overload.len() { "," } else { "" };
+}
+
+fn push_overload_rows(json: &mut String, rows: &[OverloadRow]) {
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
         writeln!(
             json,
             "    {{\"queue_capacity\": {}, \"autoscale\": {}, \"served\": {}, \
@@ -295,6 +306,40 @@ fn render_json(
         )
         .expect("write to string");
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    rows: &[Row],
+    overload: &[OverloadRow],
+    engine_table: &[u64],
+    engine_rows: &[Row],
+    engine_overload: &[OverloadRow],
+    recovery: (f64, f64),
+    million: &RuntimeOutcome,
+) -> String {
+    let t = trace();
+    let mut json = format!(
+        "{{\n  \"bench\": \"exp_serve\",\n  \"config\": \"paper_16x16_250MHz\",\n  \
+         \"net\": \"mnist\",\n  \"trace\": {{\"seed\": {}, \"requests\": {}, \
+         \"mean_gap_cycles\": {}, \"mean_burst\": {}}},\n  \"saturating_sweep\": [\n",
+        t.seed, t.requests, t.mean_gap_cycles, t.mean_burst,
+    );
+    push_sweep_rows(&mut json, rows);
+    json.push_str("  ],\n  \"overload_sweep\": [\n");
+    push_overload_rows(&mut json, overload);
+    // Engine-backed sections: same pipelines, service(n) measured from
+    // real functional-backend BatchRuns instead of the closed form.
+    let cycles: Vec<String> = engine_table.iter().map(u64::to_string).collect();
+    writeln!(
+        json,
+        "  ],\n  \"engine_service_cycles\": [{}],\n  \"engine_saturating_sweep\": [",
+        cycles.join(", ")
+    )
+    .expect("write to string");
+    push_sweep_rows(&mut json, engine_rows);
+    json.push_str("  ],\n  \"engine_overload_sweep\": [\n");
+    push_overload_rows(&mut json, engine_overload);
     writeln!(
         json,
         "  ],\n  \"recovery\": {{\"pre_spike_served_fraction\": {:.4}, \
@@ -361,12 +406,32 @@ fn engine_validation() {
     );
 }
 
-fn main() {
-    let cfg = AcceleratorConfig::paper();
-    let net = CapsNetConfig::mnist();
-    let clock_hz = cfg.clock_mhz as f64 * 1e6;
+/// Invariant 1: ≥ 3× throughput at 4 workers vs 1, per (batch, wait) —
+/// must hold whichever service table supplied the cycle numbers.
+fn assert_worker_scaling(rows: &[Row], label: &str) {
+    for &max_batch in &[4usize, 16, 32] {
+        for &max_wait in &[10_000u64, 1_000_000] {
+            let at = |workers: usize| {
+                rows.iter()
+                    .find(|r| {
+                        r.workers == workers
+                            && r.max_batch == max_batch
+                            && r.max_wait_cycles == max_wait
+                    })
+                    .expect("swept point")
+                    .throughput_img_s
+            };
+            let (t1, t4) = (at(1), at(4));
+            assert!(
+                t4 >= 3.0 * t1,
+                "worker scaling regressed ({label}) at max_batch {max_batch}, wait {max_wait}: \
+                 {t4:.0} img/s at 4 workers vs {t1:.0} at 1"
+            );
+        }
+    }
+}
 
-    let rows = sweep(&cfg, &net);
+fn print_sweep(cfg: &AcceleratorConfig, rows: &[Row], title: &str) {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -384,7 +449,7 @@ fn main() {
         })
         .collect();
     print_table(
-        "Serving sweep — MNIST requests on the 16×16 paper config (virtual time)",
+        title,
         &[
             "Workers",
             "MaxBatch",
@@ -398,29 +463,59 @@ fn main() {
         ],
         &table,
     );
+}
 
-    // Invariant 1: ≥ 3× throughput at 4 workers vs 1, per (batch, wait).
-    for &max_batch in &[4usize, 16, 32] {
-        for &max_wait in &[10_000u64, 1_000_000] {
-            let at = |workers: usize| {
-                rows.iter()
-                    .find(|r| {
-                        r.workers == workers
-                            && r.max_batch == max_batch
-                            && r.max_wait_cycles == max_wait
-                    })
-                    .expect("swept point")
-                    .throughput_img_s
-            };
-            let (t1, t4) = (at(1), at(4));
-            assert!(
-                t4 >= 3.0 * t1,
-                "worker scaling regressed at max_batch {max_batch}, wait {max_wait}: \
-                 {t4:.0} img/s at 4 workers vs {t1:.0} at 1"
-            );
-        }
-    }
+fn main() {
+    let cfg = AcceleratorConfig::paper();
+    let net = CapsNetConfig::mnist();
+    let clock_hz = cfg.clock_mhz as f64 * 1e6;
+
+    let rows = sweep(&cfg, &net);
+    print_sweep(
+        &cfg,
+        &rows,
+        "Serving sweep — MNIST requests on the 16×16 paper config (virtual time)",
+    );
+    assert_worker_scaling(&rows, "closed-form");
     println!("\nWorker scaling: ≥ 3x aggregate throughput at 4 workers vs 1 (all points)");
+
+    // The engine-backed service table: real BatchRun cycles per batch
+    // size, measured through the parallel+SIMD functional backend —
+    // 528 MNIST inferences, practical only at wall-clock speed. The
+    // ticked array charges scheduling overheads the closed form folds
+    // away, so these cycles are strictly the machine's own.
+    let mut engine_cfg = cfg;
+    engine_cfg.backend = EngineBackend::Functional;
+    engine_cfg.trace_level = TraceLevel::Outputs;
+    let qparams = CapsNetParams::generate(&net, 0).quantize(cfg.numeric);
+    let etable = engine_service_cycles_table(&engine_cfg, &net, &qparams, SWEEP_MAX_BATCH);
+    for n in 1..etable.len() {
+        assert!(
+            etable[n] > etable[n - 1],
+            "service cycles must grow with batch size"
+        );
+    }
+    for n in 2..etable.len() {
+        assert!(
+            etable[n] < n as u64 * etable[1],
+            "batched service must amortize: {} vs {n}x{}",
+            etable[n],
+            etable[1]
+        );
+    }
+    let erows = sweep_with(&etable, clock_hz);
+    print_sweep(
+        &cfg,
+        &erows,
+        "Serving sweep — engine service table (measured functional-backend BatchRuns)",
+    );
+    assert_worker_scaling(&erows, "engine-table");
+    println!(
+        "\nEngine table: b1 {} cycles vs closed-form {} — sweep re-run on measured engine \
+         cycles; worker scaling ≥ 3x holds there too",
+        etable[1],
+        service_cycles_table(&cfg, &net, 1)[1],
+    );
 
     // Invariant 2: offline anchor — the online runtime with overload
     // features disabled reproduces the offline pipeline bit-exactly on
@@ -532,6 +627,39 @@ fn main() {
         post * 100.0
     );
 
+    // The same overload experiment on the engine service table: the
+    // flash crowd is re-sized off the *measured* per-request cost so
+    // the spike still overloads the pool by the same ratio, then the
+    // online runtime runs against engine cycles end to end.
+    let eper_request = etable[16] / 16;
+    let (eworkload, _, _) = overload_workload(eper_request, etable[1]);
+    let erequests = workload_trace(&eworkload);
+    let eservice = |n: usize| etable[n];
+    let eorows = overload_sweep(&erequests, &eservice, warmup, clock_hz);
+    let etight = eorows
+        .iter()
+        .find(|r| r.queue_capacity == 16 && !r.autoscale)
+        .expect("swept point");
+    let etight_scaled = eorows
+        .iter()
+        .find(|r| r.queue_capacity == 16 && r.autoscale)
+        .expect("swept point");
+    assert!(
+        etight.shed_rate > 0.0,
+        "flash crowd failed to overload the bounded queue on engine cycles"
+    );
+    assert!(
+        etight_scaled.served >= etight.served,
+        "autoscaling must not serve less than the fixed pool on engine cycles"
+    );
+    println!(
+        "Engine-table overload: shed rate {:.1}% under the spike (queue 16, fixed pool), \
+         autoscaling serves {} vs {}",
+        etight.shed_rate * 100.0,
+        etight_scaled.served,
+        etight.served
+    );
+
     // Scale point: a million-request diurnal day through the online
     // runtime with autoscaling — the "millions of users" regime.
     let million_cfg = WorkloadConfig {
@@ -585,13 +713,28 @@ fn main() {
     );
 
     // Invariant 4: every sweep is deterministic — a rerun serializes
-    // to the identical byte string, event digests included.
-    let json = render_json(&rows, &orows, (pre, post), &million);
+    // to the identical byte string, event digests included. The engine
+    // *table* is reused across reruns (its own determinism — identical
+    // cycles for identical batch sizes — is pinned by
+    // tests/serve_equivalence.rs); everything downstream of it reruns.
+    let json = render_json(
+        &rows,
+        &orows,
+        &etable,
+        &erows,
+        &eorows,
+        (pre, post),
+        &million,
+    );
     let rerun_orows = overload_sweep(&requests, &service, warmup, clock_hz);
+    let rerun_eorows = overload_sweep(&erequests, &eservice, warmup, clock_hz);
     let rerun_million = run_runtime(&million_rt, &million_reqs, &service, warmup);
     let rerun = render_json(
         &sweep(&cfg, &net),
         &rerun_orows,
+        &etable,
+        &sweep_with(&etable, clock_hz),
+        &rerun_eorows,
         (pre, post),
         &rerun_million,
     );

@@ -304,10 +304,17 @@ impl Accelerator {
         self.memory.stage_bias(g1.out_ch as u64);
         let inputs_ref = &inputs_q;
         let w1 = &qparams.conv1_w;
+        // im2col addressing is affine: `input_index(mi, ki) =
+        // patch_origin(mi) + tap_offset(ki)`. Precomputing both halves
+        // once per layer keeps the staged panel identical while the
+        // data closure becomes two table lookups and an add instead of
+        // a six-op div/mod decomposition per element.
+        let (g1_origins, g1_taps) = (g1.patch_origins(), g1.tap_offsets());
+        let g1_patch_len = g1.patch_len();
         let (conv1_mns, conv1_sats) = self.matmul_batch_inner(
             batch,
-            &|img, mi, ki| inputs_ref[img].data()[g1.input_index(mi, ki)],
-            &|ki, oc| w1.data()[oc * g1.patch_len() + ki],
+            &|img, mi, ki| inputs_ref[img].data()[g1_origins[mi] + g1_taps[ki]],
+            &|ki, oc| w1.data()[oc * g1_patch_len + ki],
             g1.patches(),
             g1.patch_len(),
             g1.out_ch,
@@ -329,7 +336,6 @@ impl Accelerator {
             activation_cycles: self.activation_cycles - a0,
             memory_stall_cycles: self.memory_stall_cycles - m0,
         });
-
         // ------------------------------------------- PrimaryCaps + squash
         let gp = net.primary_caps_geometry();
         let c0 = self.array.cycles();
@@ -339,10 +345,12 @@ impl Accelerator {
         self.memory.stage_bias(gp.out_ch as u64);
         let conv1_ref = &conv1_outs;
         let wp = &qparams.pc_w;
+        let (gp_origins, gp_taps) = (gp.patch_origins(), gp.tap_offsets());
+        let gp_patch_len = gp.patch_len();
         let (pc_mns, pc_sats) = self.matmul_batch_inner(
             batch,
-            &|img, mi, ki| conv1_ref[img].data()[gp.input_index(mi, ki)],
-            &|ki, oc| wp.data()[oc * gp.patch_len() + ki],
+            &|img, mi, ki| conv1_ref[img].data()[gp_origins[mi] + gp_taps[ki]],
+            &|ki, oc| wp.data()[oc * gp_patch_len + ki],
             gp.patches(),
             gp.patch_len(),
             gp.out_ch,
@@ -368,7 +376,6 @@ impl Accelerator {
             activation_cycles: self.activation_cycles - a0,
             memory_stall_cycles: self.memory_stall_cycles - m0,
         });
-
         // ------------------------------------------------ ClassCaps: Load
         let (in_caps, classes, out_dim, in_dim) = (
             net.num_primary_caps(),
@@ -403,10 +410,10 @@ impl Accelerator {
             let (fc, fc_sats) = self.matmul_batch_inner(
                 batch,
                 &|img, _mi, d| caps_ref[img].data()[cap * in_dim + d],
-                &|d, col| {
-                    let (class, e) = (col / out_dim, col % out_dim);
-                    wc.data()[((cap * classes + class) * out_dim + e) * in_dim + d]
-                },
+                // `col = class * out_dim + e`, and the `[cap][class][e][d]`
+                // layout flattens to `(cap * classes * out_dim + col) * in_dim
+                // + d` — no per-element div/mod decomposition needed.
+                &|d, col| wc.data()[(cap * classes * out_dim + col) * in_dim + d],
                 1,
                 in_dim,
                 classes * out_dim,
@@ -427,7 +434,6 @@ impl Accelerator {
             s.macs += (in_caps * classes * out_dim * in_dim) as u64;
         }
         steps.push((RoutingStep::Fc, self.array.cycles() - c0));
-
         // ------------------------------------------- Routing-by-agreement
         // The routing "weights" are the per-image predictions û — there
         // is nothing to share across the batch, so each image runs the
@@ -464,7 +470,6 @@ impl Accelerator {
                 },
             });
         }
-
         let class_caps_cycles: u64 = steps.iter().map(|(_, c)| *c).sum();
         layers.push(LayerRun {
             name: "ClassCaps",

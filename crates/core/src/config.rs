@@ -64,6 +64,69 @@ pub enum EngineBackend {
     Functional,
 }
 
+/// How the `Functional` backend's inner fold is executed on the host.
+///
+/// Purely a host-speed choice: every mode computes the identical
+/// saturating fold ([`crate::Pe::mac_step`] /
+/// `AccumulatorUnit::fold_step` semantics), so results, cycle charges
+/// and traffic are bit-identical across modes (pinned by
+/// `tests/backend_equivalence.rs` with the lane-width axis).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SimdMode {
+    /// Use the explicit-SIMD kernel when the host supports it (AVX2 on
+    /// x86-64, detected at runtime), falling back to the scalar kernel
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// Always take the scalar kernel — the portable reference the SIMD
+    /// path is differentially tested against, and the in-run baseline
+    /// `exp_engine_speed` measures its speedup bound from.
+    Scalar,
+}
+
+/// Which fixed-width inner kernel the `Functional` backend uses for
+/// full-width (`nt == 16`) no-clip tiles.
+///
+/// Both kernels are exact — a zero operand contributes `+0` to an
+/// in-range partial sum, so skipping it cannot change the fold — which
+/// makes this a speed choice only. `Auto` picks by measuring the staged
+/// data panel's zero fraction (≥ 25% zeros favors skipping; post-ReLU
+/// operands at MNIST scale are ~50% zeros); the `Force*` variants pin
+/// one kernel for differential testing
+/// (`tests/backend_equivalence.rs::kernel_selection_is_bit_equal`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum KernelSelect {
+    /// Choose per matmul from the staged panel's zero fraction.
+    #[default]
+    Auto,
+    /// Always take the dense (row-blocked, no zero test) kernel.
+    ForceDense,
+    /// Always take the zero-skipping kernel.
+    ForceZeroSkip,
+}
+
+/// Host-execution knobs of the [`EngineBackend::Functional`] backend.
+///
+/// None of these change any simulated observable — outputs, saturation
+/// attribution, cycle counts, traffic and memory stalls are
+/// bit-identical at every setting (the parallel-equivalence invariant,
+/// pinned by `tests/backend_equivalence.rs` across thread-count and
+/// lane-width axes). They only change how fast the *host* computes the
+/// same numbers.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FunctionalOptions {
+    /// OS threads for data-parallel row execution. `0` (the default)
+    /// resolves to [`std::thread::available_parallelism`] and applies a
+    /// minimum-work threshold so small matmuls stay serial; an explicit
+    /// `n ≥ 2` always splits the rows into `min(n, rows)` chunks (the
+    /// setting the determinism proptests drive). `1` is fully serial.
+    pub threads: usize,
+    /// SIMD lane-width policy of the inner fold.
+    pub simd: SimdMode,
+    /// Fixed-width kernel selection policy.
+    pub kernel: KernelSelect,
+}
+
 /// How much of the functional trace the engine materializes.
 ///
 /// Snapshot capture is pure observation: it never changes results,
@@ -143,6 +206,10 @@ pub struct AcceleratorConfig {
     /// [`TraceLevel::Outputs`] skips the per-iteration routing
     /// snapshots on the serving hot path.
     pub trace_level: TraceLevel,
+    /// Host-execution knobs of the `Functional` backend (threads, SIMD
+    /// lane width, kernel selection). Never change simulated results —
+    /// only host wall-clock speed.
+    pub functional: FunctionalOptions,
     /// Memory-hierarchy model (`capsacc-memory`). Defaults to
     /// [`MemoryConfig::ideal`] — "IdealMemory", which keeps every cycle
     /// count and trace identical to the pre-hierarchy engine; switch to
@@ -170,6 +237,7 @@ impl AcceleratorConfig {
             dataflow: DataflowOptions::default(),
             backend: EngineBackend::default(),
             trace_level: TraceLevel::default(),
+            functional: FunctionalOptions::default(),
             memory: MemoryConfig::ideal(),
         }
     }
@@ -302,6 +370,24 @@ mod tests {
     #[test]
     fn test_config_is_valid() {
         AcceleratorConfig::test_4x4().validate().unwrap();
+    }
+
+    #[test]
+    fn functional_options_default_to_auto() {
+        // The host-execution knobs default to auto everywhere; any
+        // setting validates because none can change simulated results.
+        let c = AcceleratorConfig::paper();
+        assert_eq!(c.functional, FunctionalOptions::default());
+        assert_eq!(c.functional.threads, 0);
+        assert_eq!(c.functional.simd, SimdMode::Auto);
+        assert_eq!(c.functional.kernel, KernelSelect::Auto);
+        let mut forced = c;
+        forced.functional = FunctionalOptions {
+            threads: 7,
+            simd: SimdMode::Scalar,
+            kernel: KernelSelect::ForceZeroSkip,
+        };
+        forced.validate().expect("host knobs are always valid");
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! ([`crate::EngineBackend`]): `Ticked` drives every PE register through
 //! [`SystolicArray::tick`], while `Functional` evaluates each tile as
 //! the per-column saturating fold the PE datapath performs
-//! ([`Pe::mac_step`] in fixed north→south order) and charges the exact
+//! ([`Pe::mac_step`](crate::Pe::mac_step) in fixed north→south order —
+//! in parallel across data rows and with explicit SIMD when the host
+//! supports it, see [`crate::FunctionalOptions`]) and charges the exact
 //! per-tile cycle counts the ticked schedule executes — bit-identical
 //! results and accounting at wall-clock speed (differentially pinned by
 //! `tests/backend_equivalence.rs`).
@@ -34,7 +36,7 @@ use capsacc_tensor::Tensor;
 use crate::accumulator::AccumulatorUnit;
 use crate::activation::{ActivationKind, ActivationUnit};
 use crate::config::{AcceleratorConfig, EngineBackend, TraceLevel};
-use crate::pe::Pe;
+use crate::kernel;
 use crate::systolic::SystolicArray;
 use crate::timing::RoutingStep;
 use crate::traffic::{MemoryKind, TrafficReport};
@@ -401,35 +403,53 @@ impl Accelerator {
     }
 
     /// The `Functional` backend's tile evaluator: bit-identical to the
-    /// ticked schedule above, at wall-clock speed.
+    /// ticked schedule above, at wall-clock speed — data-parallel
+    /// across panel rows and explicitly SIMD inside them (the
+    /// `kernel` module; host knobs in
+    /// [`crate::FunctionalOptions`]).
     ///
     /// Exactness argument, piece by piece:
     ///
     /// - **In-tile fold.** The ticked array folds one tile column as
-    ///   `psum' = saturate_25(psum + d·w)` through [`Pe::mac_step`] in
-    ///   fixed north→south order. Every running prefix is bounded by
-    ///   `kt · 128²`, so for `kt ≤ 1023` no step can reach the ±2^24
-    ///   clip and the saturating fold *is* the exact dot product —
-    ///   computed here branch-free in `i32` (bound 2^24 · 1023/1040 <
-    ///   i32::MAX). Taller tiles (arrays over 1023 rows) take the
-    ///   literal per-step `mac_step` fold. Zero operands contribute +0
+    ///   `psum' = saturate_25(psum + d·w)` through
+    ///   [`Pe::mac_step`](crate::Pe::mac_step) in fixed north→south
+    ///   order. Every running prefix is bounded by `kt · 128²`, so for
+    ///   `kt ≤ 1023` no step can reach the ±2^24 clip and the
+    ///   saturating fold *is* the exact dot product — order-free, so
+    ///   scalar, row-blocked, zero-skipping, and `pmaddwd` evaluations
+    ///   are all bit-identical. Taller tiles (arrays over 1023 rows)
+    ///   take the literal per-step `mac_step` fold
+    ///   (`kernel::RowKernel::MacSerial`). Zero operands contribute +0
     ///   to an in-range psum, so skipping all-zero data rows cannot
     ///   change either fold.
     /// - **K-tile accumulation.** [`AccumulatorUnit`] saturates each
     ///   fold (`sat(acc + tile_psum)`) and counts an event when the
     ///   clamp engages; the flat per-(image, row, column) accumulators
     ///   here apply the identical chain in the identical tile order
-    ///   with identical event counting (`push_new` never clips in
-    ///   either backend: its input is in range by the bound above).
+    ///   with identical event counting (starting from `acc = 0`, the
+    ///   first fold's raw value is the tile psum itself — `push_new`
+    ///   semantics, whose clamp provably never engages on an in-range
+    ///   psum).
+    /// - **Row partitioning.** Threads split the panel into contiguous
+    ///   row chunks; every row's whole fold chain runs on one thread
+    ///   in tile order, so the per-element fold order — and therefore
+    ///   outputs, cycles, traffic, and clip attribution — is
+    ///   byte-identical for any thread count. Clip events are counted
+    ///   per row and summed per image in image order (a commutative
+    ///   sum either way).
     /// - **Cycle charge.** Per tile, exactly the edges the ticked
     ///   serial schedule executes: `R + 1` per weight load and
     ///   `batch·M + R + C` per stream (`SystolicArray::load_weights` /
     ///   `stream`), so `array_cycles()` deltas — and everything built
-    ///   on them — are equal, not merely equivalent.
+    ///   on them — are equal, not merely equivalent. The accounting
+    ///   loop runs serially before the row sweep: counter totals are
+    ///   the only observable, and they are pure sums.
     /// - **Data staging.** Operands are staged once per matmul into a
     ///   flat row-major panel (the ticked path re-invokes the operand
     ///   closures per N-tile revisit); traffic is charged per tile
-    ///   from the same formulas either way.
+    ///   from the same formulas either way. Weight tiles are staged
+    ///   per N-tile (plus a pair-interleaved `i16` copy when the
+    ///   AVX2 kernels will consume them).
     #[allow(clippy::too_many_arguments)]
     fn matmul_batch_functional(
         &mut self,
@@ -445,16 +465,10 @@ impl Accelerator {
         outs: &mut [Tensor<i8>],
         saturations: &mut [u64],
     ) {
-        /// Tallest tile whose in-tile fold provably cannot clip:
-        /// `kt · 128² ≤ 2^24 − 1`.
-        const EXACT_FOLD_MAX_KT: usize = ((1 << 24) - 1) / (128 * 128);
-        /// Lane count of the fixed-width kernel — the paper's column
-        /// count, so the 16×16 design point takes the register path.
-        const LANES: usize = 16;
-        /// Data rows folded together in the fixed-width kernel.
-        const ROW_BLOCK: usize = 4;
         let (rows, cols) = (self.cfg.rows, self.cfg.cols);
         let total_rows = batch * m;
+        let opts = self.cfg.functional;
+        let simd_ok = kernel::simd_enabled(opts);
 
         // Stage the whole data panel once, row-major: tile slices below
         // are plain subslices, and the operand closure runs once per
@@ -465,26 +479,52 @@ impl Accelerator {
             panel.extend((0..k).map(|ki| data(img, mi, ki)));
         }
         // A zero data element contributes +0 to an in-range psum, so
-        // either fixed-width kernel below may skip it: pick per matmul
-        // between the row-blocked dense kernel and the zero-skipping
-        // one. Post-ReLU operands (the PrimaryCaps input is ~50% zeros
-        // at MNIST scale) favor skipping; dense operands favor the
-        // blocking. Both are exact — this is a speed choice only.
-        let sparse_data = panel.iter().filter(|&&d| d == 0).count() * 4 >= panel.len().max(1);
+        // the fixed-width kernels may skip it: pick per matmul between
+        // the dense kernels and the zero-skipping ones. Both are exact
+        // — this is a speed choice only, overridable through
+        // `FunctionalOptions::kernel`. The break-even point differs by
+        // path: the scalar kernels profit from skipping once ~1/4 of
+        // operands are zero, while the SIMD kernels skip at data-*pair*
+        // granularity and trade away the 4-row weight-reuse block, so
+        // they need mostly-zero pairs (~3/4 zeros; post-ReLU MNIST
+        // panels at ~50% zeros stay on the dense blocked kernel).
+        let zeros = panel.iter().filter(|&&d| d == 0).count();
+        let sparse_data = if simd_ok {
+            zeros * 4 >= panel.len().max(1) * 3
+        } else {
+            zeros * 4 >= panel.len().max(1)
+        };
+        // Sign-extended copy for the SIMD kernels: adjacent element
+        // pairs become single `i32` broadcast operands. Values are
+        // identical — widening is exact — so which panel a kernel
+        // reads can never change results.
+        let panel_wide: Vec<i16> = if simd_ok {
+            panel.iter().map(|&d| d as i16).collect()
+        } else {
+            Vec::new()
+        };
 
-        let mut tile_w: Vec<i8> = Vec::new(); // resident tile, row-major kt × nt
-        let mut psum_row: Vec<i32> = Vec::new(); // exact-fold lane accumulators
         let mut acc_flat: Vec<i64> = Vec::new(); // per-(ri, c) K-tile accumulators
-        let mut events: Vec<u64> = Vec::new(); // per-image clip events
+        let mut row_events: Vec<u64> = Vec::new(); // per-row clip events
 
         for n0 in (0..n).step_by(cols) {
             let nt = cols.min(n - n0);
             acc_flat.clear();
             acc_flat.resize(total_rows * nt, 0);
-            events.clear();
-            events.resize(batch, 0);
+            row_events.clear();
+            row_events.resize(total_rows, 0);
 
-            for (kt_idx, k0) in (0..k).step_by(rows).enumerate() {
+            // Accounting and weight staging, K-tile by K-tile in the
+            // ticked serial order. Traffic reads and array-cycle
+            // charges are pure counter additions, so hoisting them out
+            // of the (possibly parallel) row sweep preserves every
+            // observable total. Column-outer fill: the parameter
+            // layers store weights `[out_ch][patch]`-major, so walking
+            // `kr` innermost reads each channel's taps contiguously
+            // instead of striding the whole weight tensor per element
+            // (the tile itself is ≤ R·C bytes — write order is free).
+            let mut tiles: Vec<kernel::KTile> = Vec::with_capacity(k.div_ceil(rows.max(1)));
+            for k0 in (0..k).step_by(rows) {
                 let kt = rows.min(k - k0);
                 self.traffic
                     .read(MemoryKind::WeightBuffer, (kt * nt) as u64);
@@ -492,132 +532,70 @@ impl Accelerator {
                     .read(MemoryKind::DataBuffer, (total_rows * kt) as u64);
                 let edges = self.array.load_edges() + self.array.stream_edges(total_rows);
                 self.array.advance_cycles(edges);
-                // Column-outer fill: the parameter layers store weights
-                // `[out_ch][patch]`-major, so walking `kr` innermost
-                // reads each channel's taps contiguously instead of
-                // striding the whole weight tensor per element (the
-                // tile itself is ≤ R·C bytes — write order is free).
-                tile_w.clear();
-                tile_w.resize(kt * nt, 0);
+                let mut w = vec![0i8; kt * nt];
                 for nc in 0..nt {
                     for kr in 0..kt {
-                        tile_w[kr * nt + nc] = weight(k0 + kr, n0 + nc);
+                        w[kr * nt + nc] = weight(k0 + kr, n0 + nc);
                     }
                 }
-                let exact_fold = kt <= EXACT_FOLD_MAX_KT;
+                tiles.push(kernel::KTile::stage(
+                    k0,
+                    kt,
+                    nt,
+                    w,
+                    sparse_data,
+                    opts,
+                    simd_ok,
+                ));
+            }
 
-                // Folds a finished tile psum into the K-tile chain with
-                // the accumulator's exact saturate-and-count semantics
-                // (`AccumulatorUnit::fold_step` — the shared
-                // definition; the first tile mirrors `push_new`, whose
-                // clamp provably never engages on an in-range psum).
-                let fold = |acc: &mut i64, psum: i64, ev: &mut u64, first: bool| {
-                    let raw = if first { psum } else { *acc + psum };
-                    let (sat, clipped) = AccumulatorUnit::fold_step(raw);
-                    if clipped {
-                        *ev += 1;
-                    }
-                    *acc = sat;
-                };
-
-                if exact_fold && nt == LANES {
-                    // Full-width tiles on the paper-style array: fixed
-                    // lane accumulators the compiler keeps in vector
-                    // registers, register-blocked over `ROW_BLOCK` data
-                    // rows so each extended weight row is reused across
-                    // the block (the dynamic-width path below
-                    // round-trips every lane through memory per data
-                    // element). Per row the mac order is still the
-                    // north→south reduction; blocking only interleaves
-                    // *independent* rows, exactly like the skewed
-                    // wavefronts of the ticked array.
-                    let mut ri = 0;
-                    while !sparse_data && ri + ROW_BLOCK <= total_rows {
-                        let mut lanes = [[0i32; LANES]; ROW_BLOCK];
-                        for r in 0..kt {
-                            let wrow = &tile_w[r * LANES..(r + 1) * LANES];
-                            for (j, lane) in lanes.iter_mut().enumerate() {
-                                let d = panel[(ri + j) * k + k0 + r] as i32;
-                                for (p, &w) in lane.iter_mut().zip(wrow) {
-                                    *p += d * w as i32;
-                                }
-                            }
-                        }
-                        for (j, lane) in lanes.iter().enumerate() {
-                            let img = (ri + j) / m.max(1);
-                            let base = (ri + j) * nt;
-                            for (c, &p) in lane.iter().enumerate() {
-                                fold(
-                                    &mut acc_flat[base + c],
-                                    p as i64,
-                                    &mut events[img],
-                                    kt_idx == 0,
+            // The row sweep: serial, or partitioned into contiguous
+            // row chunks across scoped OS threads (the `pool.rs`
+            // pattern). Rows are independent and each row's whole fold
+            // chain runs on one thread in tile order, so any partition
+            // is byte-identical to the serial sweep.
+            let threads = kernel::effective_threads(opts.threads, total_rows, k, nt);
+            if threads <= 1 {
+                kernel::process_rows(
+                    k,
+                    nt,
+                    &tiles,
+                    &panel,
+                    &panel_wide,
+                    0,
+                    total_rows,
+                    &mut acc_flat,
+                    &mut row_events,
+                );
+            } else {
+                let rows_per = total_rows.div_ceil(threads);
+                let (tiles_ref, panel_ref) = (&tiles, panel.as_slice());
+                let wide_ref = panel_wide.as_slice();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = acc_flat
+                        .chunks_mut(rows_per * nt)
+                        .zip(row_events.chunks_mut(rows_per))
+                        .enumerate()
+                        .map(|(ci, (acc_chunk, ev_chunk))| {
+                            scope.spawn(move || {
+                                kernel::process_rows(
+                                    k,
+                                    nt,
+                                    tiles_ref,
+                                    panel_ref,
+                                    wide_ref,
+                                    ci * rows_per,
+                                    ev_chunk.len(),
+                                    acc_chunk,
+                                    ev_chunk,
                                 );
-                            }
-                        }
-                        ri += ROW_BLOCK;
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("functional row worker panicked");
                     }
-                    while ri < total_rows {
-                        let img = ri / m.max(1);
-                        let drow = &panel[ri * k + k0..ri * k + k0 + kt];
-                        let base = ri * nt;
-                        let mut lanes = [0i32; LANES];
-                        for (r, &d) in drow.iter().enumerate() {
-                            if d != 0 {
-                                let wrow = &tile_w[r * LANES..(r + 1) * LANES];
-                                for (p, &w) in lanes.iter_mut().zip(wrow) {
-                                    *p += d as i32 * w as i32;
-                                }
-                            }
-                        }
-                        for (c, &p) in lanes.iter().enumerate() {
-                            fold(
-                                &mut acc_flat[base + c],
-                                p as i64,
-                                &mut events[img],
-                                kt_idx == 0,
-                            );
-                        }
-                        ri += 1;
-                    }
-                    continue;
-                }
-                for ri in 0..total_rows {
-                    let img = ri / m.max(1);
-                    let drow = &panel[ri * k + k0..ri * k + k0 + kt];
-                    let base = ri * nt;
-                    if exact_fold {
-                        psum_row.clear();
-                        psum_row.resize(nt, 0);
-                        for (r, &d) in drow.iter().enumerate() {
-                            if d != 0 {
-                                let wrow = &tile_w[r * nt..(r + 1) * nt];
-                                for (p, &w) in psum_row.iter_mut().zip(wrow) {
-                                    *p += d as i32 * w as i32;
-                                }
-                            }
-                        }
-                        for (c, &p) in psum_row.iter().enumerate() {
-                            fold(
-                                &mut acc_flat[base + c],
-                                p as i64,
-                                &mut events[img],
-                                kt_idx == 0,
-                            );
-                        }
-                    } else {
-                        for c in 0..nt {
-                            let mut psum = 0i64;
-                            for (r, &d) in drow.iter().enumerate() {
-                                let w = tile_w[r * nt + c];
-                                if d != 0 && w != 0 {
-                                    psum = Pe::mac_step(psum, d, w);
-                                }
-                            }
-                            fold(&mut acc_flat[base + c], psum, &mut events[img], kt_idx == 0);
-                        }
-                    }
-                }
+                });
             }
 
             // Drain through the activation units, image by image —
@@ -628,8 +606,9 @@ impl Accelerator {
             // the per-image drain charge is still paid.
             let drained_rows = if k == 0 { 0 } else { m };
             for img in 0..batch {
-                saturations[img] += events[img];
-                self.accumulator_saturations += events[img];
+                let events: u64 = row_events[img * m..img * m + m].iter().sum();
+                saturations[img] += events;
+                self.accumulator_saturations += events;
                 for c in 0..nt {
                     let b = bias.map_or(0i64, |b| b[n0 + c] as i64);
                     for mi in 0..drained_rows {

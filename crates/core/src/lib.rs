@@ -50,7 +50,10 @@
 //! assert!(ms > 0.1 && ms < 100.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one SIMD kernel module can locally
+// re-allow `unsafe` for target-feature intrinsics; everything else in
+// the crate still refuses unsafe code at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accumulator;
@@ -59,6 +62,7 @@ pub mod batch;
 mod config;
 pub mod control;
 pub mod engine;
+mod kernel;
 pub mod mapping;
 mod pe;
 mod systolic;
@@ -72,7 +76,10 @@ pub use capsacc_memory::{
     DramConfig, MatmulGeometry, MemReport, MemoryConfig, MemoryMode, MemorySubsystem, SpmActivity,
     SpmConfig, SpmKind, TileSchedule,
 };
-pub use config::{AcceleratorConfig, DataflowOptions, EngineBackend, TraceLevel};
+pub use config::{
+    AcceleratorConfig, DataflowOptions, EngineBackend, FunctionalOptions, KernelSelect, SimdMode,
+    TraceLevel,
+};
 pub use control::{ControlOp, ControlUnit, DataSource, Program, WeightSource};
 pub use engine::{Accelerator, InferenceRun, LayerRun};
 pub use pe::{Pe, PeControl, PeInput, PeOutput, WeightSelect};

@@ -189,11 +189,36 @@ pub fn simulate_serve(
     net: &CapsNetConfig,
     serve: &ServeConfig,
 ) -> SimOutcome {
-    serve.validate().expect("invalid serve configuration");
     cfg.validate().expect("invalid accelerator configuration");
+    let table = service_cycles_table(cfg, net, serve.batcher.max_batch);
+    simulate_serve_with_table(serve, &table)
+}
+
+/// [`simulate_serve`] with an explicit `service(n)` cycle table —
+/// entry `n` is the cycle cost of a batch of `n` images, so the table
+/// must have at least `serve.batcher.max_batch + 1` entries.
+///
+/// This is how the sweep experiments serve from the *real engine*: at
+/// MNIST scale an [`engine_service_cycles_table`] built with the
+/// functional backend supplies measured [`capsacc_core::BatchRun`]
+/// cycles where the closed-form [`service_cycles_table`] was previously
+/// the only practical option — same dispatcher, same determinism,
+/// engine-backed numbers.
+///
+/// # Panics
+///
+/// Panics if `serve` fails [`ServeConfig::validate`] or the table is
+/// shorter than `max_batch + 1`.
+pub fn simulate_serve_with_table(serve: &ServeConfig, table: &[u64]) -> SimOutcome {
+    serve.validate().expect("invalid serve configuration");
+    assert!(
+        table.len() > serve.batcher.max_batch,
+        "service table has {} entries; need max_batch + 1 = {}",
+        table.len(),
+        serve.batcher.max_batch + 1
+    );
     let arrivals = arrival_trace(&serve.trace);
     let batches = form_batches(&arrivals, &serve.batcher);
-    let table = service_cycles_table(cfg, net, serve.batcher.max_batch);
     dispatch_batches(&arrivals, &batches, serve.workers, &|n| table[n])
 }
 
@@ -225,11 +250,35 @@ pub fn simulate_runtime(
     rt: &RuntimeConfig,
     requests: &[Request],
 ) -> RuntimeOutcome {
-    rt.validate().expect("invalid runtime configuration");
     cfg.validate().expect("invalid accelerator configuration");
     let table = service_cycles_table(cfg, net, rt.batcher.max_batch);
     let warmup = worker_warmup_cycles(cfg, net);
-    run_runtime(rt, requests, &|n| table[n], warmup)
+    simulate_runtime_with_table(rt, requests, &table, warmup)
+}
+
+/// [`simulate_runtime`] with an explicit `service(n)` cycle table and
+/// warmup cost — the engine-backed counterpart, same contract as
+/// [`simulate_serve_with_table`]: entry `n` is a batch-of-`n`'s cycle
+/// cost, table length must cover `rt.batcher.max_batch`.
+///
+/// # Panics
+///
+/// Panics if `rt` fails [`RuntimeConfig::validate`], `requests` is
+/// unsorted, or the table is shorter than `max_batch + 1`.
+pub fn simulate_runtime_with_table(
+    rt: &RuntimeConfig,
+    requests: &[Request],
+    table: &[u64],
+    warmup_cycles: u64,
+) -> RuntimeOutcome {
+    rt.validate().expect("invalid runtime configuration");
+    assert!(
+        table.len() > rt.batcher.max_batch,
+        "service table has {} entries; need max_batch + 1 = {}",
+        table.len(),
+        rt.batcher.max_batch + 1
+    );
+    run_runtime(rt, requests, &|n| table[n], warmup_cycles)
 }
 
 /// Runs the serving pipeline with the batches *actually executed* by a

@@ -153,12 +153,16 @@ impl SimOutcome {
         self.requests.len() as f64 / self.batches.len() as f64
     }
 
-    /// Fraction of the makespan worker `w` spent serving.
+    /// Fraction of the makespan worker `w` spent serving. Total: an
+    /// idle window (zero makespan) and a worker index beyond the pool
+    /// both report `0.0` — degenerate serves must yield defined
+    /// statistics, not a panic or NaN in a dashboard aggregation.
     pub fn utilization(&self, worker: usize) -> f64 {
         if self.makespan_cycles == 0 {
             return 0.0;
         }
-        self.worker_busy_cycles[worker] as f64 / self.makespan_cycles as f64
+        self.worker_busy_cycles.get(worker).copied().unwrap_or(0) as f64
+            / self.makespan_cycles as f64
     }
 
     /// Batch indices assigned to each worker, in dispatch order — the
@@ -173,14 +177,20 @@ impl SimOutcome {
     }
 }
 
-/// Nearest-rank percentile of an ascending slice.
+/// Nearest-rank percentile of an ascending slice. Total over the
+/// input: an empty slice reports `0` (the convention every
+/// [`SimOutcome`] aggregate uses for degenerate serves — an all-shed
+/// window has no latencies, and its percentile row must still be
+/// defined).
 ///
 /// # Panics
 ///
-/// Panics if `sorted` is empty or `pct` is outside `(0, 100]`.
+/// Panics if `pct` is outside `(0, 100]`.
 pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
-    assert!(!sorted.is_empty(), "percentile of an empty set");
     assert!(pct > 0.0 && pct <= 100.0, "percentile out of range");
+    if sorted.is_empty() {
+        return 0;
+    }
     let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -264,6 +274,41 @@ mod tests {
         assert_eq!(out.mean_batch_len(), 0.0);
         assert_eq!(out.utilization(0), 0.0);
         assert_eq!(out.makespan_cycles, 0);
+    }
+
+    #[test]
+    fn empty_percentile_and_out_of_range_worker_are_total() {
+        // The all-shed admission case: a serve window that admitted
+        // nothing still has defined statistics everywhere.
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[], 99.0), 0);
+        let out = dispatch_batches(&[], &[], 1, &flat_service);
+        assert_eq!(out.utilization(7), 0.0, "beyond-pool worker index");
+        assert_eq!(out.goodput_within(100), 0.0);
+        assert_eq!(out.attainment_within(100), 1.0);
+        assert!(out.assignments().iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn one_request_outcome_is_fully_defined() {
+        // Smallest non-degenerate serve: one request, one batch.
+        let arrivals = [3u64];
+        let batches = form_batches(
+            &arrivals,
+            &BatcherConfig {
+                max_batch: 4,
+                max_wait_cycles: 0,
+            },
+        );
+        let out = dispatch_batches(&arrivals, &batches, 2, &flat_service);
+        assert_eq!(out.requests.len(), 1);
+        let lat = out.requests[0].latency_cycles();
+        assert_eq!(out.latency_percentiles(), [lat; 3]);
+        assert_eq!(out.mean_batch_len(), 1.0);
+        assert!(out.throughput_per_cycle() > 0.0);
+        assert!(out.utilization(0) > 0.0 && out.utilization(0) <= 1.0);
+        assert_eq!(out.utilization(1), 0.0);
+        assert!(out.utilization(0).is_finite());
     }
 
     #[test]

@@ -163,17 +163,54 @@ impl ConvGeometry {
     /// Panics if `patch` or `k` are out of range.
     #[inline]
     pub fn input_index(&self, patch: usize, k: usize) -> usize {
+        self.patch_origin(patch) + self.tap_offset(k)
+    }
+
+    /// The flat input index of patch `patch`'s top-left corner in
+    /// channel 0 — the patch-dependent half of [`Self::input_index`].
+    ///
+    /// `input_index(p, k) = patch_origin(p) + tap_offset(k)` for every
+    /// `(p, k)`: the address is affine in the two coordinates, which is
+    /// what lets im2col staging precompute both halves once instead of
+    /// re-deriving `div`/`mod` decompositions per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch` is out of range.
+    #[inline]
+    pub fn patch_origin(&self, patch: usize) -> usize {
         assert!(patch < self.patches(), "patch {patch} out of range");
-        assert!(k < self.patch_len(), "tap {k} out of range");
         let oy = patch / self.out_w();
         let ox = patch % self.out_w();
+        (oy * self.stride) * self.in_w + ox * self.stride
+    }
+
+    /// The flat input offset of tap `k` relative to a patch origin —
+    /// the tap-dependent half of [`Self::input_index`]. Tap order is
+    /// `(channel, kernel_row, kernel_col)` row-major, matching the
+    /// r/c/i loops of Fig. 13.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn tap_offset(&self, k: usize) -> usize {
+        assert!(k < self.patch_len(), "tap {k} out of range");
         let c = k / (self.k_h * self.k_w);
         let rem = k % (self.k_h * self.k_w);
         let ky = rem / self.k_w;
         let kx = rem % self.k_w;
-        let iy = oy * self.stride + ky;
-        let ix = ox * self.stride + kx;
-        (c * self.in_h + iy) * self.in_w + ix
+        (c * self.in_h + ky) * self.in_w + kx
+    }
+
+    /// All patch origins, in patch order (`patches()` entries).
+    pub fn patch_origins(&self) -> Vec<usize> {
+        (0..self.patches()).map(|p| self.patch_origin(p)).collect()
+    }
+
+    /// All tap offsets, in tap order (`patch_len()` entries).
+    pub fn tap_offsets(&self) -> Vec<usize> {
+        (0..self.patch_len()).map(|k| self.tap_offset(k)).collect()
     }
 }
 
@@ -273,6 +310,25 @@ mod tests {
             for p in 0..g.patches() {
                 for t in 0..g.patch_len() {
                     prop_assert!(g.input_index(p, t) < g.input_len());
+                }
+            }
+        }
+
+        #[test]
+        fn input_index_is_origin_plus_tap(
+            in_ch in 1usize..4, in_h in 3usize..10, in_w in 3usize..10,
+            k in 1usize..4, stride in 1usize..3,
+        ) {
+            let k_h = k.min(in_h);
+            let k_w = k.min(in_w);
+            let g = ConvGeometry::new(in_ch, in_h, in_w, 2, k_h, k_w, stride);
+            let origins = g.patch_origins();
+            let taps = g.tap_offsets();
+            prop_assert_eq!(origins.len(), g.patches());
+            prop_assert_eq!(taps.len(), g.patch_len());
+            for (p, &origin) in origins.iter().enumerate() {
+                for (t, &tap) in taps.iter().enumerate() {
+                    prop_assert_eq!(g.input_index(p, t), origin + tap);
                 }
             }
         }

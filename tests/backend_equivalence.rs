@@ -7,16 +7,24 @@
 //! order-sensitive (`sat(sat(a+b)+c) != sat(a+b+c)` in general), so
 //! these tests are what pins the functional fold to the PE datapath's
 //! fixed north→south order rather than to "a matmul with a clamp".
+//!
+//! The functional backend's host-execution knobs are additional axes
+//! of the same invariant: every thread count (1/2/4/7, including the
+//! ragged-chunk case), every SIMD mode (explicit-vector vs scalar) and
+//! every forced kernel (dense vs zero-skip, overriding the zero-
+//! fraction heuristic) must be byte-invisible — same outputs, same
+//! saturation attribution, same cycles and traffic, same golden trace
+//! digests.
 
 use capsacc::capsnet::{CapsNetConfig, CapsNetParams};
 use capsacc::core::{
-    Accelerator, AcceleratorConfig, ActivationKind, BatchScheduler, EngineBackend, MemoryConfig,
-    TraceLevel,
+    Accelerator, AcceleratorConfig, ActivationKind, BatchScheduler, EngineBackend,
+    FunctionalOptions, KernelSelect, MemoryConfig, SimdMode, TraceLevel,
 };
 use proptest::prelude::*;
 
 mod common;
-use common::image_for;
+use common::{image_for, trace_digests};
 
 fn functional(mut cfg: AcceleratorConfig) -> AcceleratorConfig {
     cfg.backend = EngineBackend::Functional;
@@ -232,6 +240,168 @@ fn functional_batch_runs_agree_under_finite_memory() {
         got.memory.stall_cycles > 0,
         "finite memory should stall — otherwise this tests nothing"
     );
+}
+
+/// The host-execution axes the functional backend must be invariant
+/// over. 7 is deliberately coprime with the row counts in play, so the
+/// per-thread row chunks land unevenly and the last chunk is ragged.
+const THREAD_AXIS: [usize; 4] = [1, 2, 4, 7];
+const SIMD_AXIS: [SimdMode; 2] = [SimdMode::Auto, SimdMode::Scalar];
+
+fn functional_with(mut cfg: AcceleratorConfig, opts: FunctionalOptions) -> AcceleratorConfig {
+    cfg.backend = EngineBackend::Functional;
+    cfg.functional = opts;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel equivalence on random shapes: every thread count ×
+    /// SIMD mode produces observables bit-identical to the ticked
+    /// reference (and therefore to each other). This is the host-knob
+    /// generalization of `functional_matmul_equals_ticked`.
+    #[test]
+    fn threaded_simd_matmuls_equal_ticked(
+        m in 1usize..7,
+        k in 1usize..40,
+        n in 1usize..10,
+        rows in 1usize..6,
+        batch in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = AcceleratorConfig::test_4x4();
+        cfg.rows = rows;
+        cfg.activation_units = rows;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 56) as i8
+        };
+        let d: Vec<i8> = (0..batch * m * k).map(|_| next()).collect();
+        let w: Vec<i8> = (0..k * n).map(|_| next()).collect();
+        for threads in THREAD_AXIS {
+            for simd in SIMD_AXIS {
+                let mut v = cfg;
+                v.functional = FunctionalOptions { threads, simd, ..FunctionalOptions::default() };
+                assert_matmul_backends_agree(
+                    v,
+                    batch,
+                    &|img, mi, ki| d[(img * m + mi) * k + ki],
+                    &|ki, ni| w[ki * n + ni],
+                    m, k, n, 6,
+                );
+            }
+        }
+    }
+
+    /// The saturation-adversarial workload across the same host axes:
+    /// a row split or lane width that perturbed the fold order would
+    /// change the clipped values, and this generator is built so such
+    /// a change survives requantization.
+    #[test]
+    fn threaded_simd_matmuls_equal_ticked_under_saturation(
+        k in 1300usize..1800,
+        rows in 2usize..6,
+        block in 20usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = AcceleratorConfig::test_4x4();
+        cfg.rows = rows;
+        cfg.cols = 4;
+        let start = seed as usize % (k - block);
+        let data = move |img: usize, mi: usize, ki: usize| -> i8 {
+            let s = (start + 17 * (img + mi)) % (k - block);
+            if (s..s + block).contains(&ki) { -127 } else { 127 }
+        };
+        let weight = move |ki: usize, ni: usize| -> i8 {
+            if (ki + ni).is_multiple_of(2) { 127 } else { 125 }
+        };
+        for threads in THREAD_AXIS {
+            for simd in SIMD_AXIS {
+                let mut v = cfg;
+                v.functional = FunctionalOptions { threads, simd, ..FunctionalOptions::default() };
+                let sats = assert_matmul_backends_agree(v, 2, &data, &weight, 2, k, 3, 18);
+                prop_assert!(sats > 0, "adversarial workload failed to saturate");
+            }
+        }
+    }
+
+    /// Forcing either fixed-width kernel onto the *same* tile must be
+    /// invisible: the zero-skip kernel and the dense kernel (scalar and
+    /// SIMD alike) are bit-equal to the ticked reference even on panels
+    /// the auto heuristic would route to the other kernel. The
+    /// generator mixes zero-heavy and dense panels so both forcings run
+    /// against both panel kinds.
+    #[test]
+    fn forced_kernels_are_bit_equal(
+        m in 1usize..6,
+        k in 1usize..40,
+        n in 1usize..8,
+        rows in 1usize..6,
+        zero_pct in 0u8..100,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = AcceleratorConfig::test_4x4();
+        cfg.rows = rows;
+        cfg.activation_units = rows;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 56) as i8
+        };
+        let d: Vec<i8> = (0..2 * m * k)
+            .map(|_| {
+                let v = next();
+                if (next() as u8) % 100 < zero_pct { 0 } else { v }
+            })
+            .collect();
+        let w: Vec<i8> = (0..k * n).map(|_| next()).collect();
+        for kernel in [KernelSelect::Auto, KernelSelect::ForceDense, KernelSelect::ForceZeroSkip] {
+            for simd in SIMD_AXIS {
+                let mut v = cfg;
+                v.functional = FunctionalOptions { kernel, simd, ..FunctionalOptions::default() };
+                assert_matmul_backends_agree(
+                    v,
+                    2,
+                    &|img, mi, ki| d[(img * m + mi) * k + ki],
+                    &|ki, ni| w[ki * n + ni],
+                    m, k, n, 6,
+                );
+            }
+        }
+    }
+
+    /// Whole `BatchRun`s across the host axes: outputs, per-layer
+    /// cycles, routing steps, traffic, memory report and the per-image
+    /// golden trace digests all byte-identical to the ticked run.
+    #[test]
+    fn threaded_batch_runs_are_byte_identical(
+        seed in 0u64..500,
+        batch in 1usize..4,
+    ) {
+        let net = CapsNetConfig::tiny();
+        let cfg = AcceleratorConfig::test_4x4();
+        let qparams = CapsNetParams::generate(&net, seed).quantize(cfg.numeric);
+        let images: Vec<_> = (0..batch)
+            .map(|s| image_for(&net, s + seed as usize))
+            .collect();
+        let want = BatchScheduler::new(cfg)
+            .run(&net, &qparams, &images)
+            .expect("valid batch");
+        let want_digests: Vec<_> = want.traces.iter().map(trace_digests).collect();
+        for threads in THREAD_AXIS {
+            for simd in SIMD_AXIS {
+                let opts = FunctionalOptions { threads, simd, ..FunctionalOptions::default() };
+                let got = BatchScheduler::new(functional_with(cfg, opts))
+                    .run(&net, &qparams, &images)
+                    .expect("valid batch");
+                prop_assert_eq!(&got, &want, "threads {} simd {:?}", threads, simd);
+                let got_digests: Vec<_> = got.traces.iter().map(trace_digests).collect();
+                prop_assert_eq!(&got_digests, &want_digests);
+            }
+        }
+    }
 }
 
 #[test]
