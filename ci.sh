@@ -49,6 +49,17 @@ run cargo run --release -q -p capsacc-bench --bin exp_serve
 # wall-clock perf trajectory; its host-time fields vary run to run by
 # design).
 run cargo run --release -q -p capsacc-bench --bin exp_engine_speed
+# Telemetry smoke run: asserts recording is invisible (instrumented
+# BatchRun/RuntimeOutcome + event digest == recording-off runs), span
+# trees are well-formed and sum *exactly* to run totals (MNIST Phases
+# detail; tiny Tiles detail identical across both backends), every
+# exported artifact parses, and the serving timeline covers the served
+# set exactly once; writes the gitignored PROFILE_* artifacts only.
+run cargo run --release -q -p capsacc-bench --bin exp_profile
+# The deterministic BENCH files must regenerate byte-identically (and
+# exp_profile must not have touched them). BENCH_engine.json is
+# excluded: its host-time fields vary run to run by design.
+run git diff --exit-code -- BENCH_batch.json BENCH_mem.json BENCH_serve.json
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 
 echo

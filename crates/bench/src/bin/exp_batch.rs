@@ -7,10 +7,7 @@
 //! Emits `BENCH_batch.json` into the current directory so CI records
 //! the perf trajectory (see `ci.sh`).
 
-use std::fmt::Write as _;
-use std::fs;
-
-use capsacc_bench::{fmt_us, print_table};
+use capsacc_bench::{fmt_us, json_row, print_table, BenchJson};
 use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
 use capsacc_core::{timing, Accelerator, AcceleratorConfig, BatchScheduler, MemoryKind};
 use capsacc_power::EnergyModel;
@@ -49,28 +46,34 @@ fn mnist_sweep(cfg: &AcceleratorConfig, net: &CapsNetConfig, batches: &[u64]) ->
 }
 
 fn write_json(rows: &[Row]) -> std::io::Result<()> {
-    let mut json = String::from(
-        "{\n  \"bench\": \"exp_batch\",\n  \"config\": \"paper_16x16_250MHz\",\n  \
-         \"net\": \"mnist\",\n  \"rows\": [\n",
+    let mut j = BenchJson::new("exp_batch");
+    j.str_field("config", "paper_16x16_250MHz");
+    j.str_field("net", "mnist");
+    j.rows(
+        "rows",
+        rows.iter()
+            .map(|r| {
+                json_row(&[
+                    ("batch", r.batch.to_string()),
+                    ("cycles_per_image", format!("{:.1}", r.cycles_per_image)),
+                    ("time_per_image_us", format!("{:.3}", r.time_per_image_us)),
+                    (
+                        "weight_bytes_per_image",
+                        format!("{:.1}", r.weight_bytes_per_image),
+                    ),
+                    (
+                        "weight_buffer_bytes_per_image",
+                        format!("{:.1}", r.weight_buffer_bytes_per_image),
+                    ),
+                    (
+                        "energy_uj_per_image",
+                        format!("{:.3}", r.energy_uj_per_image),
+                    ),
+                ])
+            })
+            .collect(),
     );
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 < rows.len() { "," } else { "" };
-        writeln!(
-            json,
-            "    {{\"batch\": {}, \"cycles_per_image\": {:.1}, \"time_per_image_us\": {:.3}, \
-             \"weight_bytes_per_image\": {:.1}, \"weight_buffer_bytes_per_image\": {:.1}, \
-             \"energy_uj_per_image\": {:.3}}}{sep}",
-            r.batch,
-            r.cycles_per_image,
-            r.time_per_image_us,
-            r.weight_bytes_per_image,
-            r.weight_buffer_bytes_per_image,
-            r.energy_uj_per_image,
-        )
-        .expect("write to string");
-    }
-    json.push_str("  ]\n}\n");
-    fs::write("BENCH_batch.json", json)
+    j.write("BENCH_batch.json")
 }
 
 /// Cycle-accurate validation at the tiny test scale: `run_batch` must be

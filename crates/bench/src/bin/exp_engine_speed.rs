@@ -31,11 +31,9 @@
 //! vary run to run — the simulated-cycle fields are the deterministic
 //! anchor; the host fields are the point of this experiment.
 
-use std::fmt::Write as _;
-use std::fs;
 use std::time::Instant;
 
-use capsacc_bench::print_table;
+use capsacc_bench::{json_row, print_table, BenchJson};
 use capsacc_capsnet::{CapsNetConfig, CapsNetParams, QuantizedParams};
 use capsacc_core::{
     Accelerator, AcceleratorConfig, BatchRun, BatchScheduler, EngineBackend, FunctionalOptions,
@@ -106,36 +104,41 @@ fn min_median(samples: &mut [f64]) -> (f64, f64) {
 }
 
 fn write_json(rows: &[Row], speedup_ticked: f64, speedup_pr5: f64) -> std::io::Result<()> {
-    let mut json = String::from(
-        "{\n  \"bench\": \"exp_engine_speed\",\n  \"config\": \"paper_16x16_250MHz\",\n  \
-         \"net\": \"mnist\",\n",
+    let mut j = BenchJson::new("exp_engine_speed");
+    j.str_field("config", "paper_16x16_250MHz");
+    j.str_field("net", "mnist");
+    j.field("reps", REPS);
+    j.raw(
+        "functional_speedup_over_ticked",
+        format!("{speedup_ticked:.1}"),
     );
-    writeln!(
-        json,
-        "  \"reps\": {REPS},\n  \
-         \"functional_speedup_over_ticked\": {speedup_ticked:.1},\n  \
-         \"pr5_functional_b16_ms_per_image\": {PR5_FUNCTIONAL_B16_MS_PER_IMAGE},\n  \
-         \"speedup_over_pr5_functional_baseline\": {speedup_pr5:.2},\n  \"rows\": ["
-    )
-    .expect("write to string");
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 < rows.len() { "," } else { "" };
-        writeln!(
-            json,
-            "    {{\"backend\": \"{}\", \"batch\": {}, \"host_ms_min\": {:.2}, \
-             \"host_ms_median\": {:.2}, \"sim_cycles_per_image\": {:.1}, \
-             \"sim_ms_per_image\": {:.3}}}{sep}",
-            r.backend,
-            r.batch,
-            r.host_ms_min,
-            r.host_ms_median,
-            r.sim_cycles_per_image,
-            r.sim_ms_per_image,
-        )
-        .expect("write to string");
-    }
-    json.push_str("  ]\n}\n");
-    fs::write("BENCH_engine.json", json)
+    j.field(
+        "pr5_functional_b16_ms_per_image",
+        PR5_FUNCTIONAL_B16_MS_PER_IMAGE,
+    );
+    j.raw(
+        "speedup_over_pr5_functional_baseline",
+        format!("{speedup_pr5:.2}"),
+    );
+    j.rows(
+        "rows",
+        rows.iter()
+            .map(|r| {
+                json_row(&[
+                    ("backend", format!("\"{}\"", r.backend)),
+                    ("batch", r.batch.to_string()),
+                    ("host_ms_min", format!("{:.2}", r.host_ms_min)),
+                    ("host_ms_median", format!("{:.2}", r.host_ms_median)),
+                    (
+                        "sim_cycles_per_image",
+                        format!("{:.1}", r.sim_cycles_per_image),
+                    ),
+                    ("sim_ms_per_image", format!("{:.3}", r.sim_ms_per_image)),
+                ])
+            })
+            .collect(),
+    );
+    j.write("BENCH_engine.json")
 }
 
 fn main() {

@@ -19,10 +19,7 @@
 //! Emits `BENCH_mem.json` into the current directory so CI records the
 //! memory-hierarchy perf trajectory (see `ci.sh`).
 
-use std::fmt::Write as _;
-use std::fs;
-
-use capsacc_bench::print_table;
+use capsacc_bench::{json_row, print_table, BenchJson};
 use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
 use capsacc_core::{timing, AcceleratorConfig, BatchScheduler, MemoryConfig, SpmConfig};
 use capsacc_power::EnergyModel;
@@ -147,36 +144,33 @@ fn assert_prefetch_recovery(net: &CapsNetConfig) -> (u64, u64) {
 }
 
 fn write_json(rows: &[Row], naive: u64, prefetched: u64) -> std::io::Result<()> {
-    let mut json = String::from(
-        "{\n  \"bench\": \"exp_memdse\",\n  \"config\": \"paper_16x16_250MHz\",\n  \
-         \"net\": \"mnist\",\n  \"batch\": 16,\n",
+    let mut j = BenchJson::new("exp_memdse");
+    j.str_field("config", "paper_16x16_250MHz");
+    j.str_field("net", "mnist");
+    j.field("batch", 16);
+    j.field("naive_stall_cycles", naive);
+    j.field("prefetch_stall_cycles", prefetched);
+    j.rows(
+        "rows",
+        rows.iter()
+            .map(|r| {
+                json_row(&[
+                    ("banks", r.point.banks.to_string()),
+                    ("weight_spm_kib", r.point.weight_spm_kib.to_string()),
+                    ("prefetch_buffers", r.point.prefetch_buffers.to_string()),
+                    ("power_gating", r.point.power_gating.to_string()),
+                    ("stall_cycles", r.stall_cycles.to_string()),
+                    ("stall_pct", format!("{:.2}", r.stall_pct)),
+                    ("cycles_per_image", format!("{:.1}", r.cycles_per_image)),
+                    (
+                        "energy_uj_per_image",
+                        format!("{:.3}", r.energy_uj_per_image),
+                    ),
+                ])
+            })
+            .collect(),
     );
-    writeln!(
-        json,
-        "  \"naive_stall_cycles\": {naive},\n  \"prefetch_stall_cycles\": {prefetched},\n  \
-         \"rows\": ["
-    )
-    .expect("write to string");
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 < rows.len() { "," } else { "" };
-        writeln!(
-            json,
-            "    {{\"banks\": {}, \"weight_spm_kib\": {}, \"prefetch_buffers\": {}, \
-             \"power_gating\": {}, \"stall_cycles\": {}, \"stall_pct\": {:.2}, \
-             \"cycles_per_image\": {:.1}, \"energy_uj_per_image\": {:.3}}}{sep}",
-            r.point.banks,
-            r.point.weight_spm_kib,
-            r.point.prefetch_buffers,
-            r.point.power_gating,
-            r.stall_cycles,
-            r.stall_pct,
-            r.cycles_per_image,
-            r.energy_uj_per_image,
-        )
-        .expect("write to string");
-    }
-    json.push_str("  ]\n}\n");
-    fs::write("BENCH_mem.json", json)
+    j.write("BENCH_mem.json")
 }
 
 fn main() {

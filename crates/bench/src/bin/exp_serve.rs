@@ -41,10 +41,9 @@
 //! Emits `BENCH_serve.json` into the current directory so CI records
 //! the serving-perf trajectory (see `ci.sh`).
 
-use std::fmt::Write as _;
 use std::fs;
 
-use capsacc_bench::print_table;
+use capsacc_bench::{json_row, print_table, BenchJson};
 use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
 use capsacc_core::{Accelerator, AcceleratorConfig, EngineBackend, TraceLevel};
 use capsacc_serve::{
@@ -263,49 +262,46 @@ fn served_fraction(requests: &[Request], out: &RuntimeOutcome, from: u64, to: u6
     served as f64 / offered as f64
 }
 
-fn push_sweep_rows(json: &mut String, rows: &[Row]) {
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 < rows.len() { "," } else { "" };
-        writeln!(
-            json,
-            "    {{\"workers\": {}, \"max_batch\": {}, \"max_wait_cycles\": {}, \
-             \"throughput_img_s\": {:.1}, \"p50_cycles\": {}, \"p95_cycles\": {}, \
-             \"p99_cycles\": {}, \"mean_batch\": {:.2}, \"utilization\": {:.3}}}{sep}",
-            r.workers,
-            r.max_batch,
-            r.max_wait_cycles,
-            r.throughput_img_s,
-            r.p50_cycles,
-            r.p95_cycles,
-            r.p99_cycles,
-            r.mean_batch,
-            r.mean_utilization,
-        )
-        .expect("write to string");
-    }
+fn sweep_rows(rows: &[Row]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            json_row(&[
+                ("workers", r.workers.to_string()),
+                ("max_batch", r.max_batch.to_string()),
+                ("max_wait_cycles", r.max_wait_cycles.to_string()),
+                ("throughput_img_s", format!("{:.1}", r.throughput_img_s)),
+                ("p50_cycles", r.p50_cycles.to_string()),
+                ("p95_cycles", r.p95_cycles.to_string()),
+                ("p99_cycles", r.p99_cycles.to_string()),
+                ("mean_batch", format!("{:.2}", r.mean_batch)),
+                ("utilization", format!("{:.3}", r.mean_utilization)),
+            ])
+        })
+        .collect()
 }
 
-fn push_overload_rows(json: &mut String, rows: &[OverloadRow]) {
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 < rows.len() { "," } else { "" };
-        writeln!(
-            json,
-            "    {{\"queue_capacity\": {}, \"autoscale\": {}, \"served\": {}, \
-             \"shed_rate\": {:.4}, \"goodput_img_s\": {:.1}, \
-             \"slo_attainment_standard\": {:.4}, \"slo_attainment_premium\": {:.4}, \
-             \"peak_workers\": {}, \"event_digest\": \"{:016x}\"}}{sep}",
-            r.queue_capacity,
-            r.autoscale,
-            r.served,
-            r.shed_rate,
-            r.goodput_img_s,
-            r.attainment_standard,
-            r.attainment_premium,
-            r.peak_workers,
-            r.event_digest,
-        )
-        .expect("write to string");
-    }
+fn overload_rows(rows: &[OverloadRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            json_row(&[
+                ("queue_capacity", r.queue_capacity.to_string()),
+                ("autoscale", r.autoscale.to_string()),
+                ("served", r.served.to_string()),
+                ("shed_rate", format!("{:.4}", r.shed_rate)),
+                ("goodput_img_s", format!("{:.1}", r.goodput_img_s)),
+                (
+                    "slo_attainment_standard",
+                    format!("{:.4}", r.attainment_standard),
+                ),
+                (
+                    "slo_attainment_premium",
+                    format!("{:.4}", r.attainment_premium),
+                ),
+                ("peak_workers", r.peak_workers.to_string()),
+                ("event_digest", format!("\"{:016x}\"", r.event_digest)),
+            ])
+        })
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -319,47 +315,44 @@ fn render_json(
     million: &RuntimeOutcome,
 ) -> String {
     let t = trace();
-    let mut json = format!(
-        "{{\n  \"bench\": \"exp_serve\",\n  \"config\": \"paper_16x16_250MHz\",\n  \
-         \"net\": \"mnist\",\n  \"trace\": {{\"seed\": {}, \"requests\": {}, \
-         \"mean_gap_cycles\": {}, \"mean_burst\": {}}},\n  \"saturating_sweep\": [\n",
-        t.seed, t.requests, t.mean_gap_cycles, t.mean_burst,
+    let mut j = BenchJson::new("exp_serve");
+    j.str_field("config", "paper_16x16_250MHz");
+    j.str_field("net", "mnist");
+    j.raw(
+        "trace",
+        format!(
+            "{{\"seed\": {}, \"requests\": {}, \"mean_gap_cycles\": {}, \"mean_burst\": {}}}",
+            t.seed, t.requests, t.mean_gap_cycles, t.mean_burst,
+        ),
     );
-    push_sweep_rows(&mut json, rows);
-    json.push_str("  ],\n  \"overload_sweep\": [\n");
-    push_overload_rows(&mut json, overload);
+    j.rows("saturating_sweep", sweep_rows(rows));
+    j.rows("overload_sweep", overload_rows(overload));
     // Engine-backed sections: same pipelines, service(n) measured from
     // real functional-backend BatchRuns instead of the closed form.
     let cycles: Vec<String> = engine_table.iter().map(u64::to_string).collect();
-    writeln!(
-        json,
-        "  ],\n  \"engine_service_cycles\": [{}],\n  \"engine_saturating_sweep\": [",
-        cycles.join(", ")
-    )
-    .expect("write to string");
-    push_sweep_rows(&mut json, engine_rows);
-    json.push_str("  ],\n  \"engine_overload_sweep\": [\n");
-    push_overload_rows(&mut json, engine_overload);
-    writeln!(
-        json,
-        "  ],\n  \"recovery\": {{\"pre_spike_served_fraction\": {:.4}, \
-         \"post_spike_served_fraction\": {:.4}}},",
-        recovery.0, recovery.1,
-    )
-    .expect("write to string");
-    writeln!(
-        json,
-        "  \"million_request_diurnal\": {{\"requests\": {}, \"served\": {}, \
-         \"shed_rate\": {:.4}, \"makespan_cycles\": {}, \"event_digest\": \"{:016x}\"}}",
-        million.total_requests,
-        million.served.len(),
-        million.shed_rate(),
-        million.sim.makespan_cycles,
-        million.event_digest,
-    )
-    .expect("write to string");
-    json.push_str("}\n");
-    json
+    j.raw("engine_service_cycles", format!("[{}]", cycles.join(", ")));
+    j.rows("engine_saturating_sweep", sweep_rows(engine_rows));
+    j.rows("engine_overload_sweep", overload_rows(engine_overload));
+    j.raw(
+        "recovery",
+        format!(
+            "{{\"pre_spike_served_fraction\": {:.4}, \"post_spike_served_fraction\": {:.4}}}",
+            recovery.0, recovery.1,
+        ),
+    );
+    j.raw(
+        "million_request_diurnal",
+        format!(
+            "{{\"requests\": {}, \"served\": {}, \"shed_rate\": {:.4}, \
+             \"makespan_cycles\": {}, \"event_digest\": \"{:016x}\"}}",
+            million.total_requests,
+            million.served.len(),
+            million.shed_rate(),
+            million.sim.makespan_cycles,
+            million.event_digest,
+        ),
+    );
+    j.render()
 }
 
 /// Cycle-accurate validation: tiny-scale requests served through real

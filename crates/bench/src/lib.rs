@@ -7,11 +7,16 @@
 //! record.
 //!
 //! This library holds the shared harness utilities: fixed-width table
-//! printing, time formatting and the speedup labelling used by the
-//! Fig. 16/17 comparisons.
+//! printing, time formatting, the speedup labelling used by the
+//! Fig. 16/17 comparisons, and the [`BenchJson`] renderer behind every
+//! committed BENCH_*.json artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod json;
+
+pub use json::{json_row, BenchJson};
 
 /// MAC operations of one full inference: the two convolutions, the
 /// ClassCaps FC, and the routing Sum/Update sweeps (`Σ c·û` per

@@ -51,6 +51,8 @@ use capsacc_capsnet::{CapsNetConfig, QuantOutput, QuantTrace, QuantizedParams};
 use capsacc_memory::MemReport;
 use capsacc_tensor::{qops::MacStats, Tensor};
 
+use capsacc_telemetry::{CycleKind, SpanDetail};
+
 use crate::activation::ActivationKind;
 use crate::config::AcceleratorConfig;
 use crate::engine::{to_chw, Accelerator, LayerRun};
@@ -189,6 +191,12 @@ impl BatchScheduler {
         &self.acc
     }
 
+    /// Mutable access to the accelerator — e.g. to
+    /// [`Accelerator::enable_telemetry`] on a long-lived scheduler.
+    pub fn accelerator_mut(&mut self) -> &mut Accelerator {
+        &mut self.acc
+    }
+
     /// Batches served since construction — the uptime view a serving
     /// replica reports. Failed (rejected) batches do not count.
     pub fn batches_run(&self) -> u64 {
@@ -278,6 +286,10 @@ impl Accelerator {
         }
         let batch = images.len();
         let ncfg = self.cfg.numeric;
+        // Validation is done: from here on the batch runs to completion,
+        // so the inference root span always closes.
+        self.rec
+            .begin_arg(SpanDetail::Layers, "inference", "batch", batch as u64);
         // Snapshot the accelerator counters so the returned report
         // covers this batch alone even on a reused scheduler.
         let traffic_at_start = self.traffic;
@@ -295,10 +307,19 @@ impl Accelerator {
         let input_bytes = (batch * g1.input_len()) as u64;
         self.traffic.read(MemoryKind::Dram, input_bytes);
         self.traffic.read(MemoryKind::DataMemory, input_bytes);
+        self.rec.begin(SpanDetail::Layers, "Conv1");
         let c0 = self.array.cycles();
         let a0 = self.activation_cycles;
         let m0 = self.memory_stall_cycles;
-        self.memory_stall_cycles += self.memory.stage_input(input_bytes);
+        let stage_stall = if self.rec.is_enabled() {
+            self.memory.stage_input_recorded(input_bytes, &mut self.rec)
+        } else {
+            self.memory.stage_input(input_bytes)
+        };
+        self.memory_stall_cycles += stage_stall;
+        self.rec.begin(SpanDetail::Phases, "stage-input");
+        self.rec.advance(CycleKind::MemStall, stage_stall);
+        self.rec.end(SpanDetail::Phases);
         // Biases ride along with the layer's off-chip weight stream.
         self.traffic.read(MemoryKind::Dram, g1.out_ch as u64);
         self.memory.stage_bias(g1.out_ch as u64);
@@ -336,8 +357,10 @@ impl Accelerator {
             activation_cycles: self.activation_cycles - a0,
             memory_stall_cycles: self.memory_stall_cycles - m0,
         });
+        self.rec.end(SpanDetail::Layers);
         // ------------------------------------------- PrimaryCaps + squash
         let gp = net.primary_caps_geometry();
+        self.rec.begin(SpanDetail::Layers, "PrimaryCaps");
         let c0 = self.array.cycles();
         let a0 = self.activation_cycles;
         let m0 = self.memory_stall_cycles;
@@ -376,7 +399,9 @@ impl Accelerator {
             activation_cycles: self.activation_cycles - a0,
             memory_stall_cycles: self.memory_stall_cycles - m0,
         });
+        self.rec.end(SpanDetail::Layers);
         // ------------------------------------------------ ClassCaps: Load
+        self.rec.begin(SpanDetail::Layers, "ClassCaps");
         let (in_caps, classes, out_dim, in_dim) = (
             net.num_primary_caps(),
             net.num_classes,
@@ -390,16 +415,24 @@ impl Accelerator {
             .read(MemoryKind::DataMemory, batch as u64 * u_hat_bytes);
         self.traffic
             .write(MemoryKind::DataBuffer, batch as u64 * u_hat_bytes);
-        steps.push((
-            RoutingStep::Load,
-            batch as u64 * u_hat_bytes.div_ceil(self.cfg.data_mem_bw),
-        ));
+        // The û upload exists only in the step table (no engine counter
+        // moves): an `Io` charge, like routing's first-softmax init.
+        let load_cycles = batch as u64 * u_hat_bytes.div_ceil(self.cfg.data_mem_bw);
+        self.rec.begin(SpanDetail::Phases, "load-uhat");
+        self.rec.advance(CycleKind::Io, load_cycles);
+        self.rec.end(SpanDetail::Phases);
+        steps.push((RoutingStep::Load, load_cycles));
 
         // -------------------------------------------------- ClassCaps: FC
         // Per input capsule, its `W_ij` block is the resident operand and
         // all images' capsule vectors stream against it — the batch
         // generalization of the paper's weight reuse, and the biggest
         // ClassCaps win (the FC weights are read once per *batch*).
+        // Like routing's Sum/Update steps, FC counts array cycles only
+        // (+ memory stalls via the layer delta): mask the matmuls'
+        // activation-drain charges so the span equals the step.
+        self.rec.begin(SpanDetail::Phases, "fc");
+        self.rec.suppress(CycleKind::Activation);
         let c0 = self.array.cycles();
         let wc = &qparams.w_class;
         let caps_ref = &capsules;
@@ -433,6 +466,8 @@ impl Accelerator {
         for s in stats.iter_mut() {
             s.macs += (in_caps * classes * out_dim * in_dim) as u64;
         }
+        self.rec.unsuppress(CycleKind::Activation);
+        self.rec.end(SpanDetail::Phases);
         steps.push((RoutingStep::Fc, self.array.cycles() - c0));
         // ------------------------------------------- Routing-by-agreement
         // The routing "weights" are the per-image predictions û — there
@@ -442,7 +477,10 @@ impl Accelerator {
         for (img, u_hat) in u_hats.into_iter().enumerate() {
             let sat_before = self.accumulator_saturations;
             let mut image_steps = Vec::new();
+            self.rec
+                .begin_arg(SpanDetail::Phases, "routing", "img", img as u64);
             let routing = self.route_class_caps(net, &u_hat, &mut image_steps);
+            self.rec.end(SpanDetail::Phases);
             stats[img].saturations += self.accumulator_saturations - sat_before;
             stats[img].macs += routing.macs;
             if img == 0 {
@@ -477,6 +515,8 @@ impl Accelerator {
             activation_cycles: 0,
             memory_stall_cycles: self.memory_stall_cycles - m0,
         });
+        self.rec.end(SpanDetail::Layers); // ClassCaps
+        self.rec.end(SpanDetail::Layers); // inference
 
         Ok(BatchRun {
             traces,

@@ -31,6 +31,7 @@ use capsacc_capsnet::{
     RoutingIterationTrace, RoutingVariant,
 };
 use capsacc_memory::{MatmulGeometry, MemReport, MemorySubsystem, TileSchedule};
+use capsacc_telemetry::{CycleKind, Recorder, SpanDetail, TelemetryConfig};
 use capsacc_tensor::Tensor;
 
 use crate::accumulator::AccumulatorUnit;
@@ -113,6 +114,10 @@ pub struct Accelerator {
     pub(crate) activation_cycles: u64,
     pub(crate) memory_stall_cycles: u64,
     pub(crate) accumulator_saturations: u64,
+    // Telemetry recorder — disabled by default, and when disabled every
+    // instrumentation call below is an inert early-return (the
+    // byte-invisibility invariant pinned by telemetry_equivalence.rs).
+    pub(crate) rec: Recorder,
 }
 
 /// Reshapes a `[patches, out_ch]` matmul result into the `[out_ch, oh,
@@ -150,8 +155,32 @@ impl Accelerator {
             activation_cycles: 0,
             memory_stall_cycles: 0,
             accumulator_saturations: 0,
+            rec: Recorder::disabled(),
             cfg,
         }
+    }
+
+    /// Turns telemetry recording on, replacing any existing recorder
+    /// state. Recording observes the simulation only: outputs, cycle
+    /// counts, traffic and memory reports are bit-identical with
+    /// recording on, off, or at any [`SpanDetail`].
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.rec = Recorder::new(cfg);
+    }
+
+    /// The telemetry recorder (a disabled recorder by default).
+    pub fn telemetry(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// Mutable access to the telemetry recorder.
+    pub fn telemetry_mut(&mut self) -> &mut Recorder {
+        &mut self.rec
+    }
+
+    /// Takes the recorder out for export, leaving recording disabled.
+    pub fn take_telemetry(&mut self) -> Recorder {
+        std::mem::take(&mut self.rec)
     }
 
     /// The configuration.
@@ -301,11 +330,12 @@ impl Accelerator {
             "a {rows}x{cols} weight tile exceeds the {} B Weight Buffer",
             self.cfg.weight_buffer_bytes
         );
+        self.rec.begin(SpanDetail::Phases, "matmul");
         // The whole matmul's tile schedule through the memory hierarchy
         // — the same deterministic replay the closed-form model uses
         // (`timing::matmul_mem_stalls`), so engine and model agree
         // exactly by construction.
-        self.memory_stall_cycles += self.memory.matmul(&MatmulGeometry {
+        let geometry = MatmulGeometry {
             m,
             k,
             n,
@@ -316,7 +346,19 @@ impl Accelerator {
             // The ticked engine executes tiles serially; its windows
             // are the serial schedule regardless of the dataflow flag.
             schedule: TileSchedule::Serial,
-        });
+        };
+        // The recorded variant is the same replay plus stall-window
+        // metrics; stalls are charged as one lump at matmul start
+        // (exactly where the engine accounts them).
+        let stall = if self.rec.is_enabled() {
+            self.memory.matmul_recorded(&geometry, &mut self.rec)
+        } else {
+            self.memory.matmul(&geometry)
+        };
+        self.memory_stall_cycles += stall;
+        self.rec.begin(SpanDetail::Tiles, "mem-stall");
+        self.rec.advance(CycleKind::MemStall, stall);
+        self.rec.end(SpanDetail::Tiles);
         if weights_offchip {
             // Each weight crosses the off-chip channel once per batch.
             self.traffic.read(MemoryKind::Dram, (k * n) as u64);
@@ -338,9 +380,11 @@ impl Accelerator {
                 &mut outs,
                 &mut saturations,
             );
+            self.rec.end(SpanDetail::Phases);
             return (outs, saturations);
         }
 
+        let mut tile_seq = 0u64;
         for n0 in (0..n).step_by(cols) {
             let nt = cols.min(n - n0);
             // One accumulator set per image: keeps K-tile folding — and
@@ -358,7 +402,14 @@ impl Accelerator {
                     .map(|kr| (0..nt).map(|nc| weight(k0 + kr, n0 + nc)).collect())
                     .collect();
                 let tile_refs: Vec<&[i8]> = tile.iter().map(|r| r.as_slice()).collect();
+                self.rec
+                    .begin_arg(SpanDetail::Tiles, "tile", "seq", tile_seq);
+                tile_seq += 1;
+                self.rec.begin(SpanDetail::Tiles, "load");
+                let c0 = self.array.cycles();
                 self.array.load_weights(&tile_refs);
+                self.rec.advance(CycleKind::Array, self.array.cycles() - c0);
+                self.rec.end(SpanDetail::Tiles);
                 self.traffic
                     .read(MemoryKind::WeightBuffer, (kt * nt) as u64);
 
@@ -372,7 +423,12 @@ impl Accelerator {
                     .collect();
                 self.traffic
                     .read(MemoryKind::DataBuffer, (batch * m * kt) as u64);
+                self.rec.begin(SpanDetail::Tiles, "stream");
+                let c0 = self.array.cycles();
                 let psums = self.array.stream(&rows_data);
+                self.rec.advance(CycleKind::Array, self.array.cycles() - c0);
+                self.rec.end(SpanDetail::Tiles);
+                self.rec.end(SpanDetail::Tiles); // tile
 
                 for (ri, prow) in psums.iter().enumerate() {
                     for (c, acc) in accs[ri / m.max(1)].iter_mut().enumerate() {
@@ -387,6 +443,8 @@ impl Accelerator {
 
             // Drain through the activation units, image by image.
             for (img, image_accs) in accs.iter_mut().enumerate() {
+                self.rec
+                    .begin_arg(SpanDetail::Tiles, "drain", "img", img as u64);
                 for (c, acc) in image_accs.iter_mut().enumerate() {
                     let events = acc.saturation_events();
                     saturations[img] += events;
@@ -396,9 +454,13 @@ impl Accelerator {
                         outs[img][[mi, n0 + c]] = self.activation.reduce(raw + b, shift, kind);
                     }
                 }
-                self.activation_cycles += ActivationUnit::reduce_cycles(m as u64);
+                let drain_cycles = ActivationUnit::reduce_cycles(m as u64);
+                self.activation_cycles += drain_cycles;
+                self.rec.advance(CycleKind::Activation, drain_cycles);
+                self.rec.end(SpanDetail::Tiles);
             }
         }
+        self.rec.end(SpanDetail::Phases);
         (outs, saturations)
     }
 
@@ -469,6 +531,12 @@ impl Accelerator {
         let total_rows = batch * m;
         let opts = self.cfg.functional;
         let simd_ok = kernel::simd_enabled(opts);
+        // Host wall-clock annotation: read host clocks only when
+        // explicitly requested, and only into span args — never into
+        // any simulated quantity.
+        let host = self.rec.host_timing();
+        let (mut stage_ns, mut sweep_ns) = (0u64, 0u64);
+        let mut tile_seq = 0u64;
 
         // Stage the whole data panel once, row-major: tile slices below
         // are plain subslices, and the operand closure runs once per
@@ -523,6 +591,7 @@ impl Accelerator {
             // `kr` innermost reads each channel's taps contiguously
             // instead of striding the whole weight tensor per element
             // (the tile itself is ≤ R·C bytes — write order is free).
+            let t0 = host.then(std::time::Instant::now);
             let mut tiles: Vec<kernel::KTile> = Vec::with_capacity(k.div_ceil(rows.max(1)));
             for k0 in (0..k).step_by(rows) {
                 let kt = rows.min(k - k0);
@@ -530,8 +599,23 @@ impl Accelerator {
                     .read(MemoryKind::WeightBuffer, (kt * nt) as u64);
                 self.traffic
                     .read(MemoryKind::DataBuffer, (total_rows * kt) as u64);
-                let edges = self.array.load_edges() + self.array.stream_edges(total_rows);
-                self.array.advance_cycles(edges);
+                let load_edges = self.array.load_edges();
+                let stream_edges = self.array.stream_edges(total_rows);
+                self.array.advance_cycles(load_edges + stream_edges);
+                // The same tile → {load, stream} span sequence the
+                // ticked schedule records, from the same edge counts —
+                // backends produce identical span trees by
+                // construction.
+                self.rec
+                    .begin_arg(SpanDetail::Tiles, "tile", "seq", tile_seq);
+                tile_seq += 1;
+                self.rec.begin(SpanDetail::Tiles, "load");
+                self.rec.advance(CycleKind::Array, load_edges);
+                self.rec.end(SpanDetail::Tiles);
+                self.rec.begin(SpanDetail::Tiles, "stream");
+                self.rec.advance(CycleKind::Array, stream_edges);
+                self.rec.end(SpanDetail::Tiles);
+                self.rec.end(SpanDetail::Tiles); // tile
                 let mut w = vec![0i8; kt * nt];
                 for nc in 0..nt {
                     for kr in 0..kt {
@@ -548,6 +632,10 @@ impl Accelerator {
                     simd_ok,
                 ));
             }
+            if let Some(t) = t0 {
+                stage_ns += t.elapsed().as_nanos() as u64;
+            }
+            let t0 = host.then(std::time::Instant::now);
 
             // The row sweep: serial, or partitioned into contiguous
             // row chunks across scoped OS threads (the `pool.rs`
@@ -597,6 +685,9 @@ impl Accelerator {
                     }
                 });
             }
+            if let Some(t) = t0 {
+                sweep_ns += t.elapsed().as_nanos() as u64;
+            }
 
             // Drain through the activation units, image by image —
             // the same sequence (and activation-cycle charge) as the
@@ -606,6 +697,8 @@ impl Accelerator {
             // the per-image drain charge is still paid.
             let drained_rows = if k == 0 { 0 } else { m };
             for img in 0..batch {
+                self.rec
+                    .begin_arg(SpanDetail::Tiles, "drain", "img", img as u64);
                 let events: u64 = row_events[img * m..img * m + m].iter().sum();
                 saturations[img] += events;
                 self.accumulator_saturations += events;
@@ -616,8 +709,17 @@ impl Accelerator {
                         outs[img][[mi, n0 + c]] = self.activation.reduce(raw + b, shift, kind);
                     }
                 }
-                self.activation_cycles += ActivationUnit::reduce_cycles(m as u64);
+                let drain_cycles = ActivationUnit::reduce_cycles(m as u64);
+                self.activation_cycles += drain_cycles;
+                self.rec.advance(CycleKind::Activation, drain_cycles);
+                self.rec.end(SpanDetail::Tiles);
             }
+        }
+        // At `Layers` detail no matmul span is open, so the host
+        // annotations would pile up on the layer span — skip them.
+        if host && self.rec.detail() >= SpanDetail::Phases {
+            self.rec.annotate("host_stage_ns", stage_ns);
+            self.rec.annotate("host_sweep_ns", sweep_ns);
         }
     }
 
@@ -628,6 +730,7 @@ impl Accelerator {
         net: &CapsNetConfig,
         pc_out: &Tensor<i8>,
     ) -> Tensor<i8> {
+        self.rec.begin(SpanDetail::Phases, "squash");
         let raw_caps = primary_capsules(pc_out, net.pc_channels, net.pc_caps_dim);
         let dim = net.pc_caps_dim;
         let mut capsules: Tensor<i8> = Tensor::zeros(raw_caps.shape());
@@ -641,8 +744,10 @@ impl Accelerator {
         }
         let caps_count = net.num_primary_caps() as u64;
         let au = self.cfg.activation_units as u64;
-        self.activation_cycles +=
-            caps_count.div_ceil(au) * ActivationUnit::squash_cycles(dim as u64);
+        let cycles = caps_count.div_ceil(au) * ActivationUnit::squash_cycles(dim as u64);
+        self.activation_cycles += cycles;
+        self.rec.advance(CycleKind::Activation, cycles);
+        self.rec.end(SpanDetail::Phases);
         capsules
     }
 
@@ -687,10 +792,15 @@ impl Accelerator {
                     .fill(self.activation.pipeline().uniform_coupling(classes));
                 self.traffic
                     .write(MemoryKind::RoutingBuffer, coupling_bytes);
-                steps.push((
-                    RoutingStep::Softmax(r + 1),
-                    coupling_bytes.div_ceil(self.cfg.routing_buf_bw),
-                ));
+                // These initialization-transfer cycles exist only in
+                // the step table (no engine counter moves), so the
+                // recorder charges them as `Io`.
+                let cycles = coupling_bytes.div_ceil(self.cfg.routing_buf_bw);
+                self.rec
+                    .begin_arg(SpanDetail::Phases, "softmax", "i", (r + 1) as u64);
+                self.rec.advance(CycleKind::Io, cycles);
+                self.rec.end(SpanDetail::Phases);
+                steps.push((RoutingStep::Softmax(r + 1), cycles));
             } else {
                 for i in 0..in_caps {
                     let row = &logits.data()[i * classes..(i + 1) * classes];
@@ -703,11 +813,23 @@ impl Accelerator {
                 let cycles = (in_caps as u64).div_ceil(self.cfg.activation_units as u64)
                     * ActivationUnit::softmax_cycles(classes as u64);
                 self.activation_cycles += cycles;
+                self.rec
+                    .begin_arg(SpanDetail::Phases, "softmax", "i", (r + 1) as u64);
+                self.rec.advance(CycleKind::Activation, cycles);
+                self.rec.end(SpanDetail::Phases);
                 steps.push((RoutingStep::Softmax(r + 1), cycles));
             }
 
             // Weighted sums s_j (Fig. 12b on the first iteration, 12d —
-            // feedback reuse — afterwards).
+            // feedback reuse — afterwards). The step's cycle count is
+            // the array delta only: the matmuls' activation-drain
+            // charges are excluded from ClassCaps accounting, so the
+            // recorder masks them to keep the span summing to the step
+            // (their memory stalls *do* land in the layer's stall
+            // delta, so `MemStall` stays live).
+            self.rec
+                .begin_arg(SpanDetail::Phases, "sum", "i", (r + 1) as u64);
+            self.rec.suppress(CycleKind::Activation);
             let c0 = self.array.cycles();
             if r == 0 || !self.cfg.dataflow.routing_feedback {
                 // û read from the Data Buffer (or re-read from memory
@@ -735,9 +857,13 @@ impl Accelerator {
                 s_t.data_mut()[j * out_dim..(j + 1) * out_dim].copy_from_slice(s_row.data());
             }
             macs += (classes * out_dim * in_caps) as u64;
+            self.rec.unsuppress(CycleKind::Activation);
+            self.rec.end(SpanDetail::Phases);
             steps.push((RoutingStep::Sum(r + 1), self.array.cycles() - c0));
 
             // Squash through the activation units.
+            self.rec
+                .begin_arg(SpanDetail::Phases, "squash", "i", (r + 1) as u64);
             for (j, s_norm) in s_norms.iter_mut().enumerate() {
                 let (v, norm) = self
                     .activation
@@ -748,12 +874,18 @@ impl Accelerator {
             let squash_cycles = (classes as u64).div_ceil(self.cfg.activation_units as u64)
                 * ActivationUnit::squash_cycles(out_dim as u64);
             self.activation_cycles += squash_cycles;
+            self.rec.advance(CycleKind::Activation, squash_cycles);
+            self.rec.end(SpanDetail::Phases);
             self.traffic
                 .write(MemoryKind::RoutingBuffer, (classes * out_dim) as u64);
             steps.push((RoutingStep::Squash(r + 1), squash_cycles));
 
             // Logit update (Fig. 12c: û reused via the feedback path).
             let logits_after_update = if r + 1 < net.routing_iterations {
+                // Array-delta step like Sum: same activation mask.
+                self.rec
+                    .begin_arg(SpanDetail::Phases, "update", "i", (r + 1) as u64);
+                self.rec.suppress(CycleKind::Activation);
                 let c0 = self.array.cycles();
                 if !self.cfg.dataflow.routing_feedback {
                     self.traffic.read(MemoryKind::DataMemory, u_hat_bytes);
@@ -781,6 +913,8 @@ impl Accelerator {
                 self.traffic.read(MemoryKind::RoutingBuffer, coupling_bytes);
                 self.traffic
                     .write(MemoryKind::RoutingBuffer, coupling_bytes);
+                self.rec.unsuppress(CycleKind::Activation);
+                self.rec.end(SpanDetail::Phases);
                 steps.push((RoutingStep::Update(r + 1), self.array.cycles() - c0));
                 tracing.then(|| logits.clone())
             } else {
@@ -805,6 +939,9 @@ impl Accelerator {
                     .norm(&class_caps.data()[j * out_dim..(j + 1) * out_dim])
             })
             .collect();
+        // This norm charge appears in neither the step table nor any
+        // LayerRun total (ClassCaps reports activation_cycles: 0), so
+        // the recorder deliberately does not advance for it.
         self.activation_cycles += (classes as u64).div_ceil(self.cfg.activation_units as u64)
             * ActivationUnit::norm_cycles(out_dim as u64);
         let predicted = final_norms
@@ -1204,6 +1341,67 @@ mod tests {
         assert_eq!(light.steps, full.steps);
         assert_eq!(light.traffic, full.traffic);
         assert_eq!(light.memory, full.memory);
+    }
+
+    #[test]
+    fn telemetry_span_tree_sums_to_run_total_at_every_detail() {
+        // The whole point of the explicit recorder clock: at every
+        // detail level, on both backends, with ideal or modeled
+        // memory, the root "inference" span's length equals the sum of
+        // the LayerRun totals — and children exactly partition every
+        // parent that has children.
+        use capsacc_telemetry::{validate_span_tree, SpanDetail, TelemetryConfig, TRACK_ENGINE};
+        let net = CapsNetConfig::tiny();
+        let image = Tensor::from_fn(&[1, 12, 12], |i| ((i[1] * 3 + i[2]) % 9) as f32 / 9.0);
+        for backend in [
+            crate::EngineBackend::Ticked,
+            crate::EngineBackend::Functional,
+        ] {
+            for modeled_mem in [false, true] {
+                for detail in [SpanDetail::Layers, SpanDetail::Phases, SpanDetail::Tiles] {
+                    let mut cfg = AcceleratorConfig::test_4x4();
+                    cfg.backend = backend;
+                    if modeled_mem {
+                        cfg.memory = capsacc_memory::MemoryConfig::paper();
+                    }
+                    let qparams = CapsNetParams::generate(&net, 11).quantize(cfg.numeric);
+                    let mut acc = Accelerator::new(cfg);
+                    acc.enable_telemetry(TelemetryConfig {
+                        detail,
+                        host_timing: false,
+                    });
+                    let run = acc.run_inference(&net, &qparams, &image);
+                    let rec = acc.take_telemetry();
+                    let total = validate_span_tree(&rec, TRACK_ENGINE)
+                        .unwrap_or_else(|e| panic!("{backend:?}/{detail:?}: {e}"));
+                    let want: u64 = run.layers.iter().map(LayerRun::cycles).sum();
+                    assert_eq!(total, want, "{backend:?}/mem={modeled_mem}/{detail:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_span_trees_are_identical_across_backends() {
+        use capsacc_telemetry::{SpanDetail, TelemetryConfig};
+        let net = CapsNetConfig::tiny();
+        let image = Tensor::from_fn(&[1, 12, 12], |i| ((i[1] + 2 * i[2]) % 7) as f32 / 7.0);
+        let spans_for = |backend| {
+            let mut cfg = AcceleratorConfig::test_4x4();
+            cfg.backend = backend;
+            let qparams = CapsNetParams::generate(&net, 7).quantize(cfg.numeric);
+            let mut acc = Accelerator::new(cfg);
+            acc.enable_telemetry(TelemetryConfig {
+                detail: SpanDetail::Tiles,
+                host_timing: false,
+            });
+            acc.run_inference(&net, &qparams, &image);
+            acc.take_telemetry().spans().to_vec()
+        };
+        let ticked = spans_for(crate::EngineBackend::Ticked);
+        let functional = spans_for(crate::EngineBackend::Functional);
+        assert!(!ticked.is_empty());
+        assert_eq!(ticked, functional);
     }
 
     #[test]

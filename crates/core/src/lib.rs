@@ -76,6 +76,9 @@ pub use capsacc_memory::{
     DramConfig, MatmulGeometry, MemReport, MemoryConfig, MemoryMode, MemorySubsystem, SpmActivity,
     SpmConfig, SpmKind, TileSchedule,
 };
+pub use capsacc_telemetry::{
+    validate_span_tree, CycleKind, Recorder, SpanDetail, TelemetryConfig, TRACK_ENGINE,
+};
 pub use config::{
     AcceleratorConfig, DataflowOptions, EngineBackend, FunctionalOptions, KernelSelect, SimdMode,
     TraceLevel,

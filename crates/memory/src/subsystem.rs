@@ -4,6 +4,7 @@ use crate::dram::DramConfig;
 use crate::prefetch::PrefetchPipeline;
 use crate::report::{MemReport, SpmKind};
 use crate::spm::SpmConfig;
+use capsacc_telemetry::Recorder;
 
 /// Bytes one 25-bit accumulator entry occupies in the Accumulator SPM
 /// (padded to a 32-bit word).
@@ -395,6 +396,35 @@ impl MemorySubsystem {
         w.write_bytes += bytes;
         w.read_bytes += bytes;
         w.busy_cycles += busy;
+    }
+
+    /// [`MemorySubsystem::matmul`] with the per-call stall window
+    /// decomposition recorded into a telemetry [`Recorder`]: counters
+    /// for total/bank/prefetch stalls and hidden fill cycles, plus a
+    /// per-matmul stall histogram. The simulated result is identical
+    /// to the unrecorded call — the recorder only observes.
+    pub fn matmul_recorded(&mut self, g: &MatmulGeometry, rec: &mut Recorder) -> u64 {
+        let before = self.report;
+        let stall = self.matmul(g);
+        let d = self.report.since(&before);
+        rec.counter_add("mem.matmul_calls", 1);
+        rec.counter_add("mem.stall_cycles", d.stall_cycles);
+        rec.counter_add("mem.bank_stall_cycles", d.bank_stall_cycles);
+        rec.counter_add("mem.prefetch_stall_cycles", d.prefetch_stall_cycles);
+        rec.counter_add("mem.hidden_fill_cycles", d.hidden_fill_cycles);
+        rec.hist_record("mem.matmul_stall_cycles", d.stall_cycles);
+        rec.hist_record("mem.matmul_hidden_fill_cycles", d.hidden_fill_cycles);
+        stall
+    }
+
+    /// [`MemorySubsystem::stage_input`] with the exposed staging
+    /// window recorded into a telemetry [`Recorder`]; simulated result
+    /// identical to the unrecorded call.
+    pub fn stage_input_recorded(&mut self, bytes: u64, rec: &mut Recorder) -> u64 {
+        let cycles = self.stage_input(bytes);
+        rec.counter_add("mem.stage_input_calls", 1);
+        rec.counter_add("mem.stage_input_stall_cycles", cycles);
+        cycles
     }
 
     /// Merges a previously measured [`MemReport`] delta into this

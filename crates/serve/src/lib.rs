@@ -64,15 +64,17 @@ mod batcher;
 mod pool;
 mod runtime;
 mod sim;
+pub mod telemetry;
 mod trace;
 
 pub use batcher::{form_batches, BatcherConfig, ConfigError, MicroBatch};
 pub use pool::{PoolError, ShardPool};
 pub use runtime::{
-    run_runtime, AutoscalerConfig, ClassStats, CloseCause, LoggedEvent, Rejection, RejectionRecord,
-    RuntimeConfig, RuntimeOutcome, ScalingEvent,
+    run_runtime, run_runtime_with_sink, AutoscalerConfig, ClassStats, CloseCause, EventSink,
+    LoggedEvent, NullSink, Rejection, RejectionRecord, RuntimeConfig, RuntimeOutcome, ScalingEvent,
 };
 pub use sim::{dispatch_batches, percentile, BatchStat, RequestStat, SimOutcome};
+pub use telemetry::RuntimeTelemetry;
 pub use trace::{
     arrival_trace, workload_trace, ArrivalRegime, ClassConfig, Request, TraceConfig,
     WorkloadConfig, VIRTUAL_TIME_HORIZON,

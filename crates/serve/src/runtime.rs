@@ -500,6 +500,29 @@ fn digest_event(h: &mut u64, e: &LoggedEvent) {
     }
 }
 
+/// Streaming consumer of the runtime's event stream.
+///
+/// The runtime hands every [`LoggedEvent`] to its sink *in the total
+/// event order*, immediately after folding it into the FNV digest —
+/// whether or not [`RuntimeConfig::record_events`] retains the log.
+/// Observers (e.g. the telemetry recorder in [`crate::telemetry`]) can
+/// thus build timelines and windowed metrics over million-request runs
+/// without the runtime materializing a `Vec<LoggedEvent>`. A sink
+/// never feeds back into the runtime, so it cannot perturb the
+/// outcome or the digest.
+pub trait EventSink {
+    /// Observes one event. Called in the runtime's total event order.
+    fn event(&mut self, e: &LoggedEvent);
+}
+
+/// The do-nothing sink behind [`run_runtime`].
+#[derive(Copy, Clone, Default, Debug)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn event(&mut self, _e: &LoggedEvent) {}
+}
+
 struct Runtime<'a> {
     cfg: &'a RuntimeConfig,
     requests: &'a [Request],
@@ -520,12 +543,14 @@ struct Runtime<'a> {
     scaling: Vec<ScalingEvent>,
     class_stats: Vec<ClassStats>,
     digest: u64,
+    sink: &'a mut dyn EventSink,
     events: Vec<LoggedEvent>,
 }
 
 impl<'a> Runtime<'a> {
     fn log(&mut self, e: LoggedEvent) {
         digest_event(&mut self.digest, &e);
+        self.sink.event(&e);
         if self.cfg.record_events {
             self.events.push(e);
         }
@@ -900,6 +925,27 @@ pub fn run_runtime(
     service: &dyn Fn(usize) -> u64,
     warmup_cycles: u64,
 ) -> RuntimeOutcome {
+    run_runtime_with_sink(cfg, requests, service, warmup_cycles, &mut NullSink)
+}
+
+/// [`run_runtime`] with a streaming [`EventSink`] observing every
+/// logged event as it happens.
+///
+/// The sink is purely an observer: for any sink, the returned
+/// [`RuntimeOutcome`] — including [`RuntimeOutcome::event_digest`] —
+/// is byte-identical to a [`run_runtime`] call with the same inputs
+/// (pinned by `tests/telemetry_equivalence.rs`).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_runtime`].
+pub fn run_runtime_with_sink(
+    cfg: &RuntimeConfig,
+    requests: &[Request],
+    service: &dyn Fn(usize) -> u64,
+    warmup_cycles: u64,
+    sink: &mut dyn EventSink,
+) -> RuntimeOutcome {
     cfg.validate().expect("invalid runtime configuration");
     assert!(
         requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
@@ -944,6 +990,7 @@ pub fn run_runtime(
         scaling: Vec::new(),
         class_stats: vec![ClassStats::default(); classes],
         digest: FNV_OFFSET,
+        sink,
         events: Vec::new(),
     };
     if let Some(a) = &cfg.autoscaler {

@@ -181,18 +181,16 @@ impl SimOutcome {
 /// input: an empty slice reports `0` (the convention every
 /// [`SimOutcome`] aggregate uses for degenerate serves — an all-shed
 /// window has no latencies, and its percentile row must still be
-/// defined).
+/// defined). This *is* [`capsacc_telemetry::percentile`] — the serving
+/// aggregates and the telemetry histogram summaries share one
+/// nearest-rank convention, so a latency percentile reported here and
+/// one exported by the metrics pipeline can never disagree.
 ///
 /// # Panics
 ///
 /// Panics if `pct` is outside `(0, 100]`.
 pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
-    assert!(pct > 0.0 && pct <= 100.0, "percentile out of range");
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    capsacc_telemetry::percentile(sorted, pct)
 }
 
 /// Dispatches closed micro-batches onto `workers` workers.

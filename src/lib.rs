@@ -13,6 +13,9 @@
 //!   micro-batching, multi-worker shard pool, and the online overload
 //!   runtime (admission control, SLO-aware batching, priority classes,
 //!   autoscaling)
+//! - [`telemetry`] — deterministic virtual-time span tracing, metrics
+//!   and Chrome-trace/JSON/CSV exporters (off by default and
+//!   byte-invisible when off)
 //! - [`gpu`] — analytical GPU baseline timing model
 //! - [`power`] — analytical 32nm area/power model
 //!
@@ -31,4 +34,5 @@ pub use capsacc_memory as memory;
 pub use capsacc_mnist as mnist;
 pub use capsacc_power as power;
 pub use capsacc_serve as serve;
+pub use capsacc_telemetry as telemetry;
 pub use capsacc_tensor as tensor;
