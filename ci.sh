@@ -12,6 +12,11 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
+# Static-analysis gate: the workspace's own linter (determinism,
+# cast-audit, safety-comment, unsafe-containment, doc-drift) must find
+# zero unwaived violations and refreshes LINT_report.json, which is
+# diffed below like the BENCH artifacts.
+run cargo run --release -q -p capsacc-lint -- --deny --json LINT_report.json
 run cargo build --release
 run cargo test --workspace -q
 # Benches are excluded from `cargo test`; make sure they still compile.
@@ -59,7 +64,7 @@ run cargo run --release -q -p capsacc-bench --bin exp_profile
 # The deterministic BENCH files must regenerate byte-identically (and
 # exp_profile must not have touched them). BENCH_engine.json is
 # excluded: its host-time fields vary run to run by design.
-run git diff --exit-code -- BENCH_batch.json BENCH_mem.json BENCH_serve.json
+run git diff --exit-code -- BENCH_batch.json BENCH_mem.json BENCH_serve.json LINT_report.json
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 
 echo

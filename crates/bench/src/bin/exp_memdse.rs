@@ -23,7 +23,7 @@ use capsacc_bench::{json_row, print_table, BenchJson};
 use capsacc_capsnet::{CapsNetConfig, CapsNetParams};
 use capsacc_core::{timing, AcceleratorConfig, BatchScheduler, MemoryConfig, SpmConfig};
 use capsacc_power::EnergyModel;
-use capsacc_tensor::Tensor;
+use capsacc_tensor::{u64_from, Tensor};
 
 const BATCH: u64 = 16;
 
@@ -115,7 +115,7 @@ fn assert_ideal_equivalence() {
         run_ideal.traces, run_finite.traces,
         "the memory model must never change functional results"
     );
-    let model = timing::full_inference_batch_mem(&finite_cfg, &net, images.len() as u64);
+    let model = timing::full_inference_batch_mem(&finite_cfg, &net, u64_from(images.len()));
     assert_eq!(
         run_finite.memory, model.report,
         "engine and closed-form memory replay diverged"

@@ -51,7 +51,7 @@ use capsacc_serve::{
     AutoscalerConfig, BatcherConfig, ClassConfig, RuntimeConfig, RuntimeTelemetry, WorkloadConfig,
 };
 use capsacc_telemetry::{chrome_trace_json, metrics_csv, metrics_json, validate_json, Recorder};
-use capsacc_tensor::Tensor;
+use capsacc_tensor::{u64_from, Tensor};
 
 /// Writes an artifact, validating JSON payloads first.
 fn write_artifact(path: &str, contents: &str, json: bool) {
@@ -251,7 +251,7 @@ fn profile_serve() -> (Recorder, usize) {
         })
         .collect();
     seen.sort_unstable();
-    let want: Vec<u64> = observed.served.iter().map(|&r| r as u64).collect();
+    let want: Vec<u64> = observed.served.iter().map(|&r| u64_from(r)).collect();
     assert_eq!(
         seen, want,
         "serving timeline must cover every served request exactly once"

@@ -52,7 +52,7 @@ use capsacc_serve::{
     ClassConfig, Request, RuntimeConfig, RuntimeOutcome, ScalingEvent, ServeConfig, SimOutcome,
     TraceConfig, WorkloadConfig,
 };
-use capsacc_tensor::Tensor;
+use capsacc_tensor::{u64_from, Tensor};
 
 /// One measured point of the saturating sweep.
 struct Row {
@@ -490,7 +490,7 @@ fn main() {
     }
     for n in 2..etable.len() {
         assert!(
-            etable[n] < n as u64 * etable[1],
+            etable[n] < u64_from(n) * etable[1],
             "batched service must amortize: {} vs {n}x{}",
             etable[n],
             etable[1]

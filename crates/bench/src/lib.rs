@@ -16,6 +16,8 @@
 
 mod json;
 
+use capsacc_tensor::u64_from;
+
 pub use json::{json_row, BenchJson};
 
 /// MAC operations of one full inference: the two convolutions, the
@@ -32,10 +34,10 @@ pub use json::{json_row, BenchJson};
 /// assert!(macs > 100_000_000);
 /// ```
 pub fn inference_macs(net: &capsacc_capsnet::CapsNetConfig) -> u64 {
-    let routing = (net.num_primary_caps() * net.num_classes * net.class_caps_dim) as u64;
+    let routing = u64_from(net.num_primary_caps() * net.num_classes * net.class_caps_dim);
     net.conv1_geometry().macs()
         + net.primary_caps_geometry().macs()
-        + routing * (net.pc_caps_dim as u64 + 2 * net.routing_iterations as u64 - 1)
+        + routing * (u64_from(net.pc_caps_dim) + 2 * u64_from(net.routing_iterations) - 1)
 }
 
 /// Prints a fixed-width ASCII table with a title line.
@@ -127,6 +129,7 @@ pub fn log_bar(value_us: f64, max_us: f64, width: usize) -> String {
     // Map [1, max] logarithmically onto [1, width].
     let lv = value_us.max(1.0).log10();
     let lm = max_us.max(10.0).log10();
+    // lint:allow(cast-audit, bar width is rounded from a small positive f64; the cast back to a count is lossless)
     let n = ((lv / lm) * width as f64).round().max(1.0) as usize;
     "#".repeat(n.min(width))
 }

@@ -3,6 +3,7 @@
 //! the quantized reference model and the cycle-accurate simulator.
 
 use capsacc_fixed::{norm_code, ExpLut, NumericConfig, SquareLut, SquashLut};
+use capsacc_tensor::u64_from;
 
 /// All hardware LUTs plus the numeric configuration, bundled so the
 /// reference model and the simulator construct *identical* tables.
@@ -65,7 +66,10 @@ impl QuantPipeline {
     /// (Sec. IV-C); the cycle cost lives in the simulator, the arithmetic
     /// lives here.
     pub fn norm8(&self, v: &[i8]) -> u8 {
-        let sum: u64 = v.iter().map(|&x| self.square.lookup(x as i16) as u64).sum();
+        let sum: u64 = v
+            .iter()
+            .map(|&x| u64::from(self.square.lookup(i16::from(x))))
+            .sum();
         norm_code(sum, self.cfg.square_frac, self.cfg.norm_frac)
     }
 
@@ -104,7 +108,8 @@ impl QuantPipeline {
     pub fn uniform_coupling(&self, n: usize) -> i8 {
         assert!(n > 0, "cannot distribute coupling over zero classes");
         let one = 1u64 << self.cfg.coupling_frac;
-        ((one + n as u64 / 2) / n as u64).min(i8::MAX as u64) as i8
+        let n = u64_from(n);
+        ((one + n / 2) / n).min(u64::from(i8::MAX as u8)) as i8
     }
 }
 

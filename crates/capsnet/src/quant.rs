@@ -8,7 +8,7 @@
 //! validation (Fig. 15).
 
 use capsacc_fixed::{requantize, Acc25};
-use capsacc_tensor::{qops, qops::MacStats, Tensor};
+use capsacc_tensor::{qops, qops::MacStats, u64_from, Tensor};
 
 use crate::arch::CapsNetConfig;
 use crate::float::primary_capsules;
@@ -175,12 +175,12 @@ pub fn infer_q8_traced(
                 let mut acc = Acc25::new();
                 for d in 0..in_dim {
                     acc.add_product(
-                        qparams.w_class.data()[wbase + d] as i64
-                            * capsules.data()[cap * in_dim + d] as i64,
+                        i64::from(qparams.w_class.data()[wbase + d])
+                            * i64::from(capsules.data()[cap * in_dim + d]),
                     );
                 }
-                stats.macs += in_dim as u64;
-                stats.saturations += acc.saturation_events() as u64;
+                stats.macs += u64_from(in_dim);
+                stats.saturations += u64::from(acc.saturation_events());
                 u_hat.data_mut()[(cap * classes + class) * out_dim + e] =
                     requantize(acc.raw(), ncfg.mac_shift());
             }
@@ -217,12 +217,12 @@ pub fn infer_q8_traced(
                 let mut acc = Acc25::new();
                 for i in 0..in_caps {
                     acc.add_product(
-                        couplings.data()[i * classes + j] as i64
-                            * u_hat.data()[(i * classes + j) * out_dim + e] as i64,
+                        i64::from(couplings.data()[i * classes + j])
+                            * i64::from(u_hat.data()[(i * classes + j) * out_dim + e]),
                     );
                 }
-                stats.macs += in_caps as u64;
-                stats.saturations += acc.saturation_events() as u64;
+                stats.macs += u64_from(in_caps);
+                stats.saturations += u64::from(acc.saturation_events());
                 s_t.data_mut()[j * out_dim + e] = requantize(acc.raw(), ncfg.coupling_mac_shift());
             }
             let (v, norm) = pipeline.squash_vec(&s_t.data()[j * out_dim..(j + 1) * out_dim]);
@@ -239,12 +239,12 @@ pub fn infer_q8_traced(
                     let mut acc = Acc25::new();
                     for e in 0..out_dim {
                         acc.add_product(
-                            u_hat.data()[base + e] as i64
-                                * class_caps.data()[j * out_dim + e] as i64,
+                            i64::from(u_hat.data()[base + e])
+                                * i64::from(class_caps.data()[j * out_dim + e]),
                         );
                     }
-                    stats.macs += out_dim as u64;
-                    stats.saturations += acc.saturation_events() as u64;
+                    stats.macs += u64_from(out_dim);
+                    stats.saturations += u64::from(acc.saturation_events());
                     let delta = requantize(acc.raw(), ncfg.update_shift());
                     let cur = logits.data()[i * classes + j];
                     logits.data_mut()[i * classes + j] = cur.saturating_add(delta);

@@ -49,7 +49,7 @@ use std::fmt;
 
 use capsacc_capsnet::{CapsNetConfig, QuantOutput, QuantTrace, QuantizedParams};
 use capsacc_memory::MemReport;
-use capsacc_tensor::{qops::MacStats, Tensor};
+use capsacc_tensor::{qops::MacStats, u64_from, Tensor};
 
 use capsacc_telemetry::{CycleKind, SpanDetail};
 
@@ -230,7 +230,7 @@ impl BatchScheduler {
     ) -> Result<BatchRun, BatchError> {
         let run = self.acc.run_batch(net, qparams, images)?;
         self.batches_run += 1;
-        self.images_run += run.batch as u64;
+        self.images_run += u64_from(run.batch);
         Ok(run)
     }
 }
@@ -289,7 +289,7 @@ impl Accelerator {
         // Validation is done: from here on the batch runs to completion,
         // so the inference root span always closes.
         self.rec
-            .begin_arg(SpanDetail::Layers, "inference", "batch", batch as u64);
+            .begin_arg(SpanDetail::Layers, "inference", "batch", u64_from(batch));
         // Snapshot the accelerator counters so the returned report
         // covers this batch alone even on a reused scheduler.
         let traffic_at_start = self.traffic;
@@ -304,7 +304,7 @@ impl Accelerator {
             images.iter().map(|im| qparams.quantize_image(im)).collect();
         // The batch's images arrive over the off-chip channel before the
         // on-chip Data Memory serves them.
-        let input_bytes = (batch * g1.input_len()) as u64;
+        let input_bytes = u64_from(batch * g1.input_len());
         self.traffic.read(MemoryKind::Dram, input_bytes);
         self.traffic.read(MemoryKind::DataMemory, input_bytes);
         self.rec.begin(SpanDetail::Layers, "Conv1");
@@ -321,8 +321,8 @@ impl Accelerator {
         self.rec.advance(CycleKind::MemStall, stage_stall);
         self.rec.end(SpanDetail::Phases);
         // Biases ride along with the layer's off-chip weight stream.
-        self.traffic.read(MemoryKind::Dram, g1.out_ch as u64);
-        self.memory.stage_bias(g1.out_ch as u64);
+        self.traffic.read(MemoryKind::Dram, u64_from(g1.out_ch));
+        self.memory.stage_bias(u64_from(g1.out_ch));
         let inputs_ref = &inputs_q;
         let w1 = &qparams.conv1_w;
         // im2col addressing is affine: `input_index(mi, ki) =
@@ -345,8 +345,10 @@ impl Accelerator {
             true,
         );
         let conv1_outs: Vec<Tensor<i8>> = conv1_mns.iter().map(|mn| to_chw(mn, &g1)).collect();
-        self.traffic
-            .write(MemoryKind::DataMemory, (batch * conv1_outs[0].len()) as u64);
+        self.traffic.write(
+            MemoryKind::DataMemory,
+            u64_from(batch * conv1_outs[0].len()),
+        );
         for (s, sat) in stats.iter_mut().zip(&conv1_sats) {
             s.macs += g1.macs();
             s.saturations += sat;
@@ -364,8 +366,8 @@ impl Accelerator {
         let c0 = self.array.cycles();
         let a0 = self.activation_cycles;
         let m0 = self.memory_stall_cycles;
-        self.traffic.read(MemoryKind::Dram, gp.out_ch as u64);
-        self.memory.stage_bias(gp.out_ch as u64);
+        self.traffic.read(MemoryKind::Dram, u64_from(gp.out_ch));
+        self.memory.stage_bias(u64_from(gp.out_ch));
         let conv1_ref = &conv1_outs;
         let wp = &qparams.pc_w;
         let (gp_origins, gp_taps) = (gp.patch_origins(), gp.tap_offsets());
@@ -388,7 +390,7 @@ impl Accelerator {
             .map(|pc| self.squash_primary(net, pc))
             .collect();
         self.traffic
-            .write(MemoryKind::DataMemory, (batch * capsules[0].len()) as u64);
+            .write(MemoryKind::DataMemory, u64_from(batch * capsules[0].len()));
         for (s, sat) in stats.iter_mut().zip(&pc_sats) {
             s.macs += gp.macs();
             s.saturations += sat;
@@ -408,16 +410,16 @@ impl Accelerator {
             net.class_caps_dim,
             net.pc_caps_dim,
         );
-        let u_hat_bytes = (in_caps * classes * out_dim) as u64;
+        let u_hat_bytes = u64_from(in_caps * classes * out_dim);
         let mut steps = Vec::new();
         let m0 = self.memory_stall_cycles;
         self.traffic
-            .read(MemoryKind::DataMemory, batch as u64 * u_hat_bytes);
+            .read(MemoryKind::DataMemory, u64_from(batch) * u_hat_bytes);
         self.traffic
-            .write(MemoryKind::DataBuffer, batch as u64 * u_hat_bytes);
+            .write(MemoryKind::DataBuffer, u64_from(batch) * u_hat_bytes);
         // The û upload exists only in the step table (no engine counter
         // moves): an `Io` charge, like routing's first-softmax init.
-        let load_cycles = batch as u64 * u_hat_bytes.div_ceil(self.cfg.data_mem_bw);
+        let load_cycles = u64_from(batch) * u_hat_bytes.div_ceil(self.cfg.data_mem_bw);
         self.rec.begin(SpanDetail::Phases, "load-uhat");
         self.rec.advance(CycleKind::Io, load_cycles);
         self.rec.end(SpanDetail::Phases);
@@ -464,7 +466,7 @@ impl Accelerator {
             }
         }
         for s in stats.iter_mut() {
-            s.macs += (in_caps * classes * out_dim * in_dim) as u64;
+            s.macs += u64_from(in_caps * classes * out_dim * in_dim);
         }
         self.rec.unsuppress(CycleKind::Activation);
         self.rec.end(SpanDetail::Phases);
@@ -478,7 +480,7 @@ impl Accelerator {
             let sat_before = self.accumulator_saturations;
             let mut image_steps = Vec::new();
             self.rec
-                .begin_arg(SpanDetail::Phases, "routing", "img", img as u64);
+                .begin_arg(SpanDetail::Phases, "routing", "img", u64_from(img));
             let routing = self.route_class_caps(net, &u_hat, &mut image_steps);
             self.rec.end(SpanDetail::Phases);
             stats[img].saturations += self.accumulator_saturations - sat_before;

@@ -15,7 +15,7 @@
 //! tests.
 
 use capsacc_capsnet::CapsNetConfig;
-use capsacc_tensor::ConvGeometry;
+use capsacc_tensor::{u64_from, ConvGeometry};
 
 use crate::activation::{ActivationKind, ActivationUnit};
 use crate::config::AcceleratorConfig;
@@ -124,8 +124,8 @@ impl Program {
         self.ops
             .iter()
             .map(|op| match *op {
-                ControlOp::LoadWeightTile { .. } => cfg.rows as u64 + 1,
-                ControlOp::StreamData { m, .. } => (m + cfg.rows + cfg.cols) as u64,
+                ControlOp::LoadWeightTile { .. } => u64_from(cfg.rows) + 1,
+                ControlOp::StreamData { m, .. } => u64_from(m + cfg.rows + cfg.cols),
                 _ => 0,
             })
             .sum()
@@ -133,19 +133,19 @@ impl Program {
 
     /// Activation-unit cycle estimate.
     pub fn activation_cycles(&self, cfg: &AcceleratorConfig) -> u64 {
-        let au = cfg.activation_units as u64;
+        let au = u64_from(cfg.activation_units);
         self.ops
             .iter()
             .map(|op| match *op {
                 ControlOp::Activate { kind, vectors, len } => {
                     let per = match kind {
                         ActivationKind::Relu | ActivationKind::Identity => {
-                            ActivationUnit::reduce_cycles(len as u64)
+                            ActivationUnit::reduce_cycles(u64_from(len))
                         }
-                        ActivationKind::Squash => ActivationUnit::squash_cycles(len as u64),
-                        ActivationKind::Softmax => ActivationUnit::softmax_cycles(len as u64),
+                        ActivationKind::Squash => ActivationUnit::squash_cycles(u64_from(len)),
+                        ActivationKind::Softmax => ActivationUnit::softmax_cycles(u64_from(len)),
                     };
-                    (vectors as u64).div_ceil(au) * per
+                    u64_from(vectors).div_ceil(au) * per
                 }
                 _ => 0,
             })
@@ -208,13 +208,13 @@ impl ControlUnit {
                 let kt = cfg.rows.min(k_total - k0);
                 p.push(ControlOp::Transfer {
                     kind: MemoryKind::WeightBuffer,
-                    bytes: (kt * nt) as u64,
+                    bytes: u64_from(kt * nt),
                     read: true,
                 });
                 p.push(ControlOp::LoadWeightTile { k: kt, n: nt });
                 p.push(ControlOp::Transfer {
                     kind: MemoryKind::DataBuffer,
-                    bytes: (m * kt) as u64,
+                    bytes: u64_from(m * kt),
                     read: true,
                 });
                 p.push(ControlOp::StreamData { m, k: kt });
@@ -249,8 +249,8 @@ impl ControlUnit {
         let caps = net.num_primary_caps();
         let classes = net.num_classes;
         let out_dim = net.class_caps_dim;
-        let u_hat_bytes = (caps * classes * out_dim) as u64;
-        let coupling_bytes = (caps * classes) as u64;
+        let u_hat_bytes = u64_from(caps * classes * out_dim);
+        let coupling_bytes = u64_from(caps * classes);
         let reuse = cfg.dataflow.routing_feedback && iteration > 1;
 
         // Sum generation: weights = û tiles (from the Data-Buffer staging,
@@ -289,7 +289,7 @@ impl ControlUnit {
         });
         p.push(ControlOp::Transfer {
             kind: MemoryKind::RoutingBuffer,
-            bytes: (classes * out_dim) as u64,
+            bytes: u64_from(classes * out_dim),
             read: false,
         });
 
@@ -349,9 +349,9 @@ mod tests {
         let p = ControlUnit::new().conv_program(&g, true, &cfg());
         let want = matmul_cycles(
             MatmulShape {
-                m: g.patches() as u64,
-                k: g.patch_len() as u64,
-                n: g.out_ch as u64,
+                m: u64_from(g.patches()),
+                k: u64_from(g.patch_len()),
+                n: u64_from(g.out_ch),
             },
             &cfg(),
         );
@@ -365,7 +365,7 @@ mod tests {
         let t = p.traffic();
         assert_eq!(
             t.counter(MemoryKind::WeightBuffer).read_bytes,
-            (g.patch_len() * g.out_ch) as u64
+            u64_from(g.patch_len() * g.out_ch)
         );
     }
 
@@ -406,7 +406,7 @@ mod tests {
         let mut c = cfg();
         c.dataflow.routing_feedback = false;
         let cu = ControlUnit::new();
-        let u_hat_bytes = (net.num_primary_caps() * net.num_classes * net.class_caps_dim) as u64;
+        let u_hat_bytes = u64_from(net.num_primary_caps() * net.num_classes * net.class_caps_dim);
         // Iteration 2 without feedback re-reads û for sum AND update.
         let p = cu.routing_iteration_program(&net, 2, &c);
         assert_eq!(

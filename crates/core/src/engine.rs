@@ -32,7 +32,7 @@ use capsacc_capsnet::{
 };
 use capsacc_memory::{MatmulGeometry, MemReport, MemorySubsystem, TileSchedule};
 use capsacc_telemetry::{CycleKind, Recorder, SpanDetail, TelemetryConfig};
-use capsacc_tensor::Tensor;
+use capsacc_tensor::{u64_from, Tensor};
 
 use crate::accumulator::AccumulatorUnit;
 use crate::activation::{ActivationKind, ActivationUnit};
@@ -361,7 +361,7 @@ impl Accelerator {
         self.rec.end(SpanDetail::Tiles);
         if weights_offchip {
             // Each weight crosses the off-chip channel once per batch.
-            self.traffic.read(MemoryKind::Dram, (k * n) as u64);
+            self.traffic.read(MemoryKind::Dram, u64_from(k * n));
         }
         let mut outs: Vec<Tensor<i8>> = (0..batch).map(|_| Tensor::zeros(&[m, n])).collect();
         let mut saturations = vec![0u64; batch];
@@ -411,7 +411,7 @@ impl Accelerator {
                 self.rec.advance(CycleKind::Array, self.array.cycles() - c0);
                 self.rec.end(SpanDetail::Tiles);
                 self.traffic
-                    .read(MemoryKind::WeightBuffer, (kt * nt) as u64);
+                    .read(MemoryKind::WeightBuffer, u64_from(kt * nt));
 
                 // Stream every image's data rows for this K-slice
                 // against the resident tile, image-major.
@@ -422,7 +422,7 @@ impl Accelerator {
                     })
                     .collect();
                 self.traffic
-                    .read(MemoryKind::DataBuffer, (batch * m * kt) as u64);
+                    .read(MemoryKind::DataBuffer, u64_from(batch * m * kt));
                 self.rec.begin(SpanDetail::Tiles, "stream");
                 let c0 = self.array.cycles();
                 let psums = self.array.stream(&rows_data);
@@ -444,17 +444,17 @@ impl Accelerator {
             // Drain through the activation units, image by image.
             for (img, image_accs) in accs.iter_mut().enumerate() {
                 self.rec
-                    .begin_arg(SpanDetail::Tiles, "drain", "img", img as u64);
+                    .begin_arg(SpanDetail::Tiles, "drain", "img", u64_from(img));
                 for (c, acc) in image_accs.iter_mut().enumerate() {
                     let events = acc.saturation_events();
                     saturations[img] += events;
                     self.accumulator_saturations += events;
-                    let b = bias.map_or(0i64, |b| b[n0 + c] as i64);
+                    let b = bias.map_or(0i64, |b| i64::from(b[n0 + c]));
                     for (mi, raw) in acc.drain().into_iter().enumerate() {
                         outs[img][[mi, n0 + c]] = self.activation.reduce(raw + b, shift, kind);
                     }
                 }
-                let drain_cycles = ActivationUnit::reduce_cycles(m as u64);
+                let drain_cycles = ActivationUnit::reduce_cycles(u64_from(m));
                 self.activation_cycles += drain_cycles;
                 self.rec.advance(CycleKind::Activation, drain_cycles);
                 self.rec.end(SpanDetail::Tiles);
@@ -591,14 +591,15 @@ impl Accelerator {
             // `kr` innermost reads each channel's taps contiguously
             // instead of striding the whole weight tensor per element
             // (the tile itself is ≤ R·C bytes — write order is free).
+            // lint:allow(determinism, host-gated wall-clock probe: runs only when host_timing is requested and never feeds simulated results)
             let t0 = host.then(std::time::Instant::now);
             let mut tiles: Vec<kernel::KTile> = Vec::with_capacity(k.div_ceil(rows.max(1)));
             for k0 in (0..k).step_by(rows) {
                 let kt = rows.min(k - k0);
                 self.traffic
-                    .read(MemoryKind::WeightBuffer, (kt * nt) as u64);
+                    .read(MemoryKind::WeightBuffer, u64_from(kt * nt));
                 self.traffic
-                    .read(MemoryKind::DataBuffer, (total_rows * kt) as u64);
+                    .read(MemoryKind::DataBuffer, u64_from(total_rows * kt));
                 let load_edges = self.array.load_edges();
                 let stream_edges = self.array.stream_edges(total_rows);
                 self.array.advance_cycles(load_edges + stream_edges);
@@ -633,8 +634,10 @@ impl Accelerator {
                 ));
             }
             if let Some(t) = t0 {
+                // lint:allow(cast-audit, truncating u128 nanoseconds to u64 saturates after ~584 years of host wall-clock)
                 stage_ns += t.elapsed().as_nanos() as u64;
             }
+            // lint:allow(determinism, host-gated wall-clock probe: runs only when host_timing is requested and never feeds simulated results)
             let t0 = host.then(std::time::Instant::now);
 
             // The row sweep: serial, or partitioned into contiguous
@@ -686,6 +689,7 @@ impl Accelerator {
                 });
             }
             if let Some(t) = t0 {
+                // lint:allow(cast-audit, truncating u128 nanoseconds to u64 saturates after ~584 years of host wall-clock)
                 sweep_ns += t.elapsed().as_nanos() as u64;
             }
 
@@ -698,18 +702,18 @@ impl Accelerator {
             let drained_rows = if k == 0 { 0 } else { m };
             for img in 0..batch {
                 self.rec
-                    .begin_arg(SpanDetail::Tiles, "drain", "img", img as u64);
+                    .begin_arg(SpanDetail::Tiles, "drain", "img", u64_from(img));
                 let events: u64 = row_events[img * m..img * m + m].iter().sum();
                 saturations[img] += events;
                 self.accumulator_saturations += events;
                 for c in 0..nt {
-                    let b = bias.map_or(0i64, |b| b[n0 + c] as i64);
+                    let b = bias.map_or(0i64, |b| i64::from(b[n0 + c]));
                     for mi in 0..drained_rows {
                         let raw = acc_flat[(img * m + mi) * nt + c];
                         outs[img][[mi, n0 + c]] = self.activation.reduce(raw + b, shift, kind);
                     }
                 }
-                let drain_cycles = ActivationUnit::reduce_cycles(m as u64);
+                let drain_cycles = ActivationUnit::reduce_cycles(u64_from(m));
                 self.activation_cycles += drain_cycles;
                 self.rec.advance(CycleKind::Activation, drain_cycles);
                 self.rec.end(SpanDetail::Tiles);
@@ -742,9 +746,9 @@ impl Accelerator {
             let (v, _) = self.activation.squash(src);
             dst.copy_from_slice(&v);
         }
-        let caps_count = net.num_primary_caps() as u64;
-        let au = self.cfg.activation_units as u64;
-        let cycles = caps_count.div_ceil(au) * ActivationUnit::squash_cycles(dim as u64);
+        let caps_count = u64_from(net.num_primary_caps());
+        let au = u64_from(self.cfg.activation_units);
+        let cycles = caps_count.div_ceil(au) * ActivationUnit::squash_cycles(u64_from(dim));
         self.activation_cycles += cycles;
         self.rec.advance(CycleKind::Activation, cycles);
         self.rec.end(SpanDetail::Phases);
@@ -764,7 +768,7 @@ impl Accelerator {
         let ncfg = self.cfg.numeric;
         let (in_caps, classes, out_dim) =
             (net.num_primary_caps(), net.num_classes, net.class_caps_dim);
-        let u_hat_bytes = (in_caps * classes * out_dim) as u64;
+        let u_hat_bytes = u64_from(in_caps * classes * out_dim);
         let mut macs = 0u64;
         let variant = if self.cfg.dataflow.skip_first_softmax {
             RoutingVariant::SkipFirstSoftmax
@@ -782,7 +786,7 @@ impl Accelerator {
         // `untraced_run_matches_traced_outputs`).
         let tracing = self.cfg.trace_level == TraceLevel::Full;
         let mut iterations = Vec::with_capacity(if tracing { net.routing_iterations } else { 0 });
-        let coupling_bytes = (in_caps * classes) as u64;
+        let coupling_bytes = u64_from(in_caps * classes);
 
         for r in 0..net.routing_iterations {
             // Softmax (or the direct initialization on iteration 1).
@@ -797,7 +801,7 @@ impl Accelerator {
                 // recorder charges them as `Io`.
                 let cycles = coupling_bytes.div_ceil(self.cfg.routing_buf_bw);
                 self.rec
-                    .begin_arg(SpanDetail::Phases, "softmax", "i", (r + 1) as u64);
+                    .begin_arg(SpanDetail::Phases, "softmax", "i", u64_from(r + 1));
                 self.rec.advance(CycleKind::Io, cycles);
                 self.rec.end(SpanDetail::Phases);
                 steps.push((RoutingStep::Softmax(r + 1), cycles));
@@ -810,11 +814,11 @@ impl Accelerator {
                 self.traffic.read(MemoryKind::RoutingBuffer, coupling_bytes);
                 self.traffic
                     .write(MemoryKind::RoutingBuffer, coupling_bytes);
-                let cycles = (in_caps as u64).div_ceil(self.cfg.activation_units as u64)
-                    * ActivationUnit::softmax_cycles(classes as u64);
+                let cycles = u64_from(in_caps).div_ceil(u64_from(self.cfg.activation_units))
+                    * ActivationUnit::softmax_cycles(u64_from(classes));
                 self.activation_cycles += cycles;
                 self.rec
-                    .begin_arg(SpanDetail::Phases, "softmax", "i", (r + 1) as u64);
+                    .begin_arg(SpanDetail::Phases, "softmax", "i", u64_from(r + 1));
                 self.rec.advance(CycleKind::Activation, cycles);
                 self.rec.end(SpanDetail::Phases);
                 steps.push((RoutingStep::Softmax(r + 1), cycles));
@@ -828,7 +832,7 @@ impl Accelerator {
             // (their memory stalls *do* land in the layer's stall
             // delta, so `MemStall` stays live).
             self.rec
-                .begin_arg(SpanDetail::Phases, "sum", "i", (r + 1) as u64);
+                .begin_arg(SpanDetail::Phases, "sum", "i", u64_from(r + 1));
             self.rec.suppress(CycleKind::Activation);
             let c0 = self.array.cycles();
             if r == 0 || !self.cfg.dataflow.routing_feedback {
@@ -856,14 +860,14 @@ impl Accelerator {
                 );
                 s_t.data_mut()[j * out_dim..(j + 1) * out_dim].copy_from_slice(s_row.data());
             }
-            macs += (classes * out_dim * in_caps) as u64;
+            macs += u64_from(classes * out_dim * in_caps);
             self.rec.unsuppress(CycleKind::Activation);
             self.rec.end(SpanDetail::Phases);
             steps.push((RoutingStep::Sum(r + 1), self.array.cycles() - c0));
 
             // Squash through the activation units.
             self.rec
-                .begin_arg(SpanDetail::Phases, "squash", "i", (r + 1) as u64);
+                .begin_arg(SpanDetail::Phases, "squash", "i", u64_from(r + 1));
             for (j, s_norm) in s_norms.iter_mut().enumerate() {
                 let (v, norm) = self
                     .activation
@@ -871,27 +875,27 @@ impl Accelerator {
                 class_caps.data_mut()[j * out_dim..(j + 1) * out_dim].copy_from_slice(&v);
                 *s_norm = norm;
             }
-            let squash_cycles = (classes as u64).div_ceil(self.cfg.activation_units as u64)
-                * ActivationUnit::squash_cycles(out_dim as u64);
+            let squash_cycles = u64_from(classes).div_ceil(u64_from(self.cfg.activation_units))
+                * ActivationUnit::squash_cycles(u64_from(out_dim));
             self.activation_cycles += squash_cycles;
             self.rec.advance(CycleKind::Activation, squash_cycles);
             self.rec.end(SpanDetail::Phases);
             self.traffic
-                .write(MemoryKind::RoutingBuffer, (classes * out_dim) as u64);
+                .write(MemoryKind::RoutingBuffer, u64_from(classes * out_dim));
             steps.push((RoutingStep::Squash(r + 1), squash_cycles));
 
             // Logit update (Fig. 12c: û reused via the feedback path).
             let logits_after_update = if r + 1 < net.routing_iterations {
                 // Array-delta step like Sum: same activation mask.
                 self.rec
-                    .begin_arg(SpanDetail::Phases, "update", "i", (r + 1) as u64);
+                    .begin_arg(SpanDetail::Phases, "update", "i", u64_from(r + 1));
                 self.rec.suppress(CycleKind::Activation);
                 let c0 = self.array.cycles();
                 if !self.cfg.dataflow.routing_feedback {
                     self.traffic.read(MemoryKind::DataMemory, u_hat_bytes);
                 }
                 self.traffic
-                    .read(MemoryKind::RoutingBuffer, (classes * out_dim) as u64);
+                    .read(MemoryKind::RoutingBuffer, u64_from(classes * out_dim));
                 let v_ref = &class_caps;
                 for j in 0..classes {
                     let deltas = self.matmul(
@@ -909,7 +913,7 @@ impl Accelerator {
                         logits.data_mut()[i * classes + j] = cur.saturating_add(deltas.data()[i]);
                     }
                 }
-                macs += (classes * in_caps * out_dim) as u64;
+                macs += u64_from(classes * in_caps * out_dim);
                 self.traffic.read(MemoryKind::RoutingBuffer, coupling_bytes);
                 self.traffic
                     .write(MemoryKind::RoutingBuffer, coupling_bytes);
@@ -942,8 +946,8 @@ impl Accelerator {
         // This norm charge appears in neither the step table nor any
         // LayerRun total (ClassCaps reports activation_cycles: 0), so
         // the recorder deliberately does not advance for it.
-        self.activation_cycles += (classes as u64).div_ceil(self.cfg.activation_units as u64)
-            * ActivationUnit::norm_cycles(out_dim as u64);
+        self.activation_cycles += u64_from(classes).div_ceil(u64_from(self.cfg.activation_units))
+            * ActivationUnit::norm_cycles(u64_from(out_dim));
         let predicted = final_norms
             .iter()
             .enumerate()

@@ -232,7 +232,7 @@ pub(crate) fn effective_threads(requested: usize, total_rows: usize, k: usize, n
 #[inline]
 fn fold_scalar(acc: &mut i64, psum: i64, events: &mut u64) {
     let (sat, clipped) = AccumulatorUnit::fold_step(*acc + psum);
-    *events += clipped as u64;
+    *events += u64::from(clipped);
     *acc = sat;
 }
 
@@ -310,7 +310,7 @@ fn rows_fixed_scalar(
             }
             for (j, lane) in lanes.iter().enumerate() {
                 for (c, &p) in lane.iter().enumerate() {
-                    fold_scalar(&mut accs[j][c], p as i64, &mut evs[j]);
+                    fold_scalar(&mut accs[j][c], i64::from(p), &mut evs[j]);
                 }
             }
         }
@@ -335,7 +335,7 @@ fn rows_fixed_scalar(
                 }
             }
             for (c, &p) in lane.iter().enumerate() {
-                fold_scalar(&mut accs[c], p as i64, &mut ev);
+                fold_scalar(&mut accs[c], i64::from(p), &mut ev);
             }
         }
         acc[r * LANES..(r + 1) * LANES].copy_from_slice(&accs);
@@ -383,7 +383,7 @@ fn row_general(
                 }
             }
             for (a, &p) in acc.iter_mut().zip(psums.iter()) {
-                fold_scalar(a, p as i64, &mut ev);
+                fold_scalar(a, i64::from(p), &mut ev);
             }
         }
     }
@@ -397,6 +397,7 @@ fn row_general(
 /// The only module in the crate allowed to use `unsafe`, and only for
 /// the feature-gated intrinsics.
 #[cfg(target_arch = "x86_64")]
+// lint:allow(unsafe-containment, the crate-level deny is re-allowed only here: runtime-feature-gated SIMD intrinsics with SAFETY-commented call sites)
 #[allow(unsafe_code)]
 mod avx2 {
     use super::{KTile, WVec, LANES};
@@ -472,11 +473,11 @@ mod avx2 {
         for r in 0..nrows {
             let lanes = &acc32[r * LANES..(r + 1) * LANES];
             for (a, &v) in acc[r * LANES..(r + 1) * LANES].iter_mut().zip(lanes) {
-                *a = v as i64;
+                *a = i64::from(v);
             }
             row_events[r] = ev32[r * LANES..(r + 1) * LANES]
                 .iter()
-                .map(|&e| e as u64)
+                .map(|&e| u64::try_from(e).expect("clip-event lane count is non-negative"))
                 .sum();
         }
         true
@@ -695,6 +696,11 @@ mod avx2 {
     /// broadcast widened data pair (`[d0, d1]` as one `i32`, a single
     /// memory-operand `vpbroadcastd`) against interleaved weight
     /// pair-row `p`, added into one of the chains.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have runtime-verified `avx2`; `inter` must be valid
+    /// for aligned reads through interleaved vectors `2p` and `2p + 1`.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn pair_step(inter: *const WVec, p: usize, dd: i32, acc: &mut (__m256i, __m256i)) {
@@ -771,6 +777,11 @@ mod avx2 {
     /// overflow: ≤ 512 pairs × 2·2^14 < 2^31. `SKIP` elides pairs
     /// whose two data elements are both zero — one `i32` compare on
     /// the widened pair (exact: such pairs contribute +0).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have runtime-verified `avx2`; `drow` must hold the
+    /// row's full widened tile slice (`t.kt` elements).
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn tile_psums<const SKIP: bool>(t: &KTile, drow: &[i16]) -> (__m256i, __m256i) {

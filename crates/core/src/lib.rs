@@ -53,6 +53,7 @@
 // `deny` (not `forbid`) so the one SIMD kernel module can locally
 // re-allow `unsafe` for target-feature intrinsics; everything else in
 // the crate still refuses unsafe code at compile time.
+// lint:allow(unsafe-containment, kernel.rs::avx2 needs target-feature intrinsics; deny + a single audited allow is the documented exception)
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 

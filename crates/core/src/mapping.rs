@@ -16,7 +16,7 @@
 //! either backend (the functional path differs only in how a tile's
 //! psums are produced, never in how many are live).
 
-use capsacc_tensor::ConvGeometry;
+use capsacc_tensor::{u64_from, ConvGeometry};
 
 use crate::config::AcceleratorConfig;
 
@@ -78,7 +78,7 @@ pub fn analyze_conv(
     // the inner order revisits each K-slice for every N-tile *round*,
     // which costs kk·nn loads either way with resident weights — the
     // paper's win is storage, not loads.
-    let loads = (kk * nn) as u64;
+    let loads = u64_from(kk * nn);
     MappingAnalysis {
         peak_accumulator_entries: peak,
         weight_tile_loads: loads,

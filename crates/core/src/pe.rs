@@ -87,7 +87,7 @@ impl Pe {
     #[inline]
     #[must_use]
     pub fn mac_step(psum: i64, data: i8, weight: i8) -> i64 {
-        capsacc_fixed::saturate_to_bits(psum + data as i64 * weight as i64, Self::PSUM_BITS)
+        capsacc_fixed::saturate_to_bits(psum + i64::from(data) * i64::from(weight), Self::PSUM_BITS)
     }
 
     /// Creates a PE with all registers cleared.

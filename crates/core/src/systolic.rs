@@ -1,6 +1,7 @@
 //! The systolic array (Fig. 11a of the paper).
 
 use crate::pe::{Pe, PeControl, PeInput, PeOutput};
+use capsacc_tensor::{u64_from, usize_from};
 
 /// Outputs visible at the array edges after a clock edge.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -173,7 +174,7 @@ impl SystolicArray {
     /// single definition of the load cost — the ticked loader returns
     /// it and the `Functional` backend charges it.
     pub fn load_edges(&self) -> u64 {
-        self.rows as u64 + 1
+        u64_from(self.rows) + 1
     }
 
     /// Clock edges one [`stream`](Self::stream) call consumes for `m`
@@ -181,7 +182,7 @@ impl SystolicArray {
     /// definition of the stream cost — the ticked streamer executes
     /// exactly this many edges and the `Functional` backend charges it.
     pub fn stream_edges(&self, m: usize) -> u64 {
-        (m + self.rows + self.cols) as u64
+        u64_from(m + self.rows + self.cols)
     }
 
     /// Charges `n` clock edges to the cycle counter without ticking a
@@ -306,7 +307,7 @@ impl SystolicArray {
             select: WeightSelect::Held,
             latch_weight2: false,
         };
-        let total_edges = self.stream_edges(m) as usize;
+        let total_edges = usize_from(self.stream_edges(m));
         let Self {
             rows,
             cols,

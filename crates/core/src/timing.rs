@@ -41,19 +41,10 @@ fn ceil_div(a: u64, b: u64) -> u64 {
     a.div_ceil(b)
 }
 
-/// Widens a `usize` dimension into the `u64` cycle domain. Lossless on
-/// every supported target; funnelling all widenings through one audited
-/// site keeps the bare-`as`-cast inventory of this module at zero.
-fn u64_from(x: usize) -> u64 {
-    u64::try_from(x).expect("dimension exceeds u64")
-}
-
-/// Narrows a `u64` shape back to the `usize` geometry domain (for the
-/// memory-subsystem replay), loud on 32-bit targets instead of
-/// truncating.
-fn usize_from(x: u64) -> usize {
-    usize::try_from(x).expect("shape exceeds usize")
-}
+// The audited widen/narrow helpers moved to `capsacc-tensor` so every
+// crate shares one definition (and `capsacc-lint`'s cast audit has a
+// single sanctioned route); this module keeps using them unqualified.
+use capsacc_tensor::{u64_from, usize_from};
 
 /// Product of shape factors with overflow detection: an adversarially
 /// large (but type-valid) network must fail loudly — release builds

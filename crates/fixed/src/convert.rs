@@ -32,7 +32,7 @@ pub fn requantize(raw: i64, shift: u32) -> i8 {
     } else {
         (raw + (1i64 << (shift - 1))) >> shift
     };
-    shifted.clamp(i8::MIN as i64, i8::MAX as i64) as i8
+    shifted.clamp(i64::from(i8::MIN), i64::from(i8::MAX)) as i8
 }
 
 /// Saturates a raw value to a signed field of `bits` width, returning the

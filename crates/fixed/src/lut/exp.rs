@@ -45,7 +45,7 @@ impl ExpLut {
         for raw in i8::MIN..=i8::MAX {
             let x = raw as f32 / (1u32 << cfg.logit_frac) as f32;
             let y = x.exp() * (1u32 << cfg.exp_frac) as f32;
-            table[(raw as u8) as usize] = y.round().min(u16::MAX as f32) as u16;
+            table[usize::from(raw as u8)] = y.round().min(u16::MAX as f32) as u16;
         }
         Self { cfg, table }
     }
@@ -53,7 +53,7 @@ impl ExpLut {
     /// Looks up `exp(x)` for an 8-bit logit code.
     #[inline]
     pub fn lookup(&self, raw: i8) -> u16 {
-        self.table[(raw as u8) as usize]
+        self.table[usize::from(raw as u8)]
     }
 
     /// Computes a fixed-point softmax over a slice of logit codes,
@@ -83,15 +83,15 @@ impl ExpLut {
         let max = *logits.iter().max().expect("non-empty");
         let exps: Vec<u32> = logits
             .iter()
-            .map(|&b| self.lookup(b.saturating_sub(max)) as u32)
+            .map(|&b| u32::from(self.lookup(b.saturating_sub(max))))
             .collect();
-        let sum: u64 = exps.iter().map(|&e| e as u64).sum();
+        let sum: u64 = exps.iter().map(|&e| u64::from(e)).sum();
         exps.iter()
             .map(|&e| {
                 // Divider: round-to-nearest c = e / sum in Q0.<coupling_frac>.
-                let num = (e as u64) << self.cfg.coupling_frac;
+                let num = u64::from(e) << self.cfg.coupling_frac;
                 let c = (num + sum / 2) / sum;
-                c.min(i8::MAX as u64) as i8
+                c.min(u64::from(i8::MAX as u8)) as i8
             })
             .collect()
     }

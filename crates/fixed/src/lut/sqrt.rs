@@ -63,7 +63,7 @@ pub fn norm_code(sum_raw: u64, square_frac: u32, norm_frac: u32) -> u8 {
         "norm format too narrow for the square format"
     );
     let shift = 2 * norm_frac - square_frac;
-    isqrt(sum_raw << shift).min(u8::MAX as u64) as u8
+    isqrt(sum_raw << shift).min(u64::from(u8::MAX)) as u8
 }
 
 #[cfg(test)]

@@ -55,7 +55,7 @@ impl SquareLut {
     #[inline]
     fn index(raw12: i16) -> usize {
         debug_assert!((-2048..2048).contains(&raw12));
-        ((raw12 as u16) & 0x0fff) as usize
+        usize::from((raw12 as u16) & 0x0fff)
     }
 
     /// Looks up the square of a 12-bit input code.
@@ -64,7 +64,7 @@ impl SquareLut {
     /// hardware field simply cannot carry more).
     #[inline]
     pub fn lookup(&self, raw: i16) -> u8 {
-        self.table[Self::index(saturate_to_bits(raw as i64, 12) as i16)]
+        self.table[Self::index(saturate_to_bits(i64::from(raw), 12) as i16)]
     }
 
     /// The numeric configuration the table was built for.

@@ -104,7 +104,7 @@ impl SquashLut {
     fn index(data6: i8, norm5: u8) -> usize {
         debug_assert!((-32..32).contains(&data6));
         debug_assert!(norm5 < 32);
-        (((data6 as u8) & 0x3f) as usize) << 5 | (norm5 as usize)
+        usize::from((data6 as u8) & 0x3f) << 5 | usize::from(norm5)
     }
 
     /// Raw LUT access with pre-truncated 6-bit data and 5-bit norm codes.
@@ -132,7 +132,7 @@ impl SquashLut {
     /// ```
     #[inline]
     pub fn squash_element(&self, data_raw: i8, norm_raw: u8) -> i8 {
-        let data6 = saturate_to_bits((data_raw >> self.cfg.data6_shift()) as i64, 6) as i8;
+        let data6 = saturate_to_bits(i64::from(data_raw >> self.cfg.data6_shift()), 6) as i8;
         let norm5 = ((norm_raw as u32) >> self.cfg.norm5_shift()).min(31) as u8;
         self.lookup_raw(data6, norm5)
     }

@@ -1,0 +1,438 @@
+//! A minimal Rust lexer, just faithful enough to audit token streams.
+//!
+//! The rule engine needs exactly one guarantee from this module: a
+//! keyword or identifier reported at `(line, col)` really is code —
+//! never the inside of a string literal, raw string, char literal,
+//! byte literal, line comment, nested block comment or doc comment.
+//! Everything subtler (float suffix grammar, punctuation joining,
+//! shebangs) is deliberately loose: rules only look at identifiers,
+//! single-character punctuation and comment text.
+
+/// What a [`Token`] is.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`) — distinct from [`TokenKind::Char`].
+    Lifetime,
+    /// Numeric literal (integers and floats, suffixes included).
+    Number,
+    /// String literal: `"…"`, `b"…"`, `c"…"` (escapes handled).
+    Str,
+    /// Raw string literal: `r"…"`, `r#"…"#`, `br##"…"##`, `cr"…"`.
+    RawStr,
+    /// `// …` comment; `doc` distinguishes `///` and `//!`.
+    LineComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// `/* … */` comment (nesting handled); `doc` is `/** … */` or `/*! … */`.
+    BlockComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// Any other single character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token category.
+    pub kind: TokenKind,
+    /// Raw source text of the token (comment markers included).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based byte column of the token's first character.
+    pub col: u32,
+    /// 1-based line of the token's last character (differs from
+    /// `line` only for multi-line strings and block comments).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// Whether the token is a comment of either form.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// Lexes `src` into a token stream, comments included.
+///
+/// Unterminated constructs (string/comment running to end of file) are
+/// tolerated and closed at EOF — the linter must keep walking a broken
+/// tree rather than panic mid-audit.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.advance(1);
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident_or_prefixed(),
+                _ => {
+                    let start = self.pos;
+                    let ch_len = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .map_or(1, char::len_utf8);
+                    let (line, col) = (self.line, self.col);
+                    self.advance(ch_len);
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advances `n` bytes, updating line/col bookkeeping.
+    fn advance(&mut self, n: usize) {
+        for &b in &self.bytes[self.pos..self.pos + n] {
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.pos += n;
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line,
+            col,
+            end_line: self.line - u32::from(self.col == 1 && self.pos > start),
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.advance(1);
+        }
+        let text = &self.src[start..self.pos];
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.push(TokenKind::LineComment { doc }, start, line, col);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        self.advance(2); // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.advance(2);
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.advance(2);
+            } else {
+                self.advance(1);
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let doc = (text.starts_with("/**") && !text.starts_with("/**/")) || text.starts_with("/*!");
+        self.push(TokenKind::BlockComment { doc }, start, line, col);
+    }
+
+    /// Lexes a `"…"` string starting at the current `"`; `start` may
+    /// point earlier when a `b`/`c` prefix was already consumed.
+    fn string(&mut self, start: usize) {
+        let (line, col) = self.start_at(start);
+        self.advance(1); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.advance(2.min(self.bytes.len() - self.pos)),
+                b'"' => {
+                    self.advance(1);
+                    break;
+                }
+                _ => self.advance(1),
+            }
+        }
+        self.push(TokenKind::Str, start, line, col);
+    }
+
+    /// Lexes a raw string whose prefix (`r`, `br`, `cr`) ends at the
+    /// current position (pointing at `#` or `"`).
+    fn raw_string(&mut self, start: usize) {
+        let (line, col) = self.start_at(start);
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.advance(1);
+        }
+        self.advance(1); // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"'
+                && self.bytes[self.pos + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&b| b == b'#')
+                    .count()
+                    == hashes
+            {
+                self.advance(1 + hashes);
+                break;
+            }
+            self.advance(1);
+        }
+        self.push(TokenKind::RawStr, start, line, col);
+    }
+
+    /// Reconstructs the (line, col) of an earlier byte offset on the
+    /// current line (prefixes never span lines).
+    fn start_at(&self, start: usize) -> (u32, u32) {
+        let back = u32::try_from(self.pos - start).expect("prefix length fits u32");
+        (self.line, self.col - back)
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        // `'` then: an escape is always a char literal; otherwise one
+        // char followed by a closing `'` is a char literal, anything
+        // else is a lifetime.
+        if self.peek(1) == Some(b'\\') {
+            self.advance(2);
+            while self.pos < self.bytes.len() {
+                match self.bytes[self.pos] {
+                    b'\\' => self.advance(2.min(self.bytes.len() - self.pos)),
+                    b'\'' => {
+                        self.advance(1);
+                        break;
+                    }
+                    _ => self.advance(1),
+                }
+            }
+            self.push(TokenKind::Char, start, line, col);
+            return;
+        }
+        let after = self.src[self.pos + 1..].chars().next();
+        let char_len = after.map_or(0, char::len_utf8);
+        if after.is_some() && self.bytes.get(self.pos + 1 + char_len) == Some(&b'\'') {
+            self.advance(2 + char_len);
+            self.push(TokenKind::Char, start, line, col);
+        } else {
+            self.advance(1);
+            while self
+                .peek(0)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                self.advance(1);
+            }
+            self.push(TokenKind::Lifetime, start, line, col);
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b == b'.' || b.is_ascii_alphanumeric())
+        {
+            // `0..5` must stay three tokens: a `.` only joins the
+            // number when the next byte is not another `.`.
+            if self.bytes[self.pos] == b'.' && self.peek(1) == Some(b'.') {
+                break;
+            }
+            let was_exp = matches!(self.bytes[self.pos], b'e' | b'E')
+                && self.pos > start
+                && self.bytes[self.pos - 1].is_ascii_digit();
+            self.advance(1);
+            if was_exp && matches!(self.peek(0), Some(b'+') | Some(b'-')) {
+                self.advance(1);
+            }
+        }
+        self.push(TokenKind::Number, start, line, col);
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            self.advance(1);
+        }
+        let ident = &self.src[start..self.pos];
+        // String-literal prefixes (`r"…"`, `b"…"`, `br#"…"#`, `c"…"`,
+        // `cr"…"`, `b'…'`) and raw identifiers (`r#ident`).
+        match (ident, self.peek(0)) {
+            ("r" | "br" | "cr", Some(b'#')) => {
+                // `r#ident` is a raw identifier, `r#"…"` a raw string.
+                let mut j = self.pos;
+                while self.bytes.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                if self.bytes.get(j) == Some(&b'"') {
+                    self.raw_string(start);
+                } else {
+                    self.advance(1);
+                    while self
+                        .peek(0)
+                        .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+                    {
+                        self.advance(1);
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+            }
+            ("r" | "br" | "cr", Some(b'"')) => self.raw_string(start),
+            ("b" | "c", Some(b'"')) => self.string(start),
+            ("b", Some(b'\'')) => {
+                // Byte literal: lex like a char literal, keep the prefix.
+                self.advance(1);
+                if self.peek(0) == Some(b'\\') {
+                    self.advance(2.min(self.bytes.len() - self.pos));
+                }
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.advance(1);
+                }
+                if self.pos < self.bytes.len() {
+                    self.advance(1);
+                }
+                self.push(TokenKind::Char, start, line, col);
+            }
+            _ => self.push(TokenKind::Ident, start, line, col),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        // Hash-delimited raw string whose body would otherwise lex as
+        // a quote, a line comment and an `unsafe` keyword.
+        let toks = kinds("let s = r#\"quote \" // unsafe\"#;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("unsafe")));
+        assert!(!toks
+            .iter()
+            .any(|(k, _)| matches!(k, TokenKind::LineComment { .. })));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+        // Byte and double-hash variants.
+        let toks = kinds("br##\"as u64 \"# still\"## cr\"x\"");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::RawStr).count(),
+            2
+        );
+        assert!(!toks.iter().any(|(_, t)| t == "u64"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(toks[0].0, TokenKind::BlockComment { doc: false }));
+        assert!(toks[0].1.contains("still comment"));
+        assert_eq!(toks[1].1, "code");
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let toks = kinds("let c = 'a'; let l: &'static str = x; let e = '\\n';");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert_eq!(lifetimes.len(), 1, "{toks:?}");
+        assert_eq!(lifetimes[0].1, "'static");
+        // A char literal must not swallow the rest of the line: the
+        // identifier after it still lexes as code.
+        let toks = kinds("let c = 'x'; Instant");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "Instant"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let toks = kinds("/// outer doc\n//! inner doc\n// plain\n/** block doc */\n/*! bang doc */\n/* plain */");
+        let docs: Vec<bool> = toks
+            .iter()
+            .map(|(k, _)| match k {
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => *doc,
+                _ => panic!("non-comment token"),
+            })
+            .collect();
+        assert_eq!(docs, [true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab cd\n  ef\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (1, 4));
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+        // Multi-line block comments record their end line.
+        let toks = lex("/* a\nb\nc */ x");
+        assert_eq!((toks[0].line, toks[0].end_line), (1, 3));
+        assert_eq!((toks[1].line, toks[1].col), (3, 6));
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let toks = kinds("let s = \"unsafe as u64 Instant\"; done");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "unsafe" || t == "Instant")));
+        assert!(toks.iter().any(|(_, t)| t == "done"));
+    }
+}

@@ -1,0 +1,31 @@
+//! `capsacc-lint` — a dependency-free workspace lint engine.
+//!
+//! The CapsAcc reproduction rests on invariants that a compiler
+//! cannot check: simulated paths must be byte-identical across reruns
+//! (no wall clocks, no unordered maps), lossy integer casts must go
+//! through the audited helpers, `unsafe` stays confined to the SIMD
+//! kernels behind `// SAFETY:` obligations, and the architecture docs
+//! must keep naming code that exists. This crate turns those
+//! conventions into a mechanical gate: a hand-rolled Rust lexer
+//! ([`lexer`]) feeds a token-stream rule engine ([`rules`]), a
+//! Markdown reference auditor ([`docs`]) covers the prose, and the
+//! `capsacc-lint` binary walks the workspace ([`walk`]) emitting
+//! `file:line:col` diagnostics plus a byte-stable JSON report
+//! ([`report`]).
+//!
+//! Exceptions are inline and greppable: `// lint:allow(rule, reason)`
+//! waives findings on the next code line, and waivers without a
+//! reason — or without a finding to cover — are themselves findings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod docs;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::{Diagnostic, Report, RULES};
+pub use rules::{lint_rust_source, FileScope};
+pub use walk::{lint_workspace, scope_for};

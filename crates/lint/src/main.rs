@@ -1,0 +1,70 @@
+//! The `capsacc-lint` binary: walk the workspace, print diagnostics,
+//! optionally write the JSON report, and gate CI via `--deny`.
+//!
+//! Usage: `capsacc-lint [--root DIR] [--json PATH] [--deny]`
+//!
+//! - `--root DIR`  workspace root to lint (default `.`)
+//! - `--json PATH` write the machine-readable report to `PATH`
+//! - `--deny`      exit nonzero if any unwaived diagnostic remains
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use capsacc_lint::lint_workspace;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root requires a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json requires a path"),
+            },
+            "--deny" => deny = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("capsacc-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for d in report.unwaived() {
+        println!("{}", d.render());
+    }
+    println!(
+        "capsacc-lint: {} files, {} unwaived, {} waived",
+        report.files_scanned,
+        report.unwaived_count(),
+        report.waived_count()
+    );
+
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("capsacc-lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if deny && report.unwaived_count() > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("capsacc-lint: {msg}");
+    eprintln!("usage: capsacc-lint [--root DIR] [--json PATH] [--deny]");
+    ExitCode::FAILURE
+}

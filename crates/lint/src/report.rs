@@ -1,0 +1,245 @@
+//! Diagnostics and the machine-readable JSON report.
+//!
+//! The JSON renderer follows the same conventions as the bench
+//! artifacts (`bench/src/json.rs`): two-space indent for scalar
+//! fields in insertion order, four-space one-object-per-line rows
+//! inside arrays, and a trailing newline — so `LINT_report.json`
+//! diffs line-by-line and is byte-identical across reruns. The
+//! renderer is re-implemented here rather than imported because
+//! `capsacc-lint` must stay dependency-free.
+
+use std::fmt::Write as _;
+
+/// The closed set of rule names, sorted; `waiver` covers hygiene of
+/// the waiver grammar itself (unknown rule, missing reason, unused).
+pub const RULES: [&str; 6] = [
+    "cast-audit",
+    "determinism",
+    "doc-drift",
+    "safety-comment",
+    "unsafe-containment",
+    "waiver",
+];
+
+/// One finding at a `file:line:col` position.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule that fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `Some(reason)` when an inline `// lint:allow(rule, reason)`
+    /// waiver covers this finding.
+    pub waived: Option<String>,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in the classic `path:line:col` shape.
+    pub fn render(&self) -> String {
+        let mark = if self.waived.is_some() {
+            " (waived)"
+        } else {
+            ""
+        };
+        format!(
+            "{}:{}:{}: [{}] {}{}",
+            self.path, self.line, self.col, self.rule, self.message, mark
+        )
+    }
+}
+
+/// The outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files scanned (Rust sources plus audited docs).
+    pub files_scanned: usize,
+    /// All findings, waived included, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Sorts diagnostics into the canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+    }
+
+    /// Findings not covered by a waiver — these fail `--deny`.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.waived.is_none())
+    }
+
+    /// Number of unwaived findings.
+    pub fn unwaived_count(&self) -> usize {
+        self.unwaived().count()
+    }
+
+    /// Number of waived findings.
+    pub fn waived_count(&self) -> usize {
+        self.diagnostics.len() - self.unwaived_count()
+    }
+
+    /// Renders the byte-stable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"report\": \"capsacc-lint\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"unwaived\": {},", self.unwaived_count());
+        let _ = writeln!(out, "  \"waived\": {},", self.waived_count());
+        out.push_str("  \"rule_counts\": [\n");
+        for rule in RULES {
+            let unwaived = self
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == rule && d.waived.is_none())
+                .count();
+            let waived = self
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == rule && d.waived.is_some())
+                .count();
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{rule}\", \"unwaived\": {unwaived}, \"waived\": {waived}}},"
+            );
+        }
+        close_rows(&mut out);
+        out.push_str("  ],\n  \"diagnostics\": [\n");
+        for d in self.unwaived() {
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}},",
+                d.rule,
+                json_escape(&d.path),
+                d.line,
+                d.col,
+                json_escape(&d.message)
+            );
+        }
+        close_rows(&mut out);
+        out.push_str("  ],\n  \"waivers\": [\n");
+        for d in self.diagnostics.iter().filter(|d| d.waived.is_some()) {
+            let reason = d.waived.as_deref().unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\", \"reason\": \"{}\"}},",
+                d.rule,
+                json_escape(&d.path),
+                d.line,
+                d.col,
+                json_escape(&d.message),
+                json_escape(reason)
+            );
+        }
+        close_rows(&mut out);
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Drops the trailing comma of the last emitted row, if any.
+fn close_rows(out: &mut String) {
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+}
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let d = |rule, path: &str, line, waived: Option<&str>| Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            col: 1,
+            message: format!("m{line}"),
+            waived: waived.map(str::to_string),
+        };
+        Report {
+            files_scanned: 3,
+            diagnostics: vec![
+                d("determinism", "b.rs", 2, None),
+                d("cast-audit", "a.rs", 9, Some("ok")),
+                d("cast-audit", "a.rs", 4, None),
+            ],
+        }
+    }
+
+    #[test]
+    fn sort_orders_by_path_line_col_rule() {
+        let mut r = sample();
+        r.sort();
+        let order: Vec<(String, u32)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.path.clone(), d.line))
+            .collect();
+        assert_eq!(
+            order,
+            [
+                ("a.rs".to_string(), 4),
+                ("a.rs".to_string(), 9),
+                ("b.rs".to_string(), 2)
+            ]
+        );
+        assert_eq!(r.unwaived_count(), 2);
+        assert_eq!(r.waived_count(), 1);
+    }
+
+    #[test]
+    fn json_is_byte_identical_across_renders() {
+        let mut r = sample();
+        r.sort();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.ends_with("\n"));
+        assert!(a.contains("\"unwaived\": 2,"));
+        assert!(a.contains("\"reason\": \"ok\""));
+        // No trailing commas before closing brackets (the BENCH json
+        // convention close_rows enforces).
+        assert!(!a.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_bytes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn render_marks_waived_findings() {
+        let r = sample();
+        assert_eq!(r.diagnostics[0].render(), "b.rs:2:1: [determinism] m2");
+        assert!(r.diagnostics[1].render().ends_with("(waived)"));
+    }
+}

@@ -1,0 +1,615 @@
+//! Token-stream rules and the inline waiver grammar.
+//!
+//! Rules run over the [`crate::lexer`] token stream, so string
+//! literals, char literals and comments can never false-positive a
+//! keyword match. `#[cfg(test)]` items (and `#[test]` functions) are
+//! excluded from every rule by brace-matched region tracking.
+//!
+//! Waiver grammar: a comment containing `lint:allow(rule, reason)`
+//! waives findings of `rule` on the comment's own line and on the
+//! next line that carries code. A waiver with an unknown rule name, a
+//! missing reason, or no finding to cover is itself a finding (rule
+//! `waiver`), so the exception list can never silently rot.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::report::{Diagnostic, RULES};
+
+/// Identifiers whose appearance in simulated-path code breaks the
+/// byte-identical-rerun guarantee.
+const NONDETERMINISM: [&str; 5] = ["Instant", "SystemTime", "thread_rng", "HashMap", "HashSet"];
+
+/// Cast targets that can silently truncate on 32-bit hosts or wrap
+/// accounting totals; conversions must go through `u64_from` /
+/// `usize_from` / `checked_product` or `From`-based widenings.
+const LOSSY_TARGETS: [&str; 3] = ["u64", "usize", "i64"];
+
+/// Which rule families apply to a given file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileScope {
+    /// Simulated-path crate: clocks and unordered maps are forbidden.
+    pub determinism: bool,
+    /// Accounting code: bare `as u64`/`as usize`/`as i64` forbidden.
+    pub cast_audit: bool,
+    /// `unsafe` requires an adjacent `// SAFETY:` comment, and
+    /// `#[allow(unsafe_code)]` escape hatches need waivers.
+    pub safety: bool,
+    /// File is a crate root and must pin `#![forbid(unsafe_code)]`.
+    pub crate_root: bool,
+}
+
+/// One parsed `lint:allow(rule, reason)` waiver.
+#[derive(Debug)]
+pub(crate) struct Waiver {
+    pub(crate) rule: String,
+    pub(crate) reason: String,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    pub(crate) used: bool,
+}
+
+/// Lints one Rust source file. `path` is only used to label
+/// diagnostics; the caller decides the [`FileScope`].
+pub fn lint_rust_source(path: &str, src: &str, scope: FileScope) -> Vec<Diagnostic> {
+    let tokens = lex(src);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let max_line = tokens.iter().map(|t| t.end_line).max().unwrap_or(1);
+    let structure = analyze(&tokens, &code, max_line);
+
+    let mut diags = Vec::new();
+    let diag = |rule: &'static str, t: &Token, message: String| Diagnostic {
+        rule,
+        path: path.to_string(),
+        line: t.line,
+        col: t.col,
+        message,
+        waived: None,
+    };
+
+    for &i in &code {
+        if structure.in_test[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if scope.determinism && NONDETERMINISM.contains(&t.text.as_str()) {
+            diags.push(diag(
+                "determinism",
+                t,
+                format!("nondeterminism source `{}` in simulated-path code", t.text),
+            ));
+        }
+        if scope.cast_audit && t.text == "as" {
+            if let Some(&j) = code.iter().find(|&&j| j > i) {
+                if tokens[j].kind == TokenKind::Ident
+                    && LOSSY_TARGETS.contains(&tokens[j].text.as_str())
+                {
+                    diags.push(diag(
+                        "cast-audit",
+                        t,
+                        format!(
+                            "bare `as {}` cast; use u64_from/usize_from/checked_product or a From-based widening",
+                            tokens[j].text
+                        ),
+                    ));
+                }
+            }
+        }
+        if scope.safety && t.text == "unsafe" && !structure.safety_commented(t) {
+            diags.push(diag(
+                "safety-comment",
+                t,
+                "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+
+    if scope.safety {
+        for &(i, ref kind) in &structure.unsafe_attrs {
+            if structure.in_test[i] {
+                continue;
+            }
+            if kind == "allow" {
+                diags.push(diag(
+                    "unsafe-containment",
+                    &tokens[i],
+                    "escape hatch `allow(unsafe_code)`".to_string(),
+                ));
+            }
+        }
+    }
+    if scope.crate_root {
+        let forbid = structure.unsafe_attrs.iter().find(|(_, k)| k == "forbid");
+        let deny = structure.unsafe_attrs.iter().find(|(_, k)| k == "deny");
+        match (forbid, deny) {
+            (Some(_), _) => {}
+            (None, Some(&(i, _))) => diags.push(diag(
+                "unsafe-containment",
+                &tokens[i],
+                "crate root relies on `deny(unsafe_code)` instead of `forbid`".to_string(),
+            )),
+            (None, None) => diags.push(Diagnostic {
+                rule: "unsafe-containment",
+                path: path.to_string(),
+                line: 1,
+                col: 1,
+                message: "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+                waived: None,
+            }),
+        }
+    }
+
+    let mut waivers = parse_waivers(&tokens);
+    apply_waivers(path, &mut diags, &mut waivers, |l| {
+        structure.waiver_coverage(l)
+    });
+    diags
+}
+
+/// Parses every `lint:allow(rule, reason)` waiver out of the comment
+/// tokens. Exposed to the docs module, which reuses the grammar for
+/// HTML comments in Markdown.
+pub(crate) fn parse_waiver_text(text: &str) -> Option<(String, String)> {
+    let start = text.find("lint:allow(")?;
+    let body = &text[start + "lint:allow(".len()..];
+    let end = body.find(')')?;
+    let body = &body[..end];
+    let (rule, reason) = body.split_once(',').unwrap_or((body, ""));
+    Some((rule.trim().to_string(), reason.trim().to_string()))
+}
+
+fn parse_waivers(tokens: &[Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in tokens {
+        // Waivers live in plain comments only: doc comments merely
+        // *describe* the grammar (as this crate's own docs do).
+        let plain = matches!(
+            t.kind,
+            TokenKind::LineComment { doc: false } | TokenKind::BlockComment { doc: false }
+        );
+        if !plain {
+            continue;
+        }
+        if let Some((rule, reason)) = parse_waiver_text(&t.text) {
+            out.push(Waiver {
+                rule,
+                reason,
+                line: t.line,
+                col: t.col,
+                used: false,
+            });
+        }
+    }
+    out
+}
+
+/// Applies waivers to the findings and appends waiver-hygiene
+/// findings (unknown rule, missing reason, unused waiver). The
+/// `coverage` closure maps a waiver's line to the lines it covers.
+pub(crate) fn apply_waivers(
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+    waivers: &mut [Waiver],
+    coverage: impl Fn(u32) -> Vec<u32>,
+) {
+    let mut hygiene = Vec::new();
+    for w in waivers.iter_mut() {
+        if !RULES.contains(&w.rule.as_str()) {
+            hygiene.push(Diagnostic {
+                rule: "waiver",
+                path: path.to_string(),
+                line: w.line,
+                col: w.col,
+                message: format!("waiver names unknown rule `{}`", w.rule),
+                waived: None,
+            });
+            w.used = true; // already reported; don't double-flag as unused
+            continue;
+        }
+        if w.reason.is_empty() {
+            hygiene.push(Diagnostic {
+                rule: "waiver",
+                path: path.to_string(),
+                line: w.line,
+                col: w.col,
+                message: format!("waiver for `{}` is missing a reason", w.rule),
+                waived: None,
+            });
+        }
+        let covered = coverage(w.line);
+        for d in diags.iter_mut() {
+            if d.rule == w.rule && d.waived.is_none() && covered.contains(&d.line) {
+                d.waived = Some(w.reason.clone());
+                w.used = true;
+            }
+        }
+    }
+    for w in waivers.iter().filter(|w| !w.used) {
+        hygiene.push(Diagnostic {
+            rule: "waiver",
+            path: path.to_string(),
+            line: w.line,
+            col: w.col,
+            message: format!("unused waiver for rule `{}`", w.rule),
+            waived: None,
+        });
+    }
+    diags.append(&mut hygiene);
+}
+
+/// Structural facts derived from the token stream.
+struct Structure {
+    /// Token is inside a `#[cfg(test)]`/`#[test]` item.
+    in_test: Vec<bool>,
+    /// Token is part of an attribute (`#[...]`/`#![...]`).
+    in_attr: Vec<bool>,
+    /// `(token index, lint level)` for every attribute naming
+    /// `unsafe_code`; level is `forbid`, `deny` or `allow`.
+    unsafe_attrs: Vec<(usize, String)>,
+    /// Line carries at least one non-comment, non-attribute token.
+    has_plain_code: Vec<bool>,
+    /// Line carries at least one non-comment token (attributes count).
+    has_any_code: Vec<bool>,
+    /// Concatenated comment text per line (block comments contribute
+    /// to every line they span).
+    comment_text: Vec<String>,
+}
+
+impl Structure {
+    /// Lines covered by a waiver at `line`: the line itself plus the
+    /// next line carrying any non-comment token (intervening comments
+    /// and blank lines are skipped).
+    fn waiver_coverage(&self, line: u32) -> Vec<u32> {
+        let mut covered = vec![line];
+        let mut l = li(line) + 1;
+        while l < self.has_any_code.len() {
+            if self.has_any_code[l] {
+                covered.push(u32::try_from(l).expect("line fits u32"));
+                break;
+            }
+            l += 1;
+        }
+        covered
+    }
+
+    /// Whether an `unsafe` token has a `SAFETY:`/`# Safety` marker on
+    /// its own line or on the contiguous comment/attribute/blank run
+    /// above it (the first code line above is checked for a trailing
+    /// comment, then the walk stops).
+    fn safety_commented(&self, t: &Token) -> bool {
+        let marker = |l: usize| {
+            self.comment_text
+                .get(l)
+                .is_some_and(|c| c.contains("SAFETY:") || c.contains("# Safety"))
+        };
+        let mut l = li(t.line);
+        if marker(l) {
+            return true;
+        }
+        while l > 1 {
+            l -= 1;
+            if marker(l) {
+                return true;
+            }
+            if self.has_plain_code[l] {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Converts a 1-based line number to an index (lines always fit).
+fn li(line: u32) -> usize {
+    usize::try_from(line).expect("line fits usize")
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.kind == TokenKind::Punct && t.text.len() == 1 && t.text.as_bytes()[0] == c as u8
+}
+
+/// Single pass over the code tokens: attribute spans, `cfg(test)`
+/// item regions, and `unsafe_code` lint-level attributes.
+fn analyze(tokens: &[Token], code: &[usize], max_line: u32) -> Structure {
+    let lines = li(max_line) + 2;
+    let mut s = Structure {
+        in_test: vec![false; tokens.len()],
+        in_attr: vec![false; tokens.len()],
+        unsafe_attrs: Vec::new(),
+        has_plain_code: vec![false; lines],
+        has_any_code: vec![false; lines],
+        comment_text: vec![String::new(); lines],
+    };
+
+    let mut i = 0;
+    while i < code.len() {
+        if !is_punct(&tokens[code[i]], '#') {
+            i += 1;
+            continue;
+        }
+        let inner = code.get(i + 1).is_some_and(|&j| is_punct(&tokens[j], '!'));
+        let lb = if inner { i + 2 } else { i + 1 };
+        if !code.get(lb).is_some_and(|&j| is_punct(&tokens[j], '[')) {
+            i += 1;
+            continue;
+        }
+        let end = match_bracket(tokens, code, lb);
+        mark_attr(&mut s, tokens, code, i, end);
+        if inner {
+            i = end + 1;
+            continue;
+        }
+        // Outer attribute: absorb any stacked attributes that follow,
+        // then decide whether the attributed item is test-only.
+        let mut any_test = attr_is_test(tokens, code, lb + 1, end);
+        let mut j = end + 1;
+        while code.get(j).is_some_and(|&k| is_punct(&tokens[k], '#'))
+            && code.get(j + 1).is_some_and(|&k| is_punct(&tokens[k], '['))
+        {
+            let end2 = match_bracket(tokens, code, j + 1);
+            mark_attr(&mut s, tokens, code, j, end2);
+            any_test |= attr_is_test(tokens, code, j + 2, end2);
+            j = end2 + 1;
+        }
+        if any_test && j < code.len() {
+            let item_end = item_end(tokens, code, j);
+            for &c in &code[j..=item_end] {
+                s.in_test[c] = true;
+            }
+            i = item_end + 1;
+        } else {
+            i = j;
+        }
+    }
+
+    for (idx, t) in tokens.iter().enumerate() {
+        let lo = li(t.line);
+        let hi = li(t.end_line);
+        if t.is_comment() {
+            for l in lo..=hi {
+                s.comment_text[l].push_str(&t.text);
+                s.comment_text[l].push('\n');
+            }
+        } else {
+            for l in lo..=hi {
+                s.has_any_code[l] = true;
+                if !s.in_attr[idx] {
+                    s.has_plain_code[l] = true;
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Marks the attribute token span and records `unsafe_code` levels.
+fn mark_attr(s: &mut Structure, tokens: &[Token], code: &[usize], start: usize, end: usize) {
+    for &c in &code[start..=end.min(code.len() - 1)] {
+        s.in_attr[c] = true;
+    }
+    let idents: Vec<&str> = code[start..=end.min(code.len() - 1)]
+        .iter()
+        .filter(|&&c| tokens[c].kind == TokenKind::Ident)
+        .map(|&c| tokens[c].text.as_str())
+        .collect();
+    if idents.contains(&"unsafe_code") {
+        for level in ["forbid", "deny", "allow"] {
+            if idents.contains(&level) {
+                s.unsafe_attrs.push((code[start], level.to_string()));
+            }
+        }
+    }
+}
+
+/// Whether the attribute body `code[from..to]` marks test-only code:
+/// a bare `#[test]`, or `cfg(...)` mentioning `test` without `not`.
+fn attr_is_test(tokens: &[Token], code: &[usize], from: usize, to: usize) -> bool {
+    let idents: Vec<&str> = code[from..to.min(code.len())]
+        .iter()
+        .filter(|&&c| tokens[c].kind == TokenKind::Ident)
+        .map(|&c| tokens[c].text.as_str())
+        .collect();
+    idents == ["test"]
+        || (idents.contains(&"cfg") && idents.contains(&"test") && !idents.contains(&"not"))
+}
+
+/// Code index of the `]` matching the `[` at code index `lb`.
+fn match_bracket(tokens: &[Token], code: &[usize], lb: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = lb;
+    while j < code.len() {
+        if is_punct(&tokens[code[j]], '[') {
+            depth += 1;
+        } else if is_punct(&tokens[code[j]], ']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    code.len() - 1
+}
+
+/// Code index of the last token of the item starting at `start`: the
+/// `;` or the `}` that closes the item at nesting depth zero.
+fn item_end(tokens: &[Token], code: &[usize], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < code.len() {
+        let t = &tokens[code[j]];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'{' | b'(' | b'[') => depth += 1,
+                Some(b'}' | b')' | b']') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 && t.text.as_bytes()[0] == b'}' {
+                        return j;
+                    }
+                }
+                Some(b';') if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_rules() -> FileScope {
+        FileScope {
+            determinism: true,
+            cast_audit: true,
+            safety: true,
+            crate_root: false,
+        }
+    }
+
+    fn unwaived(diags: &[Diagnostic]) -> Vec<(&'static str, u32, u32)> {
+        diags
+            .iter()
+            .filter(|d| d.waived.is_none())
+            .map(|d| (d.rule, d.line, d.col))
+            .collect()
+    }
+
+    #[test]
+    fn determinism_fixture_positions() {
+        let src = "fn main() {\n    let t = Instant::now();\n    let m: HashMap<u8, u8> = x;\n}\n";
+        let diags = lint_rust_source("fix.rs", src, all_rules());
+        assert_eq!(
+            unwaived(&diags),
+            [("determinism", 2, 13), ("determinism", 3, 12)]
+        );
+    }
+
+    #[test]
+    fn determinism_ignores_strings_chars_and_comments() {
+        let src = "fn main() {\n    // Instant in a comment\n    let s = \"SystemTime\";\n    let c = 'H'; let m = ashMap; // not HashMap\n}\n";
+        let diags = lint_rust_source("fix.rs", src, all_rules());
+        assert_eq!(unwaived(&diags), []);
+    }
+
+    #[test]
+    fn cast_audit_fixture_positions() {
+        let src = "fn f(x: u32) -> u64 {\n    let a = x as u64;\n    let b = x as u16;\n    a + b as u64\n}\n";
+        let diags = lint_rust_source("fix.rs", src, all_rules());
+        // `as u16` is not a lossy-accounting target; the two `as u64`
+        // casts are flagged at the `as` keyword.
+        assert_eq!(
+            unwaived(&diags),
+            [("cast-audit", 2, 15), ("cast-audit", 4, 11)]
+        );
+    }
+
+    #[test]
+    fn safety_comment_fixture() {
+        let bad = "fn f() {\n    unsafe { g() }\n}\n";
+        let diags = lint_rust_source("fix.rs", bad, all_rules());
+        assert_eq!(unwaived(&diags), [("safety-comment", 2, 5)]);
+
+        let good = "fn f() {\n    // SAFETY: g is sound here.\n    unsafe { g() }\n}\n";
+        assert_eq!(unwaived(&lint_rust_source("fix.rs", good, all_rules())), []);
+
+        // A `# Safety` doc section above an unsafe fn also counts,
+        // even with attributes in between.
+        let doc = "/// Does things.\n///\n/// # Safety\n///\n/// Caller checks x.\n#[inline]\nunsafe fn g() {}\n";
+        assert_eq!(unwaived(&lint_rust_source("fix.rs", doc, all_rules())), []);
+    }
+
+    #[test]
+    fn unsafe_containment_fixture() {
+        let root = FileScope {
+            crate_root: true,
+            ..all_rules()
+        };
+        let missing = "pub fn f() {}\n";
+        assert_eq!(
+            unwaived(&lint_rust_source("lib.rs", missing, root)),
+            [("unsafe-containment", 1, 1)]
+        );
+        let deny = "#![deny(unsafe_code)]\npub fn f() {}\n";
+        assert_eq!(
+            unwaived(&lint_rust_source("lib.rs", deny, root)),
+            [("unsafe-containment", 1, 1)]
+        );
+        let forbid = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert_eq!(unwaived(&lint_rust_source("lib.rs", forbid, root)), []);
+        // The escape hatch is flagged wherever it appears.
+        let hatch = "mod m {\n    #[allow(unsafe_code)]\n    mod k {}\n}\n";
+        assert_eq!(
+            unwaived(&lint_rust_source("fix.rs", hatch, all_rules())),
+            [("unsafe-containment", 2, 5)]
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(x: usize) -> u64 {\n        let t = Instant::now();\n        x as u64\n    }\n}\n#[test]\nfn t() {\n    let h: HashSet<u8> = x;\n}\n";
+        assert_eq!(unwaived(&lint_rust_source("fix.rs", src, all_rules())), []);
+        // `cfg(not(test))` code is NOT exempt.
+        let src = "#[cfg(not(test))]\nfn f(x: usize) -> u64 {\n    x as u64\n}\n";
+        assert_eq!(
+            unwaived(&lint_rust_source("fix.rs", src, all_rules())),
+            [("cast-audit", 3, 7)]
+        );
+    }
+
+    #[test]
+    fn waiver_covers_next_code_line() {
+        let src = "fn f(x: usize) -> u64 {\n    // lint:allow(cast-audit, fixture reason)\n    x as u64\n}\n";
+        let diags = lint_rust_source("fix.rs", src, all_rules());
+        assert_eq!(unwaived(&diags), []);
+        let waived: Vec<_> = diags.iter().filter(|d| d.waived.is_some()).collect();
+        assert_eq!(waived.len(), 1);
+        assert_eq!(waived[0].waived.as_deref(), Some("fixture reason"));
+    }
+
+    #[test]
+    fn waiver_hygiene_is_enforced() {
+        // Unknown rule.
+        let src = "// lint:allow(bogus-rule, why)\nfn f() {}\n";
+        let diags = lint_rust_source("fix.rs", src, all_rules());
+        assert_eq!(unwaived(&diags), [("waiver", 1, 1)]);
+        assert!(diags[0].message.contains("bogus-rule"));
+        // Missing reason.
+        let src = "fn f(x: usize) -> u64 {\n    // lint:allow(cast-audit)\n    x as u64\n}\n";
+        let diags = lint_rust_source("fix.rs", src, all_rules());
+        assert_eq!(unwaived(&diags), [("waiver", 2, 5)]);
+        // Unused waiver.
+        let src = "// lint:allow(determinism, nothing here needs it)\nfn f() {}\n";
+        let diags = lint_rust_source("fix.rs", src, all_rules());
+        assert_eq!(unwaived(&diags), [("waiver", 1, 1)]);
+        assert!(diags[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn waiver_grammar_in_doc_comments_is_inert() {
+        // Doc comments describe the grammar without enacting it.
+        let src = "/// Use `lint:allow(cast-audit, reason)` to waive.\nfn f(x: usize) -> u64 {\n    x as u64\n}\n";
+        let diags = lint_rust_source("fix.rs", src, all_rules());
+        assert_eq!(unwaived(&diags), [("cast-audit", 3, 7)]);
+    }
+
+    #[test]
+    fn scoping_disables_rule_families() {
+        let src = "fn f(x: usize) -> u64 {\n    let t = Instant::now();\n    x as u64\n}\n";
+        let none = FileScope::default();
+        assert_eq!(unwaived(&lint_rust_source("fix.rs", src, none)), []);
+        let det_only = FileScope {
+            determinism: true,
+            ..FileScope::default()
+        };
+        assert_eq!(
+            unwaived(&lint_rust_source("fix.rs", src, det_only)),
+            [("determinism", 2, 13)]
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The gate the CI enforces, as a test: linting this workspace finds
+//! zero unwaived violations, every waiver carries a reason, and the
+//! JSON report is byte-identical across runs.
+
+use std::path::PathBuf;
+
+use capsacc_lint::lint_workspace;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("lint crate lives at <root>/crates/lint")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_deny() {
+    let report = lint_workspace(&workspace_root()).expect("workspace walk");
+    let stragglers: Vec<String> = report.unwaived().map(|d| d.render()).collect();
+    assert!(
+        stragglers.is_empty(),
+        "unwaived lint findings:\n{}",
+        stragglers.join("\n")
+    );
+    // The gate is meaningful only if it actually scanned the tree.
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+}
+
+#[test]
+fn every_waiver_has_a_reason() {
+    let report = lint_workspace(&workspace_root()).expect("workspace walk");
+    for d in report.diagnostics.iter().filter(|d| d.waived.is_some()) {
+        let reason = d.waived.as_deref().unwrap_or_default();
+        assert!(
+            reason.len() >= 10,
+            "{}: waiver reason too thin: {reason:?}",
+            d.render()
+        );
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_runs() {
+    let root = workspace_root();
+    let a = lint_workspace(&root).expect("first run").to_json();
+    let b = lint_workspace(&root).expect("second run").to_json();
+    assert_eq!(a, b);
+}

@@ -45,7 +45,7 @@ impl SpmConfig {
 
     /// Capacity of one bank (= one power-gating sector) in bytes.
     pub fn bank_bytes(&self) -> u64 {
-        (self.bytes as u64).div_ceil(self.banks)
+        capsacc_tensor::u64_from(self.bytes).div_ceil(self.banks)
     }
 
     /// Cycles to move a unit-stride burst of `bytes` through the SPM:

@@ -5,6 +5,7 @@ use crate::prefetch::PrefetchPipeline;
 use crate::report::{MemReport, SpmKind};
 use crate::spm::SpmConfig;
 use capsacc_telemetry::Recorder;
+use capsacc_tensor::u64_from;
 
 /// Bytes one 25-bit accumulator entry occupies in the Accumulator SPM
 /// (padded to a 32-bit word).
@@ -244,9 +245,9 @@ impl MemorySubsystem {
     /// paying load/drain once per N-tile; the reuse ablation reloads
     /// the tile before every data row (and drains once per image).
     fn tile_compute_window(&self, g: &MatmulGeometry, kt_idx: usize, kk: usize) -> u64 {
-        let stream = (g.batch * g.m) as u64;
-        let load = g.rows as u64 + 1;
-        let drain = (g.rows + g.cols) as u64;
+        let stream = u64_from(g.batch * g.m);
+        let load = u64_from(g.rows) + 1;
+        let drain = u64_from(g.rows + g.cols);
         match g.schedule {
             TileSchedule::Serial => load + stream + drain,
             TileSchedule::Pipelined => {
@@ -260,7 +261,7 @@ impl MemorySubsystem {
                 }
                 window
             }
-            TileSchedule::ReloadPerRow => stream * load + stream + g.batch as u64 * drain,
+            TileSchedule::ReloadPerRow => stream * load + stream + u64_from(g.batch) * drain,
         }
     }
 
@@ -276,9 +277,9 @@ impl MemorySubsystem {
         compute_window: u64,
         g: &MatmulGeometry,
     ) -> u64 {
-        let weight_bytes = (kt * nt) as u64;
-        let data_bytes = (g.batch * g.m * kt) as u64;
-        let acc_write_bytes = (g.batch * g.m * nt) as u64 * ACC_ENTRY_BYTES;
+        let weight_bytes = u64_from(kt * nt);
+        let data_bytes = u64_from(g.batch * g.m * kt);
+        let acc_write_bytes = u64_from(g.batch * g.m * nt) * ACC_ENTRY_BYTES;
         let acc_read_bytes = if first_fold { 0 } else { acc_write_bytes };
 
         let w_busy = self.cfg.weight_spm.burst_cycles(weight_bytes);
@@ -317,8 +318,8 @@ impl MemorySubsystem {
         // Bank/port shortfalls: the array wants one nt-byte weight row
         // per load edge (kt edges) and kt data bytes + nt accumulator
         // entries per stream edge (batch·m edges).
-        let weight_edges = kt as u64;
-        let stream_edges = (g.batch * g.m) as u64;
+        let weight_edges = u64_from(kt);
+        let stream_edges = u64_from(g.batch * g.m);
         let bank_stall = w_busy.saturating_sub(weight_edges)
             + d_busy.saturating_sub(stream_edges)
             + a_busy.saturating_sub(stream_edges);

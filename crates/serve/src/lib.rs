@@ -83,7 +83,7 @@ pub use trace::{
 use capsacc_capsnet::{CapsNetConfig, QuantTrace, QuantizedParams};
 use capsacc_core::{timing, AcceleratorConfig, BatchScheduler};
 use capsacc_memory::MemorySubsystem;
-use capsacc_tensor::Tensor;
+use capsacc_tensor::{u64_from, Tensor};
 
 /// Full configuration of one simulated serve.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -122,7 +122,7 @@ pub fn service_cycles_table(
 ) -> Vec<u64> {
     let mut table = vec![0u64; max_batch + 1];
     for (n, slot) in table.iter_mut().enumerate().skip(1) {
-        *slot = timing::full_inference_batch_mem(cfg, net, n as u64).total_cycles();
+        *slot = timing::full_inference_batch_mem(cfg, net, u64_from(n)).total_cycles();
     }
     table
 }
@@ -231,7 +231,7 @@ pub fn simulate_serve_with_table(serve: &ServeConfig, table: &[u64]) -> SimOutco
 /// the ideal memory model — spin-ups are then instantaneous, exactly
 /// as the rest of the cycle model treats weights as resident.
 pub fn worker_warmup_cycles(cfg: &AcceleratorConfig, net: &CapsNetConfig) -> u64 {
-    MemorySubsystem::new(cfg.memory).stage_weights(net.total_parameters() as u64)
+    MemorySubsystem::new(cfg.memory).stage_weights(u64_from(net.total_parameters()))
 }
 
 /// Runs the **online** serving runtime — admission control, SLO-aware

@@ -45,6 +45,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use capsacc_tensor::u64_from;
+
 use crate::batcher::{BatcherConfig, ConfigError};
 use crate::sim::{BatchStat, RequestStat, SimOutcome};
 use crate::trace::{Request, VIRTUAL_TIME_HORIZON};
@@ -425,8 +427,8 @@ fn digest_event(h: &mut u64, e: &LoggedEvent) {
         } => {
             fnv_mix(h, 1);
             fnv_mix(h, cycle);
-            fnv_mix(h, request as u64);
-            fnv_mix(h, class as u64);
+            fnv_mix(h, u64_from(request));
+            fnv_mix(h, u64_from(class));
         }
         LoggedEvent::Admitted {
             cycle,
@@ -435,8 +437,8 @@ fn digest_event(h: &mut u64, e: &LoggedEvent) {
         } => {
             fnv_mix(h, 2);
             fnv_mix(h, cycle);
-            fnv_mix(h, request as u64);
-            fnv_mix(h, batch as u64);
+            fnv_mix(h, u64_from(request));
+            fnv_mix(h, u64_from(batch));
         }
         LoggedEvent::Rejected {
             cycle,
@@ -445,8 +447,8 @@ fn digest_event(h: &mut u64, e: &LoggedEvent) {
         } => {
             fnv_mix(h, 3);
             fnv_mix(h, cycle);
-            fnv_mix(h, request as u64);
-            fnv_mix(h, rejection as u64);
+            fnv_mix(h, u64_from(request));
+            fnv_mix(h, u64::from(rejection as u8));
         }
         LoggedEvent::BatchClosed {
             cycle,
@@ -456,9 +458,9 @@ fn digest_event(h: &mut u64, e: &LoggedEvent) {
         } => {
             fnv_mix(h, 4);
             fnv_mix(h, cycle);
-            fnv_mix(h, batch as u64);
-            fnv_mix(h, len as u64);
-            fnv_mix(h, cause as u64);
+            fnv_mix(h, u64_from(batch));
+            fnv_mix(h, u64_from(len));
+            fnv_mix(h, u64::from(cause as u8));
         }
         LoggedEvent::Dispatched {
             cycle,
@@ -468,9 +470,9 @@ fn digest_event(h: &mut u64, e: &LoggedEvent) {
         } => {
             fnv_mix(h, 5);
             fnv_mix(h, cycle);
-            fnv_mix(h, batch as u64);
-            fnv_mix(h, worker as u64);
-            fnv_mix(h, len as u64);
+            fnv_mix(h, u64_from(batch));
+            fnv_mix(h, u64_from(worker));
+            fnv_mix(h, u64_from(len));
         }
         LoggedEvent::Completed {
             cycle,
@@ -479,8 +481,8 @@ fn digest_event(h: &mut u64, e: &LoggedEvent) {
         } => {
             fnv_mix(h, 6);
             fnv_mix(h, cycle);
-            fnv_mix(h, batch as u64);
-            fnv_mix(h, worker as u64);
+            fnv_mix(h, u64_from(batch));
+            fnv_mix(h, u64_from(worker));
         }
         LoggedEvent::ScaledUp {
             cycle,
@@ -489,13 +491,13 @@ fn digest_event(h: &mut u64, e: &LoggedEvent) {
         } => {
             fnv_mix(h, 7);
             fnv_mix(h, cycle);
-            fnv_mix(h, worker as u64);
+            fnv_mix(h, u64_from(worker));
             fnv_mix(h, ready_at);
         }
         LoggedEvent::ScaledDown { cycle, worker } => {
             fnv_mix(h, 8);
             fnv_mix(h, cycle);
-            fnv_mix(h, worker as u64);
+            fnv_mix(h, u64_from(worker));
         }
     }
 }
@@ -779,7 +781,7 @@ impl<'a> Runtime<'a> {
         self.heap.push(Reverse(Ev {
             cycle: end,
             rank: RANK_WORKER_FREE,
-            tiebreak: worker as u64,
+            tiebreak: u64_from(worker),
             kind: EvKind::WorkerFree { worker },
         }));
         debug_assert_eq!(self.batch_stats.len(), b.id, "dispatch order is id order");
@@ -848,7 +850,7 @@ impl<'a> Runtime<'a> {
             self.heap.push(Reverse(Ev {
                 cycle: ready_at,
                 rank: RANK_WORKER_FREE,
-                tiebreak: worker as u64,
+                tiebreak: u64_from(worker),
                 kind: EvKind::WorkerFree { worker },
             }));
             self.log(LoggedEvent::ScaledUp {

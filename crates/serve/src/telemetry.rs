@@ -24,6 +24,7 @@
 //!   latency distributions, batch sizes.
 
 use capsacc_telemetry::{Recorder, TelemetryConfig};
+use capsacc_tensor::u64_from;
 
 use crate::runtime::{CloseCause, EventSink, LoggedEvent, Rejection};
 use crate::trace::Request;
@@ -289,7 +290,7 @@ impl EventSink for RuntimeTelemetry {
                     CloseCause::SloRisk => "serve.batch_closed.slo_risk",
                 };
                 self.rec.counter_add(name, 1);
-                self.rec.hist_record("serve.batch_size", len as u64);
+                self.rec.hist_record("serve.batch_size", u64_from(len));
             }
             LoggedEvent::Dispatched {
                 cycle,
@@ -329,7 +330,7 @@ impl EventSink for RuntimeTelemetry {
                     "batch",
                     start,
                     cycle,
-                    vec![("batch", batch as u64), ("len", len as u64)],
+                    vec![("batch", u64_from(batch)), ("len", u64_from(len))],
                 );
                 self.busy[worker].push((start, cycle));
                 self.rec.hist_record("serve.service_cycles", cycle - start);
@@ -344,9 +345,9 @@ impl EventSink for RuntimeTelemetry {
                         arrival,
                         cycle,
                         vec![
-                            ("req", req as u64),
-                            ("class", class as u64),
-                            ("batch", batch as u64),
+                            ("req", u64_from(req)),
+                            ("class", u64_from(class)),
+                            ("batch", u64_from(batch)),
                         ],
                     );
                     self.rec.record_span(
@@ -354,10 +355,15 @@ impl EventSink for RuntimeTelemetry {
                         "queued",
                         admitted,
                         start,
-                        vec![("req", req as u64)],
+                        vec![("req", u64_from(req))],
                     );
-                    self.rec
-                        .record_span(track, "service", start, cycle, vec![("req", req as u64)]);
+                    self.rec.record_span(
+                        track,
+                        "service",
+                        start,
+                        cycle,
+                        vec![("req", u64_from(req))],
+                    );
                     self.rec.hist_record("serve.latency_cycles", latency);
                     let met = self
                         .slos

@@ -94,6 +94,7 @@ pub fn arrival_trace(cfg: &TraceConfig) -> Vec<u64> {
         // Clamp to the horizon instead of wrapping or saturating at
         // `u64::MAX`: an absurd-but-valid mean gap must still yield a
         // sorted trace whose deadlines cannot overflow downstream.
+        // lint:allow(cast-audit, f64-to-u64 is the sampling quantization itself; negative and NaN draws are impossible by construction)
         now = now.saturating_add(gap as u64).min(VIRTUAL_TIME_HORIZON);
         arrivals.push(now);
         while arrivals.len() < cfg.requests && rng.gen_range(0.0..1.0) < p_continue {
@@ -295,6 +296,7 @@ pub fn workload_trace(cfg: &WorkloadConfig) -> Vec<Request> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let total_weight: u64 = cfg.classes.iter().map(|c| u64::from(c.weight)).sum();
     let draw_class = |rng: &mut StdRng| -> usize {
+        // lint:allow(cast-audit, f64-to-u64 is the sampling quantization itself; the draw is below total_weight and non-negative so the cast is lossless)
         let mut ticket = (rng.gen_range(0.0..1.0) * total_weight as f64) as u64;
         for (i, c) in cfg.classes.iter().enumerate() {
             let w = u64::from(c.weight);
@@ -307,6 +309,7 @@ pub fn workload_trace(cfg: &WorkloadConfig) -> Vec<Request> {
     };
     let exp_gap = |rng: &mut StdRng, mean: f64| -> u64 {
         let u: f64 = rng.gen_range(0.0..1.0);
+        // lint:allow(cast-audit, f64-to-u64 is the sampling quantization itself; the draw is non-negative by construction)
         (-(1.0 - u).ln() * mean) as u64
     };
     let mut requests = Vec::with_capacity(cfg.requests);

@@ -24,7 +24,7 @@
 //! owned data (no interior mutability, no host clocks of its own), so
 //! enabling it only ever *observes* the simulation.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod export;

@@ -15,6 +15,7 @@ pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
+    // lint:allow(cast-audit, nearest-rank is defined on the f64 ceil; rank <= len so the cast back to an index is lossless)
     let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -110,7 +111,7 @@ fn summarize(values: &[u64]) -> HistogramSummary {
     let mut sorted = values.to_vec();
     sorted.sort_unstable();
     HistogramSummary {
-        count: sorted.len() as u64,
+        count: u64::try_from(sorted.len()).expect("histogram count fits u64"),
         p50: percentile(&sorted, 50.0),
         p95: percentile(&sorted, 95.0),
         p99: percentile(&sorted, 99.0),

@@ -105,6 +105,14 @@ impl Span {
     }
 }
 
+/// Audited widening of a `u32` span index into host index space.
+/// (`capsacc-telemetry` is dependency-free, so it cannot share
+/// `capsacc_tensor::usize_from`; std offers no `From<u32> for usize`
+/// because of 16-bit targets.)
+fn span_index(idx: u32) -> usize {
+    usize::try_from(idx).expect("span index fits usize")
+}
+
 /// A span recorder with its own virtual clock.
 ///
 /// The clock is advanced *explicitly* by instrumentation
@@ -246,7 +254,7 @@ impl Recorder {
             .stack
             .pop()
             .expect("Recorder::end without matching begin");
-        self.spans[idx as usize].end = self.now;
+        self.spans[span_index(idx)].end = self.now;
     }
 
     /// Appends a numeric annotation to the innermost open span (no-op
@@ -256,7 +264,7 @@ impl Recorder {
             return;
         }
         if let Some(&idx) = self.stack.last() {
-            self.spans[idx as usize].args.push((key, v));
+            self.spans[span_index(idx)].args.push((key, v));
         }
     }
 
@@ -376,7 +384,7 @@ pub fn validate_span_tree(rec: &Recorder, track: u32) -> Result<u64, String> {
         }
         match s.parent {
             Some(p) => {
-                let p = p as usize;
+                let p = span_index(p);
                 let parent = &spans[p];
                 if parent.track != track {
                     return Err(format!("span {i} ({}) crosses tracks", s.name));

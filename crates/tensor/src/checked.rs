@@ -39,6 +39,35 @@ pub fn checked_product_u64(what: &str, factors: &[u64]) -> u64 {
         .unwrap_or_else(|| panic!("{what} overflows u64"))
 }
 
+/// Audited widening of a dimension into cycle/byte accounting space.
+///
+/// The workspace-wide cast audit (`capsacc-lint`, rule `cast-audit`)
+/// bans bare `as u64` in accounting code; this is the sanctioned
+/// route. Infallible on every supported target (`usize` ≤ 64 bits),
+/// and loud if an exotic future target ever breaks that assumption.
+///
+/// # Panics
+///
+/// Panics if `usize` is wider than 64 bits and the value overflows.
+pub fn u64_from(x: usize) -> u64 {
+    u64::try_from(x).expect("dimension exceeds u64")
+}
+
+/// Audited narrowing of a simulated quantity back into index space.
+///
+/// The inverse of [`u64_from`]: the sanctioned route where a cycle or
+/// byte count (always `u64` in the simulated paths) must index host
+/// memory. Panics instead of truncating on 32-bit hosts, so an
+/// adversarially large configuration fails loudly rather than
+/// aliasing buffers.
+///
+/// # Panics
+///
+/// Panics if `x` does not fit in the host `usize`.
+pub fn usize_from(x: u64) -> usize {
+    usize::try_from(x).expect("shape exceeds usize")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,6 @@
 //! Convolution geometry — the loop-nest bounds of Fig. 13 in the paper.
 
-use crate::checked::{checked_product, checked_product_u64};
+use crate::checked::{checked_product, checked_product_u64, u64_from};
 
 /// Geometry of a 2-D convolution over `[C_in, H, W]` inputs.
 ///
@@ -133,9 +133,9 @@ impl ConvGeometry {
         checked_product_u64(
             "MAC count",
             &[
-                self.patches() as u64,
-                self.patch_len() as u64,
-                self.out_ch as u64,
+                u64_from(self.patches()),
+                u64_from(self.patch_len()),
+                u64_from(self.out_ch),
             ],
         )
     }

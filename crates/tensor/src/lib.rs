@@ -31,6 +31,6 @@ pub mod ops;
 pub mod qops;
 mod tensor;
 
-pub use checked::{checked_product, checked_product_u64};
+pub use checked::{checked_product, checked_product_u64, u64_from, usize_from};
 pub use geometry::ConvGeometry;
 pub use tensor::{ShapeError, Tensor};

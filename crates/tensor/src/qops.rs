@@ -9,6 +9,8 @@
 
 use capsacc_fixed::{requantize, Acc25};
 
+use crate::checked::u64_from;
+
 use crate::geometry::ConvGeometry;
 use crate::tensor::Tensor;
 
@@ -81,14 +83,14 @@ pub fn conv2d_q8(
     for oc in 0..g.out_ch {
         let wbase = oc * patch_len;
         for p in 0..g.patches() {
-            let mut acc = Acc25::from_raw(bias.map_or(0, |b| b[oc] as i64));
+            let mut acc = Acc25::from_raw(bias.map_or(0, |b| i64::from(b[oc])));
             for k in 0..patch_len {
-                let d = input.data()[g.input_index(p, k)] as i64;
-                let w = weight.data()[wbase + k] as i64;
+                let d = i64::from(input.data()[g.input_index(p, k)]);
+                let w = i64::from(weight.data()[wbase + k]);
                 acc.add_product(d * w);
             }
-            stats.macs += patch_len as u64;
-            stats.saturations += acc.saturation_events() as u64;
+            stats.macs += u64_from(patch_len);
+            stats.saturations += u64::from(acc.saturation_events());
             let mut v = requantize(acc.raw(), shift);
             if relu && v < 0 {
                 v = 0;
@@ -117,10 +119,12 @@ pub fn matmul_q8(a: &Tensor<i8>, b: &Tensor<i8>, shift: u32) -> (Tensor<i8>, Mac
         for j in 0..n {
             let mut acc = Acc25::new();
             for kk in 0..k {
-                acc.add_product(a.data()[i * k + kk] as i64 * b.data()[kk * n + j] as i64);
+                let lhs = i64::from(a.data()[i * k + kk]);
+                let rhs = i64::from(b.data()[kk * n + j]);
+                acc.add_product(lhs * rhs);
             }
-            stats.macs += k as u64;
-            stats.saturations += acc.saturation_events() as u64;
+            stats.macs += u64_from(k);
+            stats.saturations += u64::from(acc.saturation_events());
             out.data_mut()[i * n + j] = requantize(acc.raw(), shift);
         }
     }
@@ -137,7 +141,7 @@ pub fn dot_q8(a: &[i8], b: &[i8]) -> (i64, u32) {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
     let mut acc = Acc25::new();
     for (&x, &y) in a.iter().zip(b) {
-        acc.add_product(x as i64 * y as i64);
+        acc.add_product(i64::from(x) * i64::from(y));
     }
     (acc.raw(), acc.saturation_events())
 }

@@ -26,6 +26,9 @@
 //! let cfg = CapsNetConfig::mnist();
 //! assert_eq!(cfg.total_parameters(), 6_804_224);
 //! ```
+
+#![forbid(unsafe_code)]
+
 pub use capsacc_capsnet as capsnet;
 pub use capsacc_core as core;
 pub use capsacc_fixed as fixed;
