@@ -13,8 +13,8 @@ run() {
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 # Static-analysis gate: the workspace's own linter (determinism,
-# cast-audit, safety-comment, unsafe-containment, doc-drift) must find
-# zero unwaived violations and refreshes LINT_report.json, which is
+# cast-audit, safety-comment, unsafe-containment, doc-drift,
+# fault-seed) must find zero unwaived violations and refreshes LINT_report.json, which is
 # diffed below like the BENCH artifacts.
 run cargo run --release -q -p capsacc-lint -- --deny --json LINT_report.json
 run cargo build --release
@@ -43,6 +43,16 @@ run cargo run --release -q -p capsacc-bench --bin exp_memdse
 # tables, engine_service_cycles, million-request diurnal scale point —
 # so the serving-perf trajectory is recorded.
 run cargo run --release -q -p capsacc-bench --bin exp_serve
+# Fault-tolerance smoke run: asserts conservation under faults (no run
+# loses a request while batches crash and requeue), the recovery
+# headline (≥90% goodput at a 1% worker-crash rate with the standard
+# retry budget), faults-off invisibility (zero-rate FaultPlan ≡
+# ResilienceConfig::none(), digest-exact), hedging efficacy (hedges
+# fire, win, and never worsen p99 under rare heavy stragglers),
+# degradation efficacy (quality shifts serve at least as much as full
+# quality under sustained overload), and byte-identical rerun
+# determinism of every fault sweep; refreshes BENCH_faults.json.
+run cargo run --release -q -p capsacc-bench --bin exp_faults
 # Engine wall-clock smoke run: asserts ticked, functional-scalar and
 # functional-SIMD (the parallel backend) are bit-identical on a full
 # MNIST inference at the paper 16x16 design point, that explicit
@@ -64,7 +74,7 @@ run cargo run --release -q -p capsacc-bench --bin exp_profile
 # The deterministic BENCH files must regenerate byte-identically (and
 # exp_profile must not have touched them). BENCH_engine.json is
 # excluded: its host-time fields vary run to run by design.
-run git diff --exit-code -- BENCH_batch.json BENCH_mem.json BENCH_serve.json LINT_report.json
+run git diff --exit-code -- BENCH_batch.json BENCH_mem.json BENCH_serve.json BENCH_faults.json LINT_report.json
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps
 
 echo

@@ -48,7 +48,8 @@ use capsacc_core::{
 };
 use capsacc_serve::{
     run_runtime, run_runtime_with_sink, service_cycles_table, workload_trace, ArrivalRegime,
-    AutoscalerConfig, BatcherConfig, ClassConfig, RuntimeConfig, RuntimeTelemetry, WorkloadConfig,
+    AutoscalerConfig, BatcherConfig, ClassConfig, ResilienceConfig, RuntimeConfig,
+    RuntimeTelemetry, WorkloadConfig,
 };
 use capsacc_telemetry::{chrome_trace_json, metrics_csv, metrics_json, validate_json, Recorder};
 use capsacc_tensor::{u64_from, Tensor};
@@ -222,6 +223,7 @@ fn profile_serve() -> (Recorder, usize) {
             eval_period_cycles: 50_000,
         }),
         record_events: false,
+        resilience: ResilienceConfig::none(),
     };
     let service = |n: usize| table[n];
     let warmup = capsacc_serve::worker_warmup_cycles(&cfg, &net);

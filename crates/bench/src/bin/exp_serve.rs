@@ -49,8 +49,8 @@ use capsacc_core::{Accelerator, AcceleratorConfig, EngineBackend, TraceLevel};
 use capsacc_serve::{
     arrival_trace, engine_service_cycles_table, run_runtime, service_cycles_table, simulate_serve,
     simulate_serve_with_table, workload_trace, ArrivalRegime, AutoscalerConfig, BatcherConfig,
-    ClassConfig, Request, RuntimeConfig, RuntimeOutcome, ScalingEvent, ServeConfig, SimOutcome,
-    TraceConfig, WorkloadConfig,
+    ClassConfig, Request, ResilienceConfig, RuntimeConfig, RuntimeOutcome, ScalingEvent,
+    ServeConfig, SimOutcome, TraceConfig, WorkloadConfig,
 };
 use capsacc_tensor::{u64_from, Tensor};
 
@@ -194,6 +194,7 @@ fn overload_runtime(queue_capacity: usize, autoscale: bool) -> RuntimeConfig {
             eval_period_cycles: 50_000,
         }),
         record_events: false,
+        resilience: ResilienceConfig::none(),
     }
 }
 
@@ -527,6 +528,7 @@ fn main() {
         deadline_aware: false,
         autoscaler: None,
         record_events: false,
+        resilience: ResilienceConfig::none(),
     };
     let online = run_runtime(&anchored, &anchor_requests, &|n| table16[n], 0);
     let offline = simulate_serve(
@@ -688,6 +690,7 @@ fn main() {
             eval_period_cycles: 100_000,
         }),
         record_events: false,
+        resilience: ResilienceConfig::none(),
     };
     let million = run_runtime(&million_rt, &million_reqs, &service, warmup);
     let spawned = million

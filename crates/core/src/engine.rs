@@ -30,6 +30,7 @@ use capsacc_capsnet::{
     primary_capsules, CapsNetConfig, QuantPipeline, QuantTrace, QuantizedParams,
     RoutingIterationTrace, RoutingVariant,
 };
+use capsacc_faults::FaultPlan;
 use capsacc_memory::{MatmulGeometry, MemReport, MemorySubsystem, TileSchedule};
 use capsacc_telemetry::{CycleKind, Recorder, SpanDetail, TelemetryConfig};
 use capsacc_tensor::{u64_from, Tensor};
@@ -114,6 +115,15 @@ pub struct Accelerator {
     pub(crate) activation_cycles: u64,
     pub(crate) memory_stall_cycles: u64,
     pub(crate) accumulator_saturations: u64,
+    // Seeded transient-fault injection at the accumulator drain. The
+    // drain op counter advances in the (n_tile, image, column, row)
+    // order both backends share, so a given plan hits the identical
+    // ops ticked or functional; with no engine faults in the plan the
+    // counter never advances and the hook is an inert early-return.
+    pub(crate) fault_plan: FaultPlan,
+    pub(crate) fault_op_seq: u64,
+    pub(crate) fault_flips: u64,
+    pub(crate) fault_masked: u64,
     // Telemetry recorder — disabled by default, and when disabled every
     // instrumentation call below is an inert early-return (the
     // byte-invisibility invariant pinned by telemetry_equivalence.rs).
@@ -155,9 +165,75 @@ impl Accelerator {
             activation_cycles: 0,
             memory_stall_cycles: 0,
             accumulator_saturations: 0,
+            fault_plan: FaultPlan::none(),
+            fault_op_seq: 0,
+            fault_flips: 0,
+            fault_masked: 0,
             rec: Recorder::disabled(),
             cfg,
         }
+    }
+
+    /// Arms seeded transient-fault injection at the accumulator drain:
+    /// each drained partial sum consumes one op-sequence draw from
+    /// `plan`, and a hit XORs one bit in `0..`[`AccumulatorUnit::BITS`]
+    /// of the raw accumulator word before bias and activation. When
+    /// `plan.engine.mask_with_saturation` is set, flipped values that
+    /// escape the accumulator's legal ±2^24 range are clamped back to
+    /// the boundary (the saturating-drain detector masking the upset)
+    /// and counted in [`Accelerator::fault_masked`]. With no engine
+    /// faults in the plan this is byte-invisible: no draw is consumed
+    /// and every output is bit-identical to the unarmed engine.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The armed fault plan ([`FaultPlan::none`] by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Drain ops that consumed a fault draw so far.
+    pub fn fault_ops(&self) -> u64 {
+        self.fault_op_seq
+    }
+
+    /// Accumulator bit-flips injected so far.
+    pub fn fault_flips(&self) -> u64 {
+        self.fault_flips
+    }
+
+    /// Injected flips masked by the saturating clamp so far.
+    pub fn fault_masked(&self) -> u64 {
+        self.fault_masked
+    }
+
+    /// Applies the armed fault plan to one drained accumulator word,
+    /// advancing the shared op counter. Inert when the plan carries no
+    /// engine faults.
+    fn apply_acc_fault(&mut self, raw: i64) -> i64 {
+        if !self.fault_plan.has_engine_faults() {
+            return raw;
+        }
+        let seq = self.fault_op_seq;
+        self.fault_op_seq += 1;
+        let Some(bit) = self.fault_plan.acc_bitflip(seq) else {
+            return raw;
+        };
+        self.fault_flips += 1;
+        self.rec.counter_add("engine.fault_flips", 1);
+        let flipped = raw ^ (1i64 << bit);
+        if !self.fault_plan.engine.mask_with_saturation {
+            return flipped;
+        }
+        let lo = -(1i64 << (AccumulatorUnit::BITS - 1));
+        let hi = (1i64 << (AccumulatorUnit::BITS - 1)) - 1;
+        let clamped = flipped.clamp(lo, hi);
+        if clamped != flipped {
+            self.fault_masked += 1;
+            self.rec.counter_add("engine.fault_masked", 1);
+        }
+        clamped
     }
 
     /// Turns telemetry recording on, replacing any existing recorder
@@ -451,6 +527,7 @@ impl Accelerator {
                     self.accumulator_saturations += events;
                     let b = bias.map_or(0i64, |b| i64::from(b[n0 + c]));
                     for (mi, raw) in acc.drain().into_iter().enumerate() {
+                        let raw = self.apply_acc_fault(raw);
                         outs[img][[mi, n0 + c]] = self.activation.reduce(raw + b, shift, kind);
                     }
                 }
@@ -709,7 +786,7 @@ impl Accelerator {
                 for c in 0..nt {
                     let b = bias.map_or(0i64, |b| i64::from(b[n0 + c]));
                     for mi in 0..drained_rows {
-                        let raw = acc_flat[(img * m + mi) * nt + c];
+                        let raw = self.apply_acc_fault(acc_flat[(img * m + mi) * nt + c]);
                         outs[img][[mi, n0 + c]] = self.activation.reduce(raw + b, shift, kind);
                     }
                 }
@@ -1345,6 +1422,68 @@ mod tests {
         assert_eq!(light.steps, full.steps);
         assert_eq!(light.traffic, full.traffic);
         assert_eq!(light.memory, full.memory);
+    }
+
+    #[test]
+    fn accumulator_faults_are_deterministic_and_backend_identical() {
+        // The drain op counter advances in the same (n_tile, image,
+        // column, row) order on both backends, so one seeded plan must
+        // hit the identical ops — same flips, same outputs — ticked or
+        // functional, and rerun byte-identically.
+        let net = CapsNetConfig::tiny();
+        let image = Tensor::from_fn(&[1, 12, 12], |i| ((i[1] + 2 * i[2]) % 7) as f32 / 7.0);
+        let mut plan = FaultPlan::seeded(17);
+        plan.engine.acc_bitflip_per_drain = 0.05;
+        let run = |backend, plan: FaultPlan| {
+            let mut cfg = AcceleratorConfig::test_4x4();
+            cfg.backend = backend;
+            let qparams = CapsNetParams::generate(&net, 23).quantize(cfg.numeric);
+            let mut acc = Accelerator::new(cfg);
+            acc.set_fault_plan(plan);
+            let out = acc.run_inference(&net, &qparams, &image);
+            (out.trace, acc.fault_ops(), acc.fault_flips())
+        };
+        let ticked = run(crate::EngineBackend::Ticked, plan);
+        let functional = run(crate::EngineBackend::Functional, plan);
+        assert_eq!(ticked, functional);
+        assert!(ticked.2 > 0, "5% per drain op must flip something");
+        assert_eq!(ticked, run(crate::EngineBackend::Ticked, plan));
+        // A plan with no engine faults is byte-invisible and consumes
+        // no draws — even when its other layers carry faults.
+        let mut noisy_elsewhere = FaultPlan::seeded(17);
+        noisy_elsewhere.serve.crash_per_dispatch = 0.5;
+        let clean = run(crate::EngineBackend::Ticked, noisy_elsewhere);
+        let unarmed = run(crate::EngineBackend::Ticked, FaultPlan::none());
+        assert_eq!(clean, unarmed);
+        assert_eq!(clean.1, 0);
+    }
+
+    #[test]
+    fn saturating_clamp_masks_out_of_range_flips() {
+        // With masking on, every injected flip that escapes the
+        // accumulator's legal ±2^24 range is pulled back to the
+        // boundary, so the visible corruption can only shrink.
+        let net = CapsNetConfig::tiny();
+        let image = Tensor::from_fn(&[1, 12, 12], |i| ((i[1] * 5 + i[2]) % 9) as f32 / 9.0);
+        let run = |mask: bool| {
+            let cfg = AcceleratorConfig::test_4x4();
+            let qparams = CapsNetParams::generate(&net, 31).quantize(cfg.numeric);
+            let mut plan = FaultPlan::seeded(41);
+            plan.engine.acc_bitflip_per_drain = 1.0;
+            plan.engine.mask_with_saturation = mask;
+            let mut acc = Accelerator::new(cfg);
+            acc.set_fault_plan(plan);
+            acc.run_inference(&net, &qparams, &image);
+            (acc.fault_flips(), acc.fault_masked())
+        };
+        let (flips_raw, masked_raw) = run(false);
+        let (flips_masked, masked_masked) = run(true);
+        assert_eq!(flips_raw, flips_masked, "same plan, same hit schedule");
+        assert_eq!(masked_raw, 0, "masking off never clamps");
+        assert!(
+            masked_masked > 0,
+            "rate-1.0 sign-bit flips must escape range and be masked"
+        );
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Deterministic, seeded fault-injection plans for the CapsAcc stack.
+//!
+//! A [`FaultPlan`] is a *pure function* from a seed and an injection
+//! index to a fault decision: no RNG state is carried between draws,
+//! no wall clock is consulted, and the same `(seed, index)` pair
+//! always yields the same answer. That makes fault schedules
+//!
+//! - **byte-identical on rerun** — the serving runtime's event order
+//!   is deterministic, so every consumer asks the plan the same
+//!   questions in the same order;
+//! - **enumerable** — tests can walk an index range and list every
+//!   fault the plan will ever inject (see
+//!   [`FaultPlan::enumerate_worker_crashes`]);
+//! - **order-independent** — decisions are keyed by a stable sequence
+//!   number (dispatch attempt, DRAM burst, accumulator drain op), not
+//!   by call order, so parallel backends and serial backends agree.
+//!
+//! Three fault layers are modeled, mirroring the crates they perturb:
+//!
+//! | layer  | faults | consumer |
+//! |--------|--------|----------|
+//! | serve  | worker crash mid-batch, stall-then-recover, straggler ×k, shard-pool panic | `capsacc-serve` runtime + `ShardPool` |
+//! | memory | DRAM transfer error (charged re-burst), SPM sector parity error (re-stage) | `capsacc-memory` `MemorySubsystem` |
+//! | engine | transient PE accumulator bit-flip, optional saturating-clamp masking | `capsacc-core` drain path |
+//!
+//! Construction is **seed-explicit**: use [`FaultPlan::none`] for the
+//! fault-free plan or [`FaultPlan::seeded`] plus the `with_*`
+//! builders. `FaultPlan::default()` exists (it is `none()`), but the
+//! workspace lint's `fault-seed` rule forbids it on simulated paths
+//! so a fault-free run is always a visible, auditable choice.
+
+#![forbid(unsafe_code)]
+
+/// Domain separator for serve-layer worker-crash draws.
+const DOMAIN_CRASH: u64 = 0x01;
+/// Domain separator for serve-layer stall draws.
+const DOMAIN_STALL: u64 = 0x02;
+/// Domain separator for serve-layer straggler draws.
+const DOMAIN_STRAGGLER: u64 = 0x03;
+/// Domain separator for shard-pool panic draws.
+const DOMAIN_POOL: u64 = 0x04;
+/// Domain separator for DRAM re-burst draws.
+const DOMAIN_DRAM: u64 = 0x05;
+/// Domain separator for SPM parity draws.
+const DOMAIN_SPM: u64 = 0x06;
+/// Domain separator for accumulator bit-flip draws.
+const DOMAIN_ACC: u64 = 0x07;
+
+/// Crash position granularity: a crash lands at
+/// `fraction/1024` of the way through the attempt's service window.
+pub const CRASH_FRACTION_DENOM: u64 = 1024;
+
+/// Accumulator datapath width targeted by engine bit-flips; matches
+/// `AccumulatorUnit::BITS` in `capsacc-core` (25-bit saturating
+/// accumulators, sign included).
+pub const ACC_FAULT_BITS: u64 = 25;
+
+/// Serve-layer fault rates. All rates are per dispatch attempt and
+/// must lie in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeFaults {
+    /// Probability that a dispatch attempt crashes its worker partway
+    /// through the batch (work wasted, batch requeued).
+    pub crash_per_dispatch: f64,
+    /// Probability that an attempt stalls before recovering.
+    pub stall_per_dispatch: f64,
+    /// Maximum stall length; actual stalls draw uniformly from
+    /// `1..=stall_cycles`.
+    pub stall_cycles: u64,
+    /// Probability that an attempt runs as a straggler.
+    pub straggler_per_dispatch: f64,
+    /// Service multiplier applied to straggling attempts (`>= 2`).
+    pub straggler_factor: u64,
+    /// Probability that a `ShardPool` worker thread panics on one of
+    /// its assigned batches (offline replay path).
+    pub pool_panic_per_batch: f64,
+}
+
+/// Memory-layer fault rates, drawn once per staged DRAM burst.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryFaults {
+    /// Probability that a DRAM burst transfer errors and must be
+    /// re-burst (re-charged against DRAM bandwidth).
+    pub dram_reburst_per_burst: f64,
+    /// Probability that an SPM sector fails parity after the write
+    /// and must be re-staged from DRAM.
+    pub spm_parity_per_burst: f64,
+}
+
+/// Engine-layer fault rates, drawn once per accumulator drain op.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineFaults {
+    /// Probability that a drained accumulator value has one bit
+    /// (within the 25-bit datapath) flipped in flight.
+    pub acc_bitflip_per_drain: f64,
+    /// When set, flipped values are re-clamped to the saturating
+    /// accumulator range, masking flips that escape it; masked flips
+    /// are still attributed.
+    pub mask_with_saturation: bool,
+}
+
+/// A deterministic, seeded fault schedule across the serve, memory
+/// and engine layers. See the crate docs for the determinism
+/// contract.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Serve-layer fault configuration.
+    pub serve: ServeFaults,
+    /// Memory-layer fault configuration.
+    pub memory: MemoryFaults,
+    /// Engine-layer fault configuration.
+    pub engine: EngineFaults,
+}
+
+impl ServeFaults {
+    /// Fault-free serve layer.
+    pub fn none() -> Self {
+        ServeFaults {
+            crash_per_dispatch: 0.0,
+            stall_per_dispatch: 0.0,
+            stall_cycles: 0,
+            straggler_per_dispatch: 0.0,
+            straggler_factor: 2,
+            pool_panic_per_batch: 0.0,
+        }
+    }
+}
+
+impl MemoryFaults {
+    /// Fault-free memory layer.
+    pub fn none() -> Self {
+        MemoryFaults {
+            dram_reburst_per_burst: 0.0,
+            spm_parity_per_burst: 0.0,
+        }
+    }
+}
+
+impl EngineFaults {
+    /// Fault-free engine layer.
+    pub fn none() -> Self {
+        EngineFaults {
+            acc_bitflip_per_drain: 0.0,
+            mask_with_saturation: false,
+        }
+    }
+}
+
+/// `Default` is the fault-free plan. Simulated paths must not rely on
+/// it — the workspace lint's `fault-seed` rule requires seed-explicit
+/// construction (`FaultPlan::none()` or `FaultPlan::seeded(seed)`) so
+/// a rerun can always be reproduced from the logged seed.
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The fault-free plan: every decision method returns "no fault"
+    /// without consuming entropy. Byte-invisible to any consumer.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            serve: ServeFaults::none(),
+            memory: MemoryFaults::none(),
+            engine: EngineFaults::none(),
+        }
+    }
+
+    /// A plan with an explicit seed and no faults enabled yet; turn
+    /// layers on with [`with_serve`](Self::with_serve),
+    /// [`with_memory`](Self::with_memory) and
+    /// [`with_engine`](Self::with_engine).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// The seed this plan draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Replaces the serve-layer fault configuration.
+    pub fn with_serve(mut self, serve: ServeFaults) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    /// Replaces the memory-layer fault configuration.
+    pub fn with_memory(mut self, memory: MemoryFaults) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Replaces the engine-layer fault configuration.
+    pub fn with_engine(mut self, engine: EngineFaults) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// True when no layer can ever inject a fault; consumers use this
+    /// to keep the fault-free path byte-identical to pre-fault code.
+    pub fn is_none(&self) -> bool {
+        self.serve.crash_per_dispatch == 0.0
+            && self.serve.stall_per_dispatch == 0.0
+            && self.serve.straggler_per_dispatch == 0.0
+            && self.serve.pool_panic_per_batch == 0.0
+            && self.memory.dram_reburst_per_burst == 0.0
+            && self.memory.spm_parity_per_burst == 0.0
+            && self.engine.acc_bitflip_per_drain == 0.0
+    }
+
+    /// True when the serve layer can perturb dispatch attempts.
+    pub fn has_serve_faults(&self) -> bool {
+        self.serve.crash_per_dispatch > 0.0
+            || self.serve.stall_per_dispatch > 0.0
+            || self.serve.straggler_per_dispatch > 0.0
+    }
+
+    /// True when the memory layer can perturb staging.
+    pub fn has_memory_faults(&self) -> bool {
+        self.memory.dram_reburst_per_burst > 0.0 || self.memory.spm_parity_per_burst > 0.0
+    }
+
+    /// True when the engine layer can flip accumulator bits.
+    pub fn has_engine_faults(&self) -> bool {
+        self.engine.acc_bitflip_per_drain > 0.0
+    }
+
+    /// Validates every rate and parameter; `Err` carries the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let rates = [
+            self.serve.crash_per_dispatch,
+            self.serve.stall_per_dispatch,
+            self.serve.straggler_per_dispatch,
+            self.serve.pool_panic_per_batch,
+            self.memory.dram_reburst_per_burst,
+            self.memory.spm_parity_per_burst,
+            self.engine.acc_bitflip_per_drain,
+        ];
+        if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err("fault rates must lie in [0, 1]");
+        }
+        if self.serve.stall_per_dispatch > 0.0 && self.serve.stall_cycles == 0 {
+            return Err("stall_per_dispatch > 0 requires stall_cycles >= 1");
+        }
+        if self.serve.straggler_per_dispatch > 0.0 && self.serve.straggler_factor < 2 {
+            return Err("straggler_per_dispatch > 0 requires straggler_factor >= 2");
+        }
+        Ok(())
+    }
+
+    /// Does dispatch attempt `attempt_seq` crash its worker? `Some`
+    /// carries the crash point as a numerator over
+    /// [`CRASH_FRACTION_DENOM`], always in `1..=1023` so a crash
+    /// never lands exactly at the start or the end of the window.
+    pub fn worker_crash(&self, attempt_seq: u64) -> Option<u64> {
+        let draw = self.prf(DOMAIN_CRASH, attempt_seq);
+        if unit(draw) < self.serve.crash_per_dispatch {
+            Some(1 + self.prf(DOMAIN_CRASH, attempt_seq ^ u64::MAX) % (CRASH_FRACTION_DENOM - 1))
+        } else {
+            None
+        }
+    }
+
+    /// Does dispatch attempt `attempt_seq` stall? `Some` carries the
+    /// stall length in cycles, uniform in `1..=stall_cycles`.
+    pub fn worker_stall(&self, attempt_seq: u64) -> Option<u64> {
+        if self.serve.stall_cycles == 0 {
+            return None;
+        }
+        let draw = self.prf(DOMAIN_STALL, attempt_seq);
+        if unit(draw) < self.serve.stall_per_dispatch {
+            Some(1 + self.prf(DOMAIN_STALL, attempt_seq ^ u64::MAX) % self.serve.stall_cycles)
+        } else {
+            None
+        }
+    }
+
+    /// Does dispatch attempt `attempt_seq` straggle? `Some` carries
+    /// the service multiplier.
+    pub fn straggler(&self, attempt_seq: u64) -> Option<u64> {
+        let draw = self.prf(DOMAIN_STRAGGLER, attempt_seq);
+        if unit(draw) < self.serve.straggler_per_dispatch {
+            Some(self.serve.straggler_factor)
+        } else {
+            None
+        }
+    }
+
+    /// Does shard-pool worker `worker` panic while executing batch
+    /// `batch`? Keyed by the (worker, batch) pair so the decision is
+    /// independent of thread interleaving.
+    pub fn pool_panic(&self, worker: u64, batch: u64) -> bool {
+        let index = worker
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(batch);
+        unit(self.prf(DOMAIN_POOL, index)) < self.serve.pool_panic_per_batch
+    }
+
+    /// Does DRAM burst `burst_seq` error and require a re-burst?
+    pub fn dram_reburst(&self, burst_seq: u64) -> bool {
+        unit(self.prf(DOMAIN_DRAM, burst_seq)) < self.memory.dram_reburst_per_burst
+    }
+
+    /// Does the SPM sector written by burst `burst_seq` fail parity
+    /// and require a re-stage?
+    pub fn spm_parity(&self, burst_seq: u64) -> bool {
+        unit(self.prf(DOMAIN_SPM, burst_seq)) < self.memory.spm_parity_per_burst
+    }
+
+    /// Does accumulator drain op `op_seq` suffer a bit-flip? `Some`
+    /// carries the flipped bit position in `0..ACC_FAULT_BITS`.
+    pub fn acc_bitflip(&self, op_seq: u64) -> Option<u32> {
+        let draw = self.prf(DOMAIN_ACC, op_seq);
+        if unit(draw) < self.engine.acc_bitflip_per_drain {
+            let bit = self.prf(DOMAIN_ACC, op_seq ^ u64::MAX) % ACC_FAULT_BITS;
+            Some(u32::try_from(bit).expect("bit position fits u32"))
+        } else {
+            None
+        }
+    }
+
+    /// Enumerates every worker crash the plan injects over the first
+    /// `attempts` dispatch attempts, as `(attempt_seq, crash
+    /// fraction)` pairs. Tests use this to cross-check the runtime's
+    /// logged crashes against the schedule.
+    pub fn enumerate_worker_crashes(&self, attempts: u64) -> Vec<(u64, u64)> {
+        (0..attempts)
+            .filter_map(|seq| self.worker_crash(seq).map(|f| (seq, f)))
+            .collect()
+    }
+
+    /// SplitMix64-style pseudorandom function over `(seed, domain,
+    /// index)`. Stateless: the whole schedule is a pure function of
+    /// the plan.
+    fn prf(&self, domain: u64, index: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(domain.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Maps a PRF draw to a uniform float in `[0, 1)` using the top 53
+/// bits, so threshold comparisons are exact in f64.
+fn unit(draw: u64) -> f64 {
+    let mantissa = draw >> 11;
+    mantissa_f64(mantissa) / mantissa_f64(1u64 << 53)
+}
+
+/// Exact u64→f64 conversion for values below 2^53.
+fn mantissa_f64(v: u64) -> f64 {
+    debug_assert!(v <= 1u64 << 53);
+    let hi = u32::try_from(v >> 32).expect("below 2^53");
+    let lo = u32::try_from(v & 0xFFFF_FFFF).expect("masked to 32 bits");
+    f64::from(hi) * 4_294_967_296.0 + f64::from(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy_plan(seed: u64) -> FaultPlan {
+        FaultPlan::seeded(seed)
+            .with_serve(ServeFaults {
+                crash_per_dispatch: 0.25,
+                stall_per_dispatch: 0.25,
+                stall_cycles: 500,
+                straggler_per_dispatch: 0.25,
+                straggler_factor: 4,
+                pool_panic_per_batch: 0.25,
+            })
+            .with_memory(MemoryFaults {
+                dram_reburst_per_burst: 0.25,
+                spm_parity_per_burst: 0.25,
+            })
+            .with_engine(EngineFaults {
+                acc_bitflip_per_drain: 0.25,
+                mask_with_saturation: true,
+            })
+    }
+
+    #[test]
+    fn none_plan_is_silent_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        plan.validate().expect("none plan is valid");
+        for seq in 0..10_000 {
+            assert_eq!(plan.worker_crash(seq), None);
+            assert_eq!(plan.worker_stall(seq), None);
+            assert_eq!(plan.straggler(seq), None);
+            assert!(!plan.pool_panic(seq, seq));
+            assert!(!plan.dram_reburst(seq));
+            assert!(!plan.spm_parity(seq));
+            assert_eq!(plan.acc_bitflip(seq), None);
+        }
+        assert_eq!(FaultPlan::default(), plan);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = lossy_plan(42);
+        let b = lossy_plan(42);
+        for seq in 0..5_000 {
+            assert_eq!(a.worker_crash(seq), b.worker_crash(seq));
+            assert_eq!(a.worker_stall(seq), b.worker_stall(seq));
+            assert_eq!(a.straggler(seq), b.straggler(seq));
+            assert_eq!(a.acc_bitflip(seq), b.acc_bitflip(seq));
+            assert_eq!(a.dram_reburst(seq), b.dram_reburst(seq));
+            assert_eq!(a.spm_parity(seq), b.spm_parity(seq));
+        }
+        assert_eq!(
+            a.enumerate_worker_crashes(5_000),
+            b.enumerate_worker_crashes(5_000)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = lossy_plan(1);
+        let b = lossy_plan(2);
+        let crashes_a = a.enumerate_worker_crashes(2_000);
+        let crashes_b = b.enumerate_worker_crashes(2_000);
+        assert_ne!(crashes_a, crashes_b, "seeds 1 and 2 agree on 2000 draws");
+    }
+
+    #[test]
+    fn rates_land_near_target() {
+        let plan = lossy_plan(7);
+        let n = 40_000u64;
+        let crashes = plan.enumerate_worker_crashes(n).len();
+        let expect = 10_000usize;
+        let slack = 1_000usize;
+        assert!(
+            crashes.abs_diff(expect) < slack,
+            "crash rate off: {crashes} of {n} at p=0.25"
+        );
+    }
+
+    #[test]
+    fn crash_fraction_in_open_interval() {
+        let plan = lossy_plan(11);
+        for (_, frac) in plan.enumerate_worker_crashes(10_000) {
+            assert!((1..CRASH_FRACTION_DENOM).contains(&frac));
+        }
+    }
+
+    #[test]
+    fn stall_and_bitflip_ranges_hold() {
+        let plan = lossy_plan(13);
+        for seq in 0..10_000 {
+            if let Some(stall) = plan.worker_stall(seq) {
+                assert!((1..=plan.serve.stall_cycles).contains(&stall));
+            }
+            if let Some(bit) = plan.acc_bitflip(seq) {
+                assert!(u64::from(bit) < ACC_FAULT_BITS);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut plan = lossy_plan(1);
+        plan.serve.crash_per_dispatch = 1.5;
+        assert!(plan.validate().is_err());
+        let mut plan = lossy_plan(1);
+        plan.serve.stall_cycles = 0;
+        assert!(plan.validate().is_err());
+        let mut plan = lossy_plan(1);
+        plan.serve.straggler_factor = 1;
+        assert!(plan.validate().is_err());
+    }
+}

@@ -12,10 +12,11 @@ use std::fmt::Write as _;
 
 /// The closed set of rule names, sorted; `waiver` covers hygiene of
 /// the waiver grammar itself (unknown rule, missing reason, unused).
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "cast-audit",
     "determinism",
     "doc-drift",
+    "fault-seed",
     "safety-comment",
     "unsafe-containment",
     "waiver",

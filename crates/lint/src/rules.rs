@@ -33,6 +33,9 @@ pub struct FileScope {
     /// `unsafe` requires an adjacent `// SAFETY:` comment, and
     /// `#[allow(unsafe_code)]` escape hatches need waivers.
     pub safety: bool,
+    /// Fault plans must be seed-explicit: `FaultPlan::default()` is
+    /// forbidden in favor of `FaultPlan::seeded(seed)` / `none()`.
+    pub fault_seed: bool,
     /// File is a crate root and must pin `#![forbid(unsafe_code)]`.
     pub crate_root: bool,
 }
@@ -96,6 +99,23 @@ pub fn lint_rust_source(path: &str, src: &str, scope: FileScope) -> Vec<Diagnost
                         ),
                     ));
                 }
+            }
+        }
+        if scope.fault_seed && t.text == "FaultPlan" {
+            let mut after = code.iter().filter(|&&j| j > i);
+            let (n1, n2, n3) = (after.next(), after.next(), after.next());
+            let punct = |j: Option<&usize>, c| j.is_some_and(|&j| is_punct(&tokens[j], c));
+            let ident = |j: Option<&usize>, s: &str| {
+                j.is_some_and(|&j| tokens[j].kind == TokenKind::Ident && tokens[j].text == s)
+            };
+            if punct(n1, ':') && punct(n2, ':') && ident(n3, "default") {
+                diags.push(diag(
+                    "fault-seed",
+                    t,
+                    "`FaultPlan::default()` hides the fault seed; construct with \
+                     `FaultPlan::seeded(seed)` or `FaultPlan::none()`"
+                        .to_string(),
+                ));
             }
         }
         if scope.safety && t.text == "unsafe" && !structure.safety_commented(t) {
@@ -468,6 +488,7 @@ mod tests {
             determinism: true,
             cast_audit: true,
             safety: true,
+            fault_seed: true,
             crate_root: false,
         }
     }
@@ -547,6 +568,21 @@ mod tests {
         assert_eq!(
             unwaived(&lint_rust_source("fix.rs", hatch, all_rules())),
             [("unsafe-containment", 2, 5)]
+        );
+    }
+
+    #[test]
+    fn fault_seed_fixture() {
+        let src = "fn f() {\n    let p = FaultPlan::default();\n    let q = FaultPlan::seeded(7);\n    let r = FaultPlan::none();\n}\n";
+        let diags = lint_rust_source("fix.rs", src, all_rules());
+        // Only the seed-hiding constructor is flagged; the explicit
+        // seeded()/none() constructors pass.
+        assert_eq!(unwaived(&diags), [("fault-seed", 2, 13)]);
+        // Exempt in tests, like every other rule.
+        let test_src = "#[test]\nfn t() {\n    let p = FaultPlan::default();\n}\n";
+        assert_eq!(
+            unwaived(&lint_rust_source("fix.rs", test_src, all_rules())),
+            []
         );
     }
 

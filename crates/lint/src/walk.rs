@@ -29,6 +29,10 @@ pub fn scope_for(rel: &str) -> FileScope {
         determinism: crate_name != Some("bench"),
         cast_audit: true,
         safety: true,
+        // Seed-hiding FaultPlan construction is forbidden everywhere:
+        // an implicit default seed would break rerun reproducibility
+        // exactly where it matters most.
+        fault_seed: true,
         crate_root: rel == "src/lib.rs"
             || (rel.starts_with("crates/")
                 && rel.ends_with("/src/lib.rs")

@@ -4,6 +4,7 @@ use crate::dram::DramConfig;
 use crate::prefetch::PrefetchPipeline;
 use crate::report::{MemReport, SpmKind};
 use crate::spm::SpmConfig;
+use capsacc_faults::FaultPlan;
 use capsacc_telemetry::Recorder;
 use capsacc_tensor::u64_from;
 
@@ -175,6 +176,18 @@ pub enum TileSchedule {
     /// The weight-reuse ablation: the tile reloads before every data
     /// row, so each tile occupies the array far longer.
     ReloadPerRow,
+}
+
+/// Outcome of a fault-injected weight staging: the exposed cycles plus
+/// how many bursts were retried at each layer of the hierarchy.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct StageOutcome {
+    /// Exposed cycles: the base fill plus every recovery re-transfer.
+    pub cycles: u64,
+    /// DRAM bursts that errored and crossed the channel again.
+    pub dram_rebursts: u64,
+    /// SPM sectors that failed parity and were re-staged from DRAM.
+    pub spm_restages: u64,
 }
 
 /// The three scratchpads, the DRAM channel and the prefetcher, driven
@@ -385,6 +398,54 @@ impl MemorySubsystem {
         cycles
     }
 
+    /// [`MemorySubsystem::stage_weights`] under a seeded [`FaultPlan`]:
+    /// the bulk fill proceeds burst by burst, and burst `i` draws its
+    /// fate at fault sequence `seq_base + i`. A DRAM transfer error
+    /// re-bursts that burst — the channel is charged again, honestly,
+    /// in both cycles and off-chip bytes. An SPM sector parity failure
+    /// re-stages the burst from DRAM through the Weight SPM (a full
+    /// per-burst weight stage). With no memory faults in the plan this
+    /// is byte-identical to `stage_weights`: same cycles, same
+    /// counters. Under [`MemoryMode::Ideal`] recoveries are counted
+    /// but, like every other transfer, never stall.
+    pub fn stage_weights_faulted(
+        &mut self,
+        bytes: u64,
+        plan: &FaultPlan,
+        seq_base: u64,
+    ) -> StageOutcome {
+        let mut out = StageOutcome {
+            cycles: self.stage_weights(bytes),
+            ..StageOutcome::default()
+        };
+        if !plan.has_memory_faults() || bytes == 0 {
+            return out;
+        }
+        let burst = self.cfg.dram.burst_bytes.max(1);
+        let bursts = bytes.div_ceil(burst);
+        for i in 0..bursts {
+            let seq = seq_base + i;
+            if plan.dram_reburst(seq) {
+                // The corrupted burst crosses the channel again.
+                self.report.dram_weight_bytes += burst;
+                if !self.cfg.is_ideal() {
+                    let c = self.cfg.dram.transfer_cycles(burst);
+                    self.report.prefetch_stall_cycles += c;
+                    self.report.stall_cycles += c;
+                    out.cycles += c;
+                }
+                out.dram_rebursts += 1;
+            }
+            if plan.spm_parity(seq) {
+                // The failed sector re-stages from DRAM through the
+                // Weight SPM, paying the full per-burst staging cost.
+                out.cycles += self.stage_weights(burst);
+                out.spm_restages += 1;
+            }
+        }
+        out
+    }
+
     /// Stages `bytes` of bias parameters from DRAM into the Weight SPM.
     /// Biases ride along with their layer's weight stream, so every
     /// parameter byte crosses the off-chip channel exactly once per
@@ -537,6 +598,73 @@ mod tests {
         let mut ideal = MemorySubsystem::new(MemoryConfig::ideal());
         assert_eq!(ideal.stage_weights(1_000), 0);
         assert_eq!(ideal.report().dram_weight_bytes, 1_000);
+    }
+
+    #[test]
+    fn faultless_staging_is_byte_identical_to_the_plain_path() {
+        // A FaultPlan with no memory faults must be invisible: same
+        // cycles, same counters — even when the plan carries serve or
+        // engine faults, which this layer must never consult.
+        let plan = FaultPlan::seeded(7);
+        let cfg = MemoryConfig::paper();
+        let mut plain = MemorySubsystem::new(cfg);
+        let base = plain.stage_weights(1_000_000);
+        let mut faulted = MemorySubsystem::new(cfg);
+        let out = faulted.stage_weights_faulted(1_000_000, &plan, 0);
+        assert_eq!(out.cycles, base);
+        assert_eq!(out.dram_rebursts, 0);
+        assert_eq!(out.spm_restages, 0);
+        assert_eq!(plain.report(), faulted.report());
+    }
+
+    #[test]
+    fn faulted_staging_is_deterministic_and_charged_honestly() {
+        let mut plan = FaultPlan::seeded(11);
+        plan.memory.dram_reburst_per_burst = 0.05;
+        plan.memory.spm_parity_per_burst = 0.02;
+        let cfg = MemoryConfig::paper();
+        let run = || {
+            let mut mem = MemorySubsystem::new(cfg);
+            let out = mem.stage_weights_faulted(1_000_000, &plan, 0);
+            (out, mem.report())
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a, b, "same seed, same fault schedule");
+        assert_eq!(ra, rb);
+        assert!(a.dram_rebursts > 0, "5% over ~15k bursts must fire");
+        assert!(a.spm_restages > 0);
+        // Every re-burst moved burst_bytes across the channel again.
+        let base_bytes = 1_000_000u64;
+        assert_eq!(
+            ra.dram_weight_bytes,
+            base_bytes + (a.dram_rebursts + a.spm_restages) * cfg.dram.burst_bytes
+        );
+        // Recoveries cost real exposed cycles beyond the clean fill.
+        let clean = MemorySubsystem::new(cfg).stage_weights(base_bytes);
+        assert!(a.cycles > clean);
+        // A different seed gives a different (but still valid) schedule.
+        let mut other = FaultPlan::seeded(12);
+        other.memory = plan.memory;
+        let mut mem = MemorySubsystem::new(cfg);
+        let c = mem.stage_weights_faulted(base_bytes, &other, 0);
+        assert_ne!(
+            (a.dram_rebursts, a.spm_restages),
+            (c.dram_rebursts, c.spm_restages)
+        );
+    }
+
+    #[test]
+    fn ideal_memory_counts_recoveries_but_never_stalls() {
+        let mut plan = FaultPlan::seeded(3);
+        plan.memory.dram_reburst_per_burst = 1.0;
+        plan.memory.spm_parity_per_burst = 1.0;
+        let mut mem = MemorySubsystem::new(MemoryConfig::ideal());
+        let out = mem.stage_weights_faulted(10_000, &plan, 0);
+        assert_eq!(out.cycles, 0);
+        assert!(out.dram_rebursts > 0 && out.spm_restages > 0);
+        assert_eq!(mem.report().stall_cycles, 0);
+        assert!(mem.report().dram_weight_bytes > 10_000);
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum ConfigError {
     /// An autoscaler bound or period is degenerate; the payload names
     /// the constraint.
     InvalidAutoscaler(&'static str),
+    /// A fault-plan rate or recovery policy is degenerate; the payload
+    /// names the constraint.
+    InvalidResilience(&'static str),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -62,6 +65,7 @@ impl std::fmt::Display for ConfigError {
                 )
             }
             ConfigError::InvalidAutoscaler(what) => write!(f, "invalid autoscaler: {what}"),
+            ConfigError::InvalidResilience(what) => write!(f, "invalid resilience: {what}"),
         }
     }
 }

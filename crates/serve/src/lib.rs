@@ -70,8 +70,10 @@ mod trace;
 pub use batcher::{form_batches, BatcherConfig, ConfigError, MicroBatch};
 pub use pool::{PoolError, ShardPool};
 pub use runtime::{
-    run_runtime, run_runtime_with_sink, AutoscalerConfig, ClassStats, CloseCause, EventSink,
-    LoggedEvent, NullSink, Rejection, RejectionRecord, RuntimeConfig, RuntimeOutcome, ScalingEvent,
+    run_runtime, run_runtime_resilient, run_runtime_with_sink, AutoscalerConfig, ClassStats,
+    CloseCause, DegradeConfig, EventSink, FaultStats, HedgeConfig, LoggedEvent, NullSink,
+    Rejection, RejectionRecord, ResilienceConfig, RetryConfig, RuntimeConfig, RuntimeOutcome,
+    ScalingEvent, ServiceModel,
 };
 pub use sim::{dispatch_batches, percentile, BatchStat, RequestStat, SimOutcome};
 pub use telemetry::RuntimeTelemetry;
@@ -281,6 +283,87 @@ pub fn simulate_runtime_with_table(
         rt.batcher.max_batch + 1
     );
     run_runtime(rt, requests, &|n| table[n], warmup_cycles)
+}
+
+/// [`worker_warmup_cycles`] under a seeded [`capsacc_faults::FaultPlan`]:
+/// the respawned replica's bulk weight fill runs burst by burst through
+/// [`MemorySubsystem::stage_weights_faulted`], so DRAM transfer errors
+/// and SPM parity failures during the fill are re-charged honestly.
+/// Each respawn draws in its own burst-sequence window
+/// (`respawn_seq << 32`), so successive respawns see independent —
+/// but still seed-deterministic — fault schedules. With no memory
+/// faults in the plan this equals [`worker_warmup_cycles`] exactly.
+pub fn worker_warmup_cycles_faulted(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    plan: &capsacc_faults::FaultPlan,
+    respawn_seq: u64,
+) -> u64 {
+    MemorySubsystem::new(cfg.memory)
+        .stage_weights_faulted(u64_from(net.total_parameters()), plan, respawn_seq << 32)
+        .cycles
+}
+
+/// Per-degradation-level service tables: level `l` sheds routing
+/// iterations (3 → 2 → 1 under the paper network), never below one, and
+/// prices each level with the closed-form cycle model. `tables[l][n]`
+/// is a batch-of-`n`'s cycle cost at degradation level `l`; level 0 is
+/// exactly [`service_cycles_table`].
+pub fn degraded_service_tables(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    max_batch: usize,
+    max_level: u32,
+) -> Vec<Vec<u64>> {
+    (0..=usize::try_from(max_level).expect("degradation level fits usize"))
+        .map(|l| {
+            let mut shed = *net;
+            shed.routing_iterations = shed.routing_iterations.saturating_sub(l).max(1);
+            service_cycles_table(cfg, &shed, max_batch)
+        })
+        .collect()
+}
+
+/// [`simulate_runtime`] with fault injection and recovery armed from
+/// [`RuntimeConfig::resilience`]: service times come from
+/// [`degraded_service_tables`] (graceful degradation sheds routing
+/// iterations per level), and crash-replacement warmups are staged
+/// through [`worker_warmup_cycles_faulted`] so memory-layer faults
+/// surface as honestly charged, longer spin-ups.
+///
+/// With [`ResilienceConfig::none`] this is byte-identical to
+/// [`simulate_runtime`] — same events, same digest, same outcome.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_runtime`].
+pub fn simulate_runtime_resilient(
+    cfg: &AcceleratorConfig,
+    net: &CapsNetConfig,
+    rt: &RuntimeConfig,
+    requests: &[Request],
+) -> RuntimeOutcome {
+    cfg.validate().expect("invalid accelerator configuration");
+    let max_level = rt.resilience.degrade.map_or(0, |d| d.max_level);
+    let tables = degraded_service_tables(cfg, net, rt.batcher.max_batch, max_level);
+    let plan = rt.resilience.faults;
+    let mem_cfg = cfg.memory;
+    let param_bytes = u64_from(net.total_parameters());
+    let service = |level: u32, n: usize| {
+        let l = usize::try_from(level.min(max_level)).expect("degradation level fits usize");
+        tables[l][n]
+    };
+    let respawn = |seq: u64| {
+        MemorySubsystem::new(mem_cfg)
+            .stage_weights_faulted(param_bytes, &plan, seq << 32)
+            .cycles
+    };
+    let model = ServiceModel {
+        service: &service,
+        respawn_warmup: &respawn,
+    };
+    let warmup = worker_warmup_cycles(cfg, net);
+    run_runtime_resilient(rt, requests, &model, warmup, &mut NullSink)
 }
 
 /// Runs the serving pipeline with the batches *actually executed* by a

@@ -17,7 +17,8 @@
 
 use capsacc_capsnet::{CapsNetConfig, QuantizedParams};
 use capsacc_core::{AcceleratorConfig, BatchError, BatchRun, BatchScheduler};
-use capsacc_tensor::Tensor;
+use capsacc_faults::FaultPlan;
+use capsacc_tensor::{u64_from, Tensor};
 
 /// A failure of a pool run — either a worker refused its input
 /// (typed [`BatchError`]) or a worker *thread* died mid-batch. Both
@@ -29,10 +30,13 @@ pub enum PoolError {
     /// image).
     Batch(BatchError),
     /// A worker thread panicked; the payload names the lowest such
-    /// worker id.
+    /// worker id and carries the panic message.
     WorkerPanicked {
         /// Id of the crashed worker.
         worker: usize,
+        /// The thread's panic payload (`&str`/`String` payloads are
+        /// captured verbatim; anything else is summarized).
+        message: String,
     },
 }
 
@@ -40,10 +44,21 @@ impl std::fmt::Display for PoolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PoolError::Batch(e) => write!(f, "worker batch error: {e}"),
-            PoolError::WorkerPanicked { worker } => {
-                write!(f, "shard worker {worker} panicked mid-run")
+            PoolError::WorkerPanicked { worker, message } => {
+                write!(f, "shard worker {worker} panicked mid-run: {message}")
             }
         }
+    }
+}
+
+/// Extracts a human-readable message from a thread's panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -92,10 +107,11 @@ impl From<BatchError> for PoolError {
 pub struct ShardPool {
     cfg: AcceleratorConfig,
     workers: usize,
-    /// Test-only fault hook: `(worker, batch)` slot whose execution
-    /// panics, exercising the [`PoolError::WorkerPanicked`] path.
-    #[cfg(test)]
-    fault: Option<(usize, usize)>,
+    /// Seeded fault plan: `(worker, batch)` slots whose execution
+    /// panics are drawn from [`FaultPlan::pool_panic`], exercising the
+    /// [`PoolError::WorkerPanicked`] recovery path deterministically.
+    /// [`FaultPlan::none`] by default — no slot is ever poisoned.
+    plan: FaultPlan,
 }
 
 impl ShardPool {
@@ -111,8 +127,7 @@ impl ShardPool {
         Self {
             cfg,
             workers,
-            #[cfg(test)]
-            fault: None,
+            plan: FaultPlan::none(),
         }
     }
 
@@ -121,24 +136,19 @@ impl ShardPool {
         self.workers
     }
 
-    /// Poisons one `(worker, batch)` slot so its execution panics —
-    /// the injection point for the panic-surfacing test.
-    #[cfg(test)]
-    fn with_fault(mut self, worker: usize, batch: usize) -> Self {
-        self.fault = Some((worker, batch));
+    /// Arms a seeded [`FaultPlan`]: every `(worker, batch)` slot for
+    /// which [`FaultPlan::pool_panic`] draws true panics mid-execution,
+    /// and the pool must surface it as a typed
+    /// [`PoolError::WorkerPanicked`]. Byte-invisible when the plan
+    /// carries no pool faults.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
         self
     }
 
-    /// The batch index poisoned for `worker`, if any.
-    #[cfg(test)]
-    fn fault_for(&self, worker: usize) -> Option<usize> {
-        self.fault.and_then(|(w, b)| (w == worker).then_some(b))
-    }
-
-    /// Production builds have no fault hook: nothing is ever poisoned.
-    #[cfg(not(test))]
-    fn fault_for(&self, _worker: usize) -> Option<usize> {
-        None
+    /// The armed fault plan ([`FaultPlan::none`] by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// Executes per-worker batch lists in parallel, one OS thread per
@@ -152,9 +162,10 @@ impl ShardPool {
     /// # Errors
     ///
     /// [`PoolError::WorkerPanicked`] if a worker thread died mid-run
-    /// (lowest such worker id — every thread is still joined, so no
-    /// replica leaks), else the first [`PoolError::Batch`] any worker
-    /// hit (empty batch or mis-shaped image), by lowest worker id.
+    /// (lowest such worker id, panic message captured — every thread
+    /// is still joined, so no replica leaks), else the first
+    /// [`PoolError::Batch`] any worker hit (empty batch or mis-shaped
+    /// image), by lowest worker id.
     ///
     /// # Panics
     ///
@@ -171,33 +182,42 @@ impl ShardPool {
         let schedulers: Vec<BatchScheduler> = (0..self.workers)
             .map(|_| BatchScheduler::new(self.cfg))
             .collect();
-        let joined: Vec<Option<Result<Vec<BatchRun>, BatchError>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = schedulers
-                .into_iter()
-                .zip(work)
-                .enumerate()
-                .map(|(worker, (mut sched, batches))| {
-                    let fault = self.fault_for(worker);
-                    scope.spawn(move || {
-                        batches
-                            .iter()
-                            .enumerate()
-                            .map(|(b, images)| {
-                                if fault == Some(b) {
-                                    panic!("injected shard-worker fault");
-                                }
-                                sched.run(net, qparams, images)
-                            })
-                            .collect::<Result<Vec<BatchRun>, BatchError>>()
+        let plan = self.plan;
+        let joined: Vec<Result<Result<Vec<BatchRun>, BatchError>, String>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = schedulers
+                    .into_iter()
+                    .zip(work)
+                    .enumerate()
+                    .map(|(worker, (mut sched, batches))| {
+                        scope.spawn(move || {
+                            batches
+                                .iter()
+                                .enumerate()
+                                .map(|(b, images)| {
+                                    if plan.pool_panic(u64_from(worker), u64_from(b)) {
+                                        panic!("injected shard-worker fault");
+                                    }
+                                    sched.run(net, qparams, images)
+                                })
+                                .collect::<Result<Vec<BatchRun>, BatchError>>()
+                        })
                     })
-                })
-                .collect();
-            // Join every thread before reporting anything: a crash
-            // must not leave siblings running past the call.
-            handles.into_iter().map(|h| h.join().ok()).collect()
-        });
-        if let Some(worker) = joined.iter().position(Option::is_none) {
-            return Err(PoolError::WorkerPanicked { worker });
+                    .collect();
+                // Join every thread before reporting anything: a crash
+                // must not leave siblings running past the call.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().map_err(|p| panic_message(p.as_ref())))
+                    .collect()
+            });
+        for (worker, r) in joined.iter().enumerate() {
+            if let Err(message) = r {
+                return Err(PoolError::WorkerPanicked {
+                    worker,
+                    message: message.clone(),
+                });
+            }
         }
         joined
             .into_iter()
@@ -249,6 +269,24 @@ mod tests {
         );
     }
 
+    /// Searches seeds for a plan that poisons exactly the `target`
+    /// slot among `slots` — a deterministic stand-in for "inject a
+    /// fault here" built from the real seeded draw.
+    fn plan_poisoning(target: (u64, u64), slots: &[(u64, u64)]) -> FaultPlan {
+        (0..u64::MAX)
+            .map(|seed| {
+                let mut p = FaultPlan::seeded(seed);
+                p.serve.pool_panic_per_batch = 0.2;
+                p
+            })
+            .find(|p| {
+                slots
+                    .iter()
+                    .all(|&(w, b)| p.pool_panic(w, b) == ((w, b) == target))
+            })
+            .expect("a poisoning seed exists")
+    }
+
     #[test]
     fn pool_surfaces_worker_panics_as_typed_errors() {
         // A replica that dies mid-batch must come back as a value, not
@@ -256,30 +294,39 @@ mod tests {
         let net = CapsNetConfig::tiny();
         let cfg = AcceleratorConfig::test_4x4();
         let qparams = CapsNetParams::generate(&net, 0).quantize(cfg.numeric);
-        let pool = ShardPool::new(cfg, 3).with_fault(1, 1);
+        let slots = [(0, 0), (1, 0), (1, 1), (2, 0)];
+        let plan = plan_poisoning((1, 1), &slots);
+        let pool = ShardPool::new(cfg, 3).with_fault_plan(plan);
         let work = vec![
             vec![vec![image(&net, 0)]],
             vec![vec![image(&net, 1)], vec![image(&net, 2)]],
             vec![vec![image(&net, 3)]],
         ];
         // The worker thread's panic message is expected on stderr; the
-        // call itself must return cleanly with the typed error.
+        // call itself must return cleanly with the typed error, panic
+        // payload captured verbatim.
         assert_eq!(
             pool.run_assignments(&net, &qparams, &work).unwrap_err(),
-            PoolError::WorkerPanicked { worker: 1 }
+            PoolError::WorkerPanicked {
+                worker: 1,
+                message: "injected shard-worker fault".to_string(),
+            }
         );
-        // An un-poisoned rerun of the same pool value still succeeds.
+        // A faultless plan on the same work still succeeds.
         let clean = ShardPool::new(cfg, 3);
+        assert_eq!(*clean.fault_plan(), FaultPlan::none());
         assert!(clean.run_assignments(&net, &qparams, &work).is_ok());
         // A thread panic outranks a sibling's batch error: the pool
         // must still join everything and report the crash.
-        let crash_and_error = ShardPool::new(cfg, 2).with_fault(0, 0);
+        let crash_plan = plan_poisoning((0, 0), &[(0, 0), (1, 0)]);
+        let crash_and_error = ShardPool::new(cfg, 2).with_fault_plan(crash_plan);
         let bad = vec![vec![vec![image(&net, 0)]], vec![vec![]]];
-        assert_eq!(
-            crash_and_error
-                .run_assignments(&net, &qparams, &bad)
-                .unwrap_err(),
-            PoolError::WorkerPanicked { worker: 0 }
-        );
+        match crash_and_error
+            .run_assignments(&net, &qparams, &bad)
+            .unwrap_err()
+        {
+            PoolError::WorkerPanicked { worker: 0, .. } => {}
+            other => panic!("expected worker 0 panic, got {other:?}"),
+        }
     }
 }

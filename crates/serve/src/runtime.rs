@@ -41,14 +41,45 @@
 //! With shedding, deadlines, priorities and autoscaling all disabled,
 //! this runtime reproduces the offline pipeline's [`SimOutcome`]
 //! bit-exactly (pinned by `tests/serve_equivalence.rs`).
+//!
+//! # Fault tolerance
+//!
+//! [`ResilienceConfig`] arms the runtime against a seeded
+//! [`FaultPlan`] (see `capsacc-faults`): a dispatch attempt may crash
+//! its worker mid-batch, stall before recovering, or straggle at a ×k
+//! service multiplier. The recovery half lives here:
+//!
+//! - **crash → requeue with backoff** — the crashed worker's batch
+//!   returns to the head of the admission queue as a typed
+//!   [`EvKind::Requeue`] event after a deterministic exponential
+//!   backoff; a bounded retry budget converts persistent failures
+//!   into typed [`Rejection::RetryExhausted`] refusals instead of
+//!   losing requests, and a replacement worker spawns through the
+//!   autoscaler's warmup path, its weight re-staging charged by the
+//!   caller's respawn model ([`ServiceModel::respawn_warmup`]);
+//! - **straggler hedging** — once an attempt outlives a p99-derived
+//!   deadline (over the observed service durations), a duplicate
+//!   dispatch is hedged onto a free worker; the first completion wins
+//!   and the loser is cancelled, its unfinished work un-charged;
+//! - **graceful degradation** — under sustained queue pressure a
+//!   global degradation level (0..=2) sheds routing iterations per
+//!   priority class (higher classes degrade last) via the level-aware
+//!   service model, trading accuracy for goodput instead of shedding
+//!   requests outright.
+//!
+//! Every decision is a [`LoggedEvent`] folded into the digest, so
+//! faults-on reruns are byte-identical; with
+//! [`ResilienceConfig::none`] no fault event is ever scheduled and
+//! the event stream is byte-identical to the fault-free runtime.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use capsacc_faults::{FaultPlan, CRASH_FRACTION_DENOM};
 use capsacc_tensor::u64_from;
 
 use crate::batcher::{BatcherConfig, ConfigError};
-use crate::sim::{BatchStat, RequestStat, SimOutcome};
+use crate::sim::{percentile, BatchStat, RequestStat, SimOutcome};
 use crate::trace::{Request, VIRTUAL_TIME_HORIZON};
 
 /// Why the runtime refused a request.
@@ -65,6 +96,9 @@ pub enum Rejection {
     /// The request was admitted but later evicted from the forming
     /// batch in favor of a higher-priority newcomer.
     ShedLowPriority,
+    /// The request's batch was dispatched, crashed, and requeued until
+    /// the bounded retry budget ran out.
+    RetryExhausted,
 }
 
 /// One refused request: who, when, why, and (for evictions) the batch
@@ -192,6 +226,84 @@ pub enum LoggedEvent {
         /// Retired worker id.
         worker: usize,
     },
+    /// A worker crashed partway through its batch (injected by the
+    /// [`FaultPlan`]); the partial work is wasted.
+    WorkerCrashed {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Batch whose attempt died.
+        batch: usize,
+        /// Crashed worker id.
+        worker: usize,
+        /// Cycles of partial work lost.
+        wasted: u64,
+    },
+    /// A crashed batch re-enters the admission queue after its
+    /// exponential backoff.
+    Requeued {
+        /// Crash-decision cycle.
+        cycle: u64,
+        /// Batch id.
+        batch: usize,
+        /// Dispatch attempts consumed so far.
+        attempt: u32,
+        /// Cycle the batch becomes dispatchable again.
+        ready_at: u64,
+    },
+    /// A dispatch attempt stalls for `stall` extra cycles before
+    /// recovering (injected by the [`FaultPlan`]).
+    WorkerStalled {
+        /// Dispatch cycle.
+        cycle: u64,
+        /// Stalled worker id.
+        worker: usize,
+        /// Batch being served.
+        batch: usize,
+        /// Extra cycles charged.
+        stall: u64,
+    },
+    /// A dispatch attempt runs as a straggler at a ×`factor` service
+    /// multiplier (injected by the [`FaultPlan`]).
+    Straggling {
+        /// Dispatch cycle.
+        cycle: u64,
+        /// Straggling worker id.
+        worker: usize,
+        /// Batch being served.
+        batch: usize,
+        /// Service multiplier.
+        factor: u64,
+    },
+    /// A duplicate of a slow batch was hedged onto a second worker
+    /// after the p99-derived deadline passed.
+    HedgeDispatched {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Batch id.
+        batch: usize,
+        /// Worker running the duplicate.
+        worker: usize,
+        /// Worker running the original attempt.
+        primary: usize,
+    },
+    /// First-completion-wins: the losing copy of a hedged batch was
+    /// cancelled and its worker freed.
+    HedgeCancelled {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Batch id.
+        batch: usize,
+        /// Worker whose copy was cancelled.
+        worker: usize,
+    },
+    /// The graceful-degradation controller moved the global
+    /// degradation level.
+    Degraded {
+        /// Cycle of the event.
+        cycle: u64,
+        /// New global level (0 = full quality).
+        level: u32,
+    },
 }
 
 /// Per-priority-class serving statistics.
@@ -209,6 +321,12 @@ pub struct ClassStats {
     /// Served requests that met their SLO (best-effort requests always
     /// count as met).
     pub slo_met: usize,
+    /// Requests refused as [`Rejection::RetryExhausted`] after their
+    /// batch ran out of crash retries.
+    pub retry_exhausted: usize,
+    /// Served requests whose batch ran at a degraded routing level
+    /// (quality traded for goodput; subset of `served`).
+    pub degraded: usize,
 }
 
 /// Autoscaler policy: queue-depth-driven scale-up, idleness-driven
@@ -226,6 +344,136 @@ pub struct AutoscalerConfig {
     pub scale_down_idle_cycles: u64,
     /// Cycles between autoscaler evaluations.
     pub eval_period_cycles: u64,
+}
+
+/// Crash-retry policy: how many dispatch attempts a batch gets and
+/// how the requeue backoff grows.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RetryConfig {
+    /// Maximum dispatch attempts per batch (including the first); once
+    /// exhausted the members are refused as
+    /// [`Rejection::RetryExhausted`].
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `backoff_base_cycles << (n - 1)`,
+    /// deterministic and in virtual cycles.
+    pub backoff_base_cycles: u64,
+}
+
+impl RetryConfig {
+    /// The default budget: three attempts, 1000-cycle base backoff.
+    pub fn standard() -> Self {
+        RetryConfig {
+            max_attempts: 3,
+            backoff_base_cycles: 1_000,
+        }
+    }
+}
+
+/// Straggler-hedging policy: when an attempt outlives a p99-derived
+/// deadline, duplicate it onto a free worker; first completion wins.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HedgeConfig {
+    /// Observed completions needed before the p99 estimate is trusted.
+    pub min_samples: usize,
+    /// Until then, hedge after `expected_service * cold_factor_pct /
+    /// 100` cycles (must be >= 100).
+    pub cold_factor_pct: u64,
+}
+
+impl HedgeConfig {
+    /// The default detector: 32 samples, 3× cold deadline.
+    pub fn standard() -> Self {
+        HedgeConfig {
+            min_samples: 32,
+            cold_factor_pct: 300,
+        }
+    }
+}
+
+/// Graceful-degradation policy: a global level in `0..=max_level`
+/// stepped on queue-occupancy watermarks; the level-aware service
+/// model sheds routing iterations per class instead of shedding
+/// requests.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DegradeConfig {
+    /// Step the level up when admitted-but-undispatched occupancy
+    /// reaches this many requests.
+    pub high_occupancy: usize,
+    /// Step the level down once occupancy falls back to this bound.
+    pub low_occupancy: usize,
+    /// Cycles between controller evaluations.
+    pub eval_period_cycles: u64,
+    /// Highest global level (2 for the 3→2→1 routing ladder).
+    pub max_level: u32,
+}
+
+/// Fault-tolerance configuration: the seeded [`FaultPlan`] plus the
+/// recovery policies. [`ResilienceConfig::none`] is byte-invisible —
+/// no fault event is ever drawn or scheduled.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct ResilienceConfig {
+    /// The seeded fault schedule (serve-layer rates apply here).
+    pub faults: FaultPlan,
+    /// Crash-retry budget and backoff.
+    pub retry: RetryConfig,
+    /// Straggler hedging, or `None` to never duplicate work.
+    pub hedge: Option<HedgeConfig>,
+    /// Graceful degradation, or `None` to keep full quality always.
+    pub degrade: Option<DegradeConfig>,
+}
+
+impl ResilienceConfig {
+    /// Fault-free, hedge-free, full-quality: the exact pre-fault
+    /// runtime behavior.
+    pub fn none() -> Self {
+        ResilienceConfig {
+            faults: FaultPlan::none(),
+            retry: RetryConfig::standard(),
+            hedge: None,
+            degrade: None,
+        }
+    }
+
+    /// True when this configuration can never perturb a run.
+    pub fn is_none(&self) -> bool {
+        self.faults.is_none() && self.hedge.is_none() && self.degrade.is_none()
+    }
+}
+
+/// Fault and recovery counters for one run.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FaultStats {
+    /// Worker crashes injected.
+    pub crashes: usize,
+    /// Stall faults injected.
+    pub stalls: usize,
+    /// Straggler faults injected.
+    pub stragglers: usize,
+    /// Batches requeued after a crash.
+    pub requeues: usize,
+    /// Batches whose retry budget ran out.
+    pub exhausted_batches: usize,
+    /// Duplicate dispatches hedged.
+    pub hedges: usize,
+    /// Hedged duplicates that won the race.
+    pub hedge_wins: usize,
+    /// Global degradation-level transitions.
+    pub degrade_shifts: usize,
+    /// Cycles of crashed partial work plus cancelled hedge work.
+    pub wasted_cycles: u64,
+}
+
+/// The level-aware service and respawn model consumed by
+/// [`run_runtime_resilient`].
+pub struct ServiceModel<'a> {
+    /// `service(level, n)` = cycles to serve a batch of `n` at global
+    /// degradation `level` (level 0 = full quality; must be positive
+    /// and defined for every level up to the configured maximum).
+    pub service: &'a dyn Fn(u32, usize) -> u64,
+    /// Warmup charged to the `k`-th crash-replacement worker (weights
+    /// re-staged through the memory subsystem, possibly under memory
+    /// faults). Autoscaler spin-ups keep the flat `warmup_cycles`.
+    pub respawn_warmup: &'a dyn Fn(u64) -> u64,
 }
 
 /// Full configuration of the online runtime.
@@ -246,6 +494,9 @@ pub struct RuntimeConfig {
     /// digest is always computed; the log itself costs memory on
     /// million-request runs).
     pub record_events: bool,
+    /// Fault injection + recovery policy;
+    /// [`ResilienceConfig::none()`] is byte-invisible.
+    pub resilience: ResilienceConfig,
 }
 
 impl RuntimeConfig {
@@ -284,6 +535,49 @@ impl RuntimeConfig {
                 ));
             }
         }
+        let res = &self.resilience;
+        if let Err(msg) = res.faults.validate() {
+            return Err(ConfigError::InvalidResilience(msg));
+        }
+        if res.retry.max_attempts == 0 {
+            return Err(ConfigError::InvalidResilience(
+                "retry.max_attempts must be at least 1",
+            ));
+        }
+        if res.retry.backoff_base_cycles == 0 {
+            return Err(ConfigError::InvalidResilience(
+                "retry.backoff_base_cycles must be at least 1",
+            ));
+        }
+        if let Some(h) = &res.hedge {
+            if h.min_samples == 0 {
+                return Err(ConfigError::InvalidResilience(
+                    "hedge.min_samples must be at least 1",
+                ));
+            }
+            if h.cold_factor_pct < 100 {
+                return Err(ConfigError::InvalidResilience(
+                    "hedge.cold_factor_pct must be at least 100",
+                ));
+            }
+        }
+        if let Some(d) = &res.degrade {
+            if d.max_level == 0 {
+                return Err(ConfigError::InvalidResilience(
+                    "degrade.max_level must be at least 1",
+                ));
+            }
+            if d.low_occupancy >= d.high_occupancy {
+                return Err(ConfigError::InvalidResilience(
+                    "degrade.low_occupancy must be below high_occupancy",
+                ));
+            }
+            if d.eval_period_cycles == 0 {
+                return Err(ConfigError::InvalidResilience(
+                    "degrade.eval_period_cycles must be at least 1",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -292,15 +586,18 @@ impl RuntimeConfig {
 #[derive(Clone, PartialEq, Debug)]
 pub struct RuntimeOutcome {
     /// The served subset in the offline pipeline's shape: per-request
-    /// stats (ascending request index), per-batch stats (close order),
-    /// per-worker busy cycles (every worker ever active), makespan.
+    /// stats (ascending request index), per-batch stats (close order,
+    /// completed batches only — retry-exhausted batches are absent and
+    /// later batch indices shift down), per-worker busy cycles (every
+    /// worker ever active), makespan.
     pub sim: SimOutcome,
     /// Input indices of the served requests, ascending — `sim.requests[i]`
     /// describes request `served[i]`.
     pub served: Vec<usize>,
     /// Every refused request, in decision order.
     pub rejections: Vec<RejectionRecord>,
-    /// Why each batch closed, indexed by batch id (= close order).
+    /// Why each batch closed, aligned with `sim.batches` (completed
+    /// batches in close order).
     pub close_causes: Vec<CloseCause>,
     /// Autoscaler actions, in decision order.
     pub scaling: Vec<ScalingEvent>,
@@ -315,6 +612,9 @@ pub struct RuntimeOutcome {
     pub event_digest: u64,
     /// The full event stream, when [`RuntimeConfig::record_events`].
     pub events: Vec<LoggedEvent>,
+    /// Fault and recovery counters (all zero under
+    /// [`ResilienceConfig::none`]).
+    pub faults: FaultStats,
 }
 
 impl RuntimeOutcome {
@@ -335,6 +635,23 @@ impl RuntimeOutcome {
     /// All refused requests.
     pub fn rejected_count(&self) -> usize {
         self.rejections.len()
+    }
+
+    /// Requests refused after their batch's retry budget ran out.
+    pub fn retry_exhausted_count(&self) -> usize {
+        self.rejections
+            .iter()
+            .filter(|r| r.rejection == Rejection::RetryExhausted)
+            .count()
+    }
+
+    /// Served requests as a fraction of everything offered — the
+    /// crash-recovery goodput metric (1.0 when nothing was offered).
+    pub fn served_fraction(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 1.0;
+        }
+        self.served.len() as f64 / self.total_requests as f64
     }
 
     /// Shed requests as a fraction of everything offered.
@@ -374,13 +691,36 @@ const RANK_SCALE: u8 = 3;
 
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 enum EvKind {
-    WorkerFree { worker: usize },
-    Close { generation: u64 },
+    /// `epoch` guards staleness: crashes and hedge cancellations bump
+    /// the worker's epoch, orphaning the completion event already in
+    /// the heap.
+    WorkerFree {
+        worker: usize,
+        epoch: u64,
+    },
+    Close {
+        generation: u64,
+    },
+    /// A crashed batch re-enters the queue (tiebreak drawn from the
+    /// shared generation counter).
+    Requeue {
+        batch: usize,
+    },
+    /// Straggler probe for a batch; `epoch` is the batch's dispatch
+    /// count at scheduling time, so probes for a requeued attempt
+    /// don't act on a later one.
+    HedgeCheck {
+        batch: usize,
+        epoch: u32,
+    },
     ScaleEval,
+    DegradeEval,
 }
 
-/// Heap key: `(cycle, rank, tiebreak)` is unique per pending event, so
-/// the derived lexicographic order is total and deterministic.
+/// Heap key: `(cycle, rank, tiebreak)` is unique per pending event
+/// except for orphaned worker-free events (same worker, same cycle,
+/// different epoch), where the derived `kind` order — epoch ascending
+/// — keeps the total order deterministic.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 struct Ev {
     cycle: u64,
@@ -394,6 +734,30 @@ struct Worker {
     busy: u64,
     active: bool,
     current: Option<usize>,
+    /// Bumped on every dispatch, crash and cancellation; a
+    /// [`EvKind::WorkerFree`] event only acts when its epoch matches.
+    epoch: u64,
+}
+
+/// One live dispatch attempt (primary or hedged duplicate).
+struct Attempt {
+    worker: usize,
+    start: u64,
+    /// Scheduled end: completion, or the crash point when `crash`.
+    end: u64,
+    crash: bool,
+    hedge: bool,
+}
+
+/// A dispatched batch that has not completed: its members, the
+/// degradation level it runs at, and its live copies (two while a
+/// hedge is racing).
+struct Inflight {
+    members: Vec<usize>,
+    close_cycle: u64,
+    level: u32,
+    hedged: bool,
+    copies: Vec<Attempt>,
 }
 
 struct Forming {
@@ -499,6 +863,81 @@ fn digest_event(h: &mut u64, e: &LoggedEvent) {
             fnv_mix(h, cycle);
             fnv_mix(h, u64_from(worker));
         }
+        LoggedEvent::WorkerCrashed {
+            cycle,
+            batch,
+            worker,
+            wasted,
+        } => {
+            fnv_mix(h, 9);
+            fnv_mix(h, cycle);
+            fnv_mix(h, u64_from(batch));
+            fnv_mix(h, u64_from(worker));
+            fnv_mix(h, wasted);
+        }
+        LoggedEvent::Requeued {
+            cycle,
+            batch,
+            attempt,
+            ready_at,
+        } => {
+            fnv_mix(h, 10);
+            fnv_mix(h, cycle);
+            fnv_mix(h, u64_from(batch));
+            fnv_mix(h, u64::from(attempt));
+            fnv_mix(h, ready_at);
+        }
+        LoggedEvent::WorkerStalled {
+            cycle,
+            worker,
+            batch,
+            stall,
+        } => {
+            fnv_mix(h, 11);
+            fnv_mix(h, cycle);
+            fnv_mix(h, u64_from(worker));
+            fnv_mix(h, u64_from(batch));
+            fnv_mix(h, stall);
+        }
+        LoggedEvent::Straggling {
+            cycle,
+            worker,
+            batch,
+            factor,
+        } => {
+            fnv_mix(h, 12);
+            fnv_mix(h, cycle);
+            fnv_mix(h, u64_from(worker));
+            fnv_mix(h, u64_from(batch));
+            fnv_mix(h, factor);
+        }
+        LoggedEvent::HedgeDispatched {
+            cycle,
+            batch,
+            worker,
+            primary,
+        } => {
+            fnv_mix(h, 13);
+            fnv_mix(h, cycle);
+            fnv_mix(h, u64_from(batch));
+            fnv_mix(h, u64_from(worker));
+            fnv_mix(h, u64_from(primary));
+        }
+        LoggedEvent::HedgeCancelled {
+            cycle,
+            batch,
+            worker,
+        } => {
+            fnv_mix(h, 14);
+            fnv_mix(h, cycle);
+            fnv_mix(h, u64_from(batch));
+            fnv_mix(h, u64_from(worker));
+        }
+        LoggedEvent::Degraded { cycle, level } => {
+            fnv_mix(h, 15);
+            fnv_mix(h, cycle);
+            fnv_mix(h, u64::from(level));
+        }
     }
 }
 
@@ -525,10 +964,14 @@ impl EventSink for NullSink {
     fn event(&mut self, _e: &LoggedEvent) {}
 }
 
+/// Observed service durations kept for the p99 hedge deadline: a
+/// fixed ring so million-request runs stay O(1) per completion.
+const HEDGE_HISTORY: usize = 1024;
+
 struct Runtime<'a> {
     cfg: &'a RuntimeConfig,
     requests: &'a [Request],
-    service: &'a dyn Fn(usize) -> u64,
+    model: &'a ServiceModel<'a>,
     warmup: u64,
 
     heap: BinaryHeap<Reverse<Ev>>,
@@ -538,8 +981,27 @@ struct Runtime<'a> {
     next_batch_id: usize,
     next_generation: u64,
 
+    /// In-flight batches by id (`None` once completed, exhausted, or
+    /// awaiting requeue).
+    inflight: Vec<Option<Inflight>>,
+    /// Dispatch attempts consumed, by batch id.
+    attempts: Vec<u32>,
+    /// Monotone dispatch-attempt ordinal — the fault plan's index.
+    attempt_seq: u64,
+    /// Monotone crash-replacement ordinal — the respawn model's index.
+    respawn_seq: u64,
+    /// Ring of observed service durations for the hedge deadline.
+    svc_hist: Vec<u64>,
+    svc_hist_pos: usize,
+    /// Global graceful-degradation level.
+    degrade_level: u32,
+    fault_stats: FaultStats,
+
     request_stats: Vec<Option<RequestStat>>,
-    batch_stats: Vec<BatchStat>,
+    /// By batch id; filled at successful completion (satellite of the
+    /// conservation fix: a requeued-then-served request is counted
+    /// exactly once, at completion).
+    batch_stats: Vec<Option<BatchStat>>,
     rejections: Vec<RejectionRecord>,
     close_causes: Vec<CloseCause>,
     scaling: Vec<ScalingEvent>,
@@ -570,9 +1032,10 @@ impl<'a> Runtime<'a> {
     }
 
     /// Latest cycle the forming batch may close and still (by the
-    /// worst-case service estimate) meet every member's SLO.
+    /// worst-case service estimate, at full quality) meet every
+    /// member's SLO.
     fn slo_close_bound(&self, members: &[usize]) -> u64 {
-        let worst = (self.service)(self.cfg.batcher.max_batch);
+        let worst = (self.model.service)(0, self.cfg.batcher.max_batch);
         members
             .iter()
             .filter_map(|&r| {
@@ -624,7 +1087,7 @@ impl<'a> Runtime<'a> {
         // Infeasible SLOs are refused before they consume queue space.
         if self.cfg.deadline_aware {
             if let Some(slo) = r.slo_cycles {
-                if slo < (self.service)(1) {
+                if slo < (self.model.service)(0, 1) {
                     self.class_stats[r.class].infeasible += 1;
                     self.reject(req, now, Rejection::DeadlineInfeasible, None);
                     return;
@@ -741,6 +1204,9 @@ impl<'a> Runtime<'a> {
         });
         debug_assert_eq!(self.close_causes.len(), f.id, "close order is id order");
         self.close_causes.push(cause);
+        self.batch_stats.push(None);
+        self.inflight.push(None);
+        self.attempts.push(0);
         self.queue.push_back(ClosedBatch {
             id: f.id,
             members: f.members,
@@ -749,87 +1215,475 @@ impl<'a> Runtime<'a> {
         self.try_dispatch(now);
     }
 
+    /// Lowest-id free active worker at `now`, if any.
+    fn free_worker(&self, now: u64) -> Option<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.active && w.current.is_none() && w.free_at <= now)
+            .min_by_key(|(id, w)| (w.free_at, *id))
+            .map(|(id, _)| id)
+    }
+
     fn try_dispatch(&mut self, now: u64) {
         while !self.queue.is_empty() {
             // Earliest-freed active worker, lowest id on ties — the
             // online analogue of the offline dispatcher's
             // `min_by_key((free_at, id))`, restricted to workers whose
             // capacity exists at `now`.
-            let worker = self
-                .workers
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| w.active && w.current.is_none() && w.free_at <= now)
-                .min_by_key(|(id, w)| (w.free_at, *id))
-                .map(|(id, _)| id);
-            let Some(worker) = worker else { break };
+            let Some(worker) = self.free_worker(now) else {
+                break;
+            };
             let b = self.queue.pop_front().expect("non-empty queue");
             self.dispatch(b, worker, now);
         }
     }
 
-    fn dispatch(&mut self, b: ClosedBatch, worker: usize, now: u64) {
-        let len = b.members.len();
-        let cycles = (self.service)(len);
+    /// Degradation level a batch runs at: the minimum over its members
+    /// of `global_level - class` (higher classes degrade last), so one
+    /// premium member keeps the whole batch at its quality.
+    fn batch_level(&self, members: &[usize]) -> u32 {
+        if self.degrade_level == 0 {
+            return 0;
+        }
+        members
+            .iter()
+            .map(|&m| {
+                let class = u32::try_from(self.requests[m].class).expect("class fits u32");
+                self.degrade_level.saturating_sub(class)
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Perturbed service cycles plus crash fate for one dispatch
+    /// attempt, drawing the fault plan at this attempt's ordinal.
+    fn attempt_outcome(
+        &mut self,
+        batch: usize,
+        worker: usize,
+        level: u32,
+        len: usize,
+        now: u64,
+    ) -> (u64, bool) {
+        let base = (self.model.service)(level, len);
+        let plan = &self.cfg.resilience.faults;
+        if !plan.has_serve_faults() {
+            return (base, false);
+        }
+        let seq = self.attempt_seq;
+        self.attempt_seq += 1;
+        let mut cycles = base;
+        if let Some(factor) = plan.straggler(seq) {
+            cycles = cycles
+                .checked_mul(factor)
+                .expect("straggler service overflows u64");
+            self.fault_stats.stragglers += 1;
+            self.log(LoggedEvent::Straggling {
+                cycle: now,
+                worker,
+                batch,
+                factor,
+            });
+        }
+        if let Some(stall) = plan.worker_stall(seq) {
+            cycles = cycles
+                .checked_add(stall)
+                .expect("stalled service overflows u64");
+            self.fault_stats.stalls += 1;
+            self.log(LoggedEvent::WorkerStalled {
+                cycle: now,
+                worker,
+                batch,
+                stall,
+            });
+        }
+        match plan.worker_crash(seq) {
+            Some(frac) => {
+                // The crash lands strictly inside the service window
+                // (clamped to at least one cycle of wasted work).
+                let offset = cycles.checked_mul(frac).expect("crash point overflows u64")
+                    / CRASH_FRACTION_DENOM;
+                (offset.clamp(1, cycles), true)
+            }
+            None => (cycles, false),
+        }
+    }
+
+    /// Charges `worker` with an attempt on batch `id` ending (or
+    /// crashing) at `now + cycles` and schedules its worker-free
+    /// event.
+    fn charge_attempt(&mut self, id: usize, worker: usize, now: u64, cycles: u64) -> u64 {
         let end = now
             .checked_add(cycles)
             .expect("completion overflows u64: virtual time out of range");
         let w = &mut self.workers[worker];
         w.free_at = end;
         w.busy += cycles;
-        w.current = Some(b.id);
+        w.current = Some(id);
+        w.epoch += 1;
+        let epoch = w.epoch;
         self.heap.push(Reverse(Ev {
             cycle: end,
             rank: RANK_WORKER_FREE,
             tiebreak: u64_from(worker),
-            kind: EvKind::WorkerFree { worker },
+            kind: EvKind::WorkerFree { worker, epoch },
         }));
-        debug_assert_eq!(self.batch_stats.len(), b.id, "dispatch order is id order");
-        self.batch_stats.push(BatchStat {
-            worker,
-            len,
-            close_cycle: b.close_cycle,
-            start_cycle: now,
-            end_cycle: end,
-        });
+        end
+    }
+
+    fn dispatch(&mut self, b: ClosedBatch, worker: usize, now: u64) {
+        let len = b.members.len();
+        let level = self.batch_level(&b.members);
+        self.attempts[b.id] += 1;
         self.log(LoggedEvent::Dispatched {
             cycle: now,
             batch: b.id,
             worker,
             len,
         });
-        for (slot, &req) in b.members.iter().enumerate() {
+        let (cycles, crash) = self.attempt_outcome(b.id, worker, level, len, now);
+        let end = self.charge_attempt(b.id, worker, now, cycles);
+        self.inflight[b.id] = Some(Inflight {
+            members: b.members,
+            close_cycle: b.close_cycle,
+            level,
+            hedged: false,
+            copies: vec![Attempt {
+                worker,
+                start: now,
+                end,
+                crash,
+                hedge: false,
+            }],
+        });
+        if self.cfg.resilience.hedge.is_some() {
+            let deadline = self.hedge_deadline((self.model.service)(level, len));
+            let at = now
+                .checked_add(deadline)
+                .expect("hedge deadline overflows u64");
+            self.next_generation += 1;
+            self.heap.push(Reverse(Ev {
+                cycle: at,
+                rank: RANK_CLOSE,
+                tiebreak: self.next_generation,
+                kind: EvKind::HedgeCheck {
+                    batch: b.id,
+                    epoch: self.attempts[b.id],
+                },
+            }));
+        }
+    }
+
+    /// Cycles after dispatch at which an attempt is declared a
+    /// straggler: the p99 of observed service durations once enough
+    /// completions exist, else `cold_factor_pct` of the expected
+    /// service — never earlier than the expected completion itself.
+    fn hedge_deadline(&self, expected: u64) -> u64 {
+        let h = self.cfg.resilience.hedge.expect("hedging configured");
+        let floor = expected.saturating_add(1);
+        if self.svc_hist.len() >= h.min_samples {
+            let mut sorted = self.svc_hist.clone();
+            sorted.sort_unstable();
+            percentile(&sorted, 0.99).max(floor)
+        } else {
+            (expected.saturating_mul(h.cold_factor_pct) / 100).max(floor)
+        }
+    }
+
+    /// Spawns a crash-replacement worker through the autoscaler
+    /// warmup path; its weight re-staging is charged by the respawn
+    /// model (memory faults may inflate it).
+    fn spawn_replacement(&mut self, now: u64) {
+        let worker = self.workers.len();
+        let warmup = (self.model.respawn_warmup)(self.respawn_seq);
+        self.respawn_seq += 1;
+        let ready_at = now
+            .checked_add(warmup)
+            .expect("respawn warmup overflows u64");
+        self.workers.push(Worker {
+            free_at: ready_at,
+            busy: 0,
+            active: true,
+            current: None,
+            epoch: 0,
+        });
+        self.heap.push(Reverse(Ev {
+            cycle: ready_at,
+            rank: RANK_WORKER_FREE,
+            tiebreak: u64_from(worker),
+            kind: EvKind::WorkerFree { worker, epoch: 0 },
+        }));
+        self.log(LoggedEvent::ScaledUp {
+            cycle: now,
+            worker,
+            ready_at,
+        });
+        self.scaling.push(ScalingEvent::Up {
+            cycle: now,
+            worker,
+            ready_at,
+        });
+    }
+
+    /// A copy of batch `id` crashed on `worker` at `now`: waste the
+    /// partial work, retire the worker, spawn a replacement, and — if
+    /// no hedged copy survives — requeue with backoff or exhaust the
+    /// retry budget.
+    fn on_crash(&mut self, id: usize, worker: usize, start: u64, now: u64) {
+        let wasted = now - start;
+        self.log(LoggedEvent::WorkerCrashed {
+            cycle: now,
+            batch: id,
+            worker,
+            wasted,
+        });
+        self.fault_stats.crashes += 1;
+        self.fault_stats.wasted_cycles += wasted;
+        let w = &mut self.workers[worker];
+        w.active = false;
+        w.current = None;
+        w.epoch += 1;
+        self.spawn_replacement(now);
+
+        let fl = self.inflight[id].as_mut().expect("crashed batch in flight");
+        fl.copies.retain(|c| c.worker != worker);
+        if !fl.copies.is_empty() {
+            return; // a hedged copy is still racing
+        }
+        let attempt = self.attempts[id];
+        if attempt >= self.cfg.resilience.retry.max_attempts {
+            self.exhaust(id, now);
+            return;
+        }
+        // Deterministic exponential backoff: base << (attempt - 1),
+        // saturating so deep retries stay finite.
+        let retry = self.cfg.resilience.retry;
+        let shift = (attempt - 1).min(32);
+        let backoff = retry
+            .backoff_base_cycles
+            .saturating_mul(1u64 << shift)
+            .min(VIRTUAL_TIME_HORIZON);
+        let ready_at = now
+            .checked_add(backoff)
+            .expect("requeue backoff overflows u64");
+        self.log(LoggedEvent::Requeued {
+            cycle: now,
+            batch: id,
+            attempt,
+            ready_at,
+        });
+        self.fault_stats.requeues += 1;
+        self.next_generation += 1;
+        self.heap.push(Reverse(Ev {
+            cycle: ready_at,
+            rank: RANK_CLOSE,
+            tiebreak: self.next_generation,
+            kind: EvKind::Requeue { batch: id },
+        }));
+    }
+
+    /// The retry budget for batch `id` ran out: refuse every member as
+    /// [`Rejection::RetryExhausted`]. The batch never completes, so it
+    /// is absent from `sim.batches`.
+    fn exhaust(&mut self, id: usize, now: u64) {
+        let fl = self.inflight[id].take().expect("exhausted batch in flight");
+        self.fault_stats.exhausted_batches += 1;
+        for &req in &fl.members {
+            self.class_stats[self.requests[req].class].retry_exhausted += 1;
+            self.reject(req, now, Rejection::RetryExhausted, Some(id));
+        }
+    }
+
+    /// A crashed batch's backoff expired: push it back to the *front*
+    /// of the queue (retried work is oldest) and dispatch if possible.
+    fn on_requeue(&mut self, id: usize, now: u64) {
+        let fl = self.inflight[id].take().expect("requeued batch in flight");
+        debug_assert!(fl.copies.is_empty(), "requeued batch still has live copies");
+        self.queue.push_front(ClosedBatch {
+            id,
+            members: fl.members,
+            close_cycle: fl.close_cycle,
+        });
+        self.try_dispatch(now);
+    }
+
+    /// Straggler probe: if the batch's dispatch attempt from
+    /// scheduling time is still the one running, un-hedged, and a
+    /// worker is free, race a duplicate against it.
+    fn on_hedge_check(&mut self, id: usize, epoch: u32, now: u64) {
+        let stale = match self.inflight[id].as_ref() {
+            None => true,
+            Some(fl) => fl.hedged || fl.copies.len() != 1 || self.attempts[id] != epoch,
+        };
+        if stale {
+            return;
+        }
+        let Some(worker) = self.free_worker(now) else {
+            return; // no spare capacity: never steal from queued work
+        };
+        let (level, len, primary) = {
+            let fl = self.inflight[id].as_ref().expect("probe checked inflight");
+            (fl.level, fl.members.len(), fl.copies[0].worker)
+        };
+        self.log(LoggedEvent::HedgeDispatched {
+            cycle: now,
+            batch: id,
+            worker,
+            primary,
+        });
+        self.fault_stats.hedges += 1;
+        let (cycles, crash) = self.attempt_outcome(id, worker, level, len, now);
+        let end = self.charge_attempt(id, worker, now, cycles);
+        let fl = self.inflight[id].as_mut().expect("probe checked inflight");
+        fl.hedged = true;
+        fl.copies.push(Attempt {
+            worker,
+            start: now,
+            end,
+            crash,
+            hedge: true,
+        });
+    }
+
+    /// A copy of batch `id` completed on `worker`: first completion
+    /// wins. Cancel any racing copy (un-charging its unfinished
+    /// cycles), then fill the per-request and per-batch stats — the
+    /// single counting point, so a requeued-then-served request is
+    /// counted exactly once.
+    fn on_completion(&mut self, id: usize, worker: usize, start: u64, now: u64) {
+        self.log(LoggedEvent::Completed {
+            cycle: now,
+            batch: id,
+            worker,
+        });
+        let fl = self.inflight[id].take().expect("completed batch in flight");
+        let winner = fl
+            .copies
+            .iter()
+            .find(|c| c.worker == worker)
+            .expect("winning copy recorded");
+        if winner.hedge {
+            self.fault_stats.hedge_wins += 1;
+        }
+        for loser in fl.copies.iter().filter(|c| c.worker != worker) {
+            self.log(LoggedEvent::HedgeCancelled {
+                cycle: now,
+                batch: id,
+                worker: loser.worker,
+            });
+            self.fault_stats.wasted_cycles += now - loser.start;
+            let lw = &mut self.workers[loser.worker];
+            lw.busy -= loser.end - now; // un-charge the unrun remainder
+            lw.free_at = now;
+            lw.current = None;
+            lw.epoch += 1;
+        }
+        self.workers[worker].current = None;
+        // Feed the hedge detector with the winning duration.
+        if self.cfg.resilience.hedge.is_some() {
+            let duration = now - start;
+            if self.svc_hist.len() < HEDGE_HISTORY {
+                self.svc_hist.push(duration);
+            } else {
+                self.svc_hist[self.svc_hist_pos] = duration;
+            }
+            self.svc_hist_pos = (self.svc_hist_pos + 1) % HEDGE_HISTORY;
+        }
+        debug_assert!(self.batch_stats[id].is_none(), "batch completed twice");
+        self.batch_stats[id] = Some(BatchStat {
+            worker,
+            len: fl.members.len(),
+            close_cycle: fl.close_cycle,
+            start_cycle: start,
+            end_cycle: now,
+        });
+        for (slot, &req) in fl.members.iter().enumerate() {
             let r = self.requests[req];
             debug_assert!(self.request_stats[req].is_none(), "request served twice");
             self.request_stats[req] = Some(RequestStat {
                 arrival: r.arrival,
-                dispatch: now,
-                completion: end,
+                dispatch: start,
+                completion: now,
                 worker,
-                batch: b.id,
+                batch: id,
                 slot,
             });
             let c = &mut self.class_stats[r.class];
             c.served += 1;
-            if r.slo_cycles.is_none_or(|slo| end - r.arrival <= slo) {
+            if r.slo_cycles.is_none_or(|slo| now - r.arrival <= slo) {
                 c.slo_met += 1;
+            }
+            if fl.level > 0 {
+                c.degraded += 1;
             }
         }
     }
 
-    fn on_worker_free(&mut self, worker: usize, now: u64) {
-        debug_assert!(
-            self.workers[worker].free_at == now,
-            "stale worker-free event"
-        );
-        if let Some(batch) = self.workers[worker].current.take() {
-            self.log(LoggedEvent::Completed {
-                cycle: now,
-                batch,
-                worker,
-            });
+    fn on_worker_free(&mut self, worker: usize, epoch: u64, now: u64) {
+        let w = &self.workers[worker];
+        if !w.active || w.epoch != epoch {
+            return; // orphaned by a crash or hedge cancellation
+        }
+        debug_assert!(w.free_at == now, "stale worker-free event");
+        if let Some(id) = w.current {
+            let copy = self.inflight[id]
+                .as_ref()
+                .and_then(|fl| fl.copies.iter().find(|c| c.worker == worker))
+                .expect("freed worker's copy in flight");
+            let (start, crash) = (copy.start, copy.crash);
+            debug_assert_eq!(copy.end, now, "copy ends at its scheduled cycle");
+            if crash {
+                self.on_crash(id, worker, start, now);
+            } else {
+                self.on_completion(id, worker, start, now);
+            }
         }
         self.try_dispatch(now);
+    }
+
+    /// Graceful-degradation controller: one watermark step per
+    /// evaluation, every transition logged.
+    fn on_degrade_eval(&mut self, now: u64, arrivals_pending: bool) {
+        let d = self
+            .cfg
+            .resilience
+            .degrade
+            .expect("degrade event without config");
+        let occ = self.occupancy();
+        let old = self.degrade_level;
+        if occ >= d.high_occupancy && self.degrade_level < d.max_level {
+            self.degrade_level += 1;
+        } else if occ <= d.low_occupancy && self.degrade_level > 0 {
+            self.degrade_level -= 1;
+        }
+        if self.degrade_level != old {
+            self.fault_stats.degrade_shifts += 1;
+            self.log(LoggedEvent::Degraded {
+                cycle: now,
+                level: self.degrade_level,
+            });
+        }
+        // Keep evaluating while work remains or quality is still shed,
+        // so the system always recovers to full quality.
+        let work_remains = arrivals_pending
+            || self.occupancy() > 0
+            || self.degrade_level > 0
+            || self
+                .workers
+                .iter()
+                .any(|w| w.active && (w.current.is_some() || w.free_at > now));
+        if work_remains {
+            let cycle = now
+                .checked_add(d.eval_period_cycles)
+                .expect("degrade period overflows u64");
+            self.heap.push(Reverse(Ev {
+                cycle,
+                rank: RANK_SCALE,
+                tiebreak: 1,
+                kind: EvKind::DegradeEval,
+            }));
+        }
     }
 
     fn on_scale_eval(&mut self, now: u64, arrivals_pending: bool) {
@@ -846,12 +1700,13 @@ impl<'a> Runtime<'a> {
                 busy: 0,
                 active: true,
                 current: None,
+                epoch: 0,
             });
             self.heap.push(Reverse(Ev {
                 cycle: ready_at,
                 rank: RANK_WORKER_FREE,
                 tiebreak: u64_from(worker),
-                kind: EvKind::WorkerFree { worker },
+                kind: EvKind::WorkerFree { worker, epoch: 0 },
             }));
             self.log(LoggedEvent::ScaledUp {
                 cycle: now,
@@ -948,6 +1803,31 @@ pub fn run_runtime_with_sink(
     warmup_cycles: u64,
     sink: &mut dyn EventSink,
 ) -> RuntimeOutcome {
+    let model = ServiceModel {
+        service: &|_, n| service(n),
+        respawn_warmup: &|_| warmup_cycles,
+    };
+    run_runtime_resilient(cfg, requests, &model, warmup_cycles, sink)
+}
+
+/// The fault-tolerant generalization: a level-aware [`ServiceModel`]
+/// replaces the flat service table, and
+/// [`RuntimeConfig::resilience`] arms fault injection and recovery.
+/// With [`ResilienceConfig::none`] and a level-ignoring model this is
+/// byte-identical to [`run_runtime`] — same events, same digest, same
+/// outcome.
+///
+/// # Panics
+///
+/// Panics under [`run_runtime`]'s conditions, or if the model returns
+/// zero service cycles for any configured degradation level.
+pub fn run_runtime_resilient(
+    cfg: &RuntimeConfig,
+    requests: &[Request],
+    model: &ServiceModel,
+    warmup_cycles: u64,
+    sink: &mut dyn EventSink,
+) -> RuntimeOutcome {
     cfg.validate().expect("invalid runtime configuration");
     assert!(
         requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
@@ -962,15 +1842,21 @@ pub fn run_runtime_with_sink(
         warmup_cycles <= VIRTUAL_TIME_HORIZON,
         "warmup exceeds the virtual-time horizon"
     );
-    for n in 1..=cfg.batcher.max_batch {
-        assert!(service(n) > 0, "service cycles must be positive");
+    let max_level = cfg.resilience.degrade.map_or(0, |d| d.max_level);
+    for level in 0..=max_level {
+        for n in 1..=cfg.batcher.max_batch {
+            assert!(
+                (model.service)(level, n) > 0,
+                "service cycles must be positive at every degradation level"
+            );
+        }
     }
     let classes = requests.iter().map(|r| r.class).max().map_or(1, |c| c + 1);
 
     let mut rt = Runtime {
         cfg,
         requests,
-        service,
+        model,
         warmup: warmup_cycles,
         heap: BinaryHeap::new(),
         workers: (0..cfg.workers)
@@ -979,12 +1865,21 @@ pub fn run_runtime_with_sink(
                 busy: 0,
                 active: true,
                 current: None,
+                epoch: 0,
             })
             .collect(),
         forming: None,
         queue: VecDeque::new(),
         next_batch_id: 0,
         next_generation: 0,
+        inflight: Vec::new(),
+        attempts: Vec::new(),
+        attempt_seq: 0,
+        respawn_seq: 0,
+        svc_hist: Vec::new(),
+        svc_hist_pos: 0,
+        degrade_level: 0,
+        fault_stats: FaultStats::default(),
         request_stats: vec![None; requests.len()],
         batch_stats: Vec::new(),
         rejections: Vec::new(),
@@ -1001,6 +1896,14 @@ pub fn run_runtime_with_sink(
             rank: RANK_SCALE,
             tiebreak: 0,
             kind: EvKind::ScaleEval,
+        }));
+    }
+    if let Some(d) = &cfg.resilience.degrade {
+        rt.heap.push(Reverse(Ev {
+            cycle: d.eval_period_cycles,
+            rank: RANK_SCALE,
+            tiebreak: 1,
+            kind: EvKind::DegradeEval,
         }));
     }
 
@@ -1020,11 +1923,17 @@ pub fn run_runtime_with_sink(
         if take_heap {
             let Reverse(ev) = rt.heap.pop().expect("peeked event");
             match ev.kind {
-                EvKind::WorkerFree { worker } => rt.on_worker_free(worker, ev.cycle),
+                EvKind::WorkerFree { worker, epoch } => rt.on_worker_free(worker, epoch, ev.cycle),
                 EvKind::Close { generation } => rt.on_close_event(generation, ev.cycle),
+                EvKind::Requeue { batch } => rt.on_requeue(batch, ev.cycle),
+                EvKind::HedgeCheck { batch, epoch } => rt.on_hedge_check(batch, epoch, ev.cycle),
                 EvKind::ScaleEval => {
                     let arrivals_pending = cursor < requests.len();
                     rt.on_scale_eval(ev.cycle, arrivals_pending);
+                }
+                EvKind::DegradeEval => {
+                    let arrivals_pending = cursor < requests.len();
+                    rt.on_degrade_eval(ev.cycle, arrivals_pending);
                 }
             }
         } else {
@@ -1036,9 +1945,13 @@ pub fn run_runtime_with_sink(
 
     debug_assert!(rt.forming.is_none(), "forming batch left open at drain");
     debug_assert!(rt.queue.is_empty(), "closed batches left undispatched");
+    debug_assert!(
+        rt.inflight.iter().all(Option::is_none),
+        "batches left in flight at drain"
+    );
 
     // Conservation: every request was served exactly once XOR rejected
-    // exactly once.
+    // exactly once (rejection includes retry exhaustion).
     let mut rejected = vec![false; requests.len()];
     for r in &rt.rejections {
         assert!(!rejected[r.request], "request rejected twice");
@@ -1056,30 +1969,50 @@ pub fn run_runtime_with_sink(
             None => assert!(rejected[i], "request lost: neither served nor rejected"),
         }
     }
+    debug_assert!(
+        rt.class_stats
+            .iter()
+            .all(|c| c.offered == c.served + c.shed + c.infeasible + c.retry_exhausted),
+        "per-class ledger does not sum"
+    );
 
-    let makespan_cycles = rt
-        .batch_stats
-        .iter()
-        .map(|b| b.end_cycle)
-        .max()
-        .unwrap_or(0);
+    // Retry-exhausted batches never completed: compact them out of the
+    // batch list (identity when every batch completed) and remap the
+    // per-request batch indices.
+    let mut batches = Vec::with_capacity(rt.batch_stats.len());
+    let mut close_causes = Vec::with_capacity(rt.close_causes.len());
+    let mut batch_map = vec![usize::MAX; rt.batch_stats.len()];
+    for (id, stat) in rt.batch_stats.iter().enumerate() {
+        if let Some(s) = stat {
+            batch_map[id] = batches.len();
+            batches.push(*s);
+            close_causes.push(rt.close_causes[id]);
+        }
+    }
+    for s in &mut request_stats {
+        s.batch = batch_map[s.batch];
+        debug_assert!(s.batch != usize::MAX, "served request's batch completed");
+    }
+
+    let makespan_cycles = batches.iter().map(|b| b.end_cycle).max().unwrap_or(0);
     let worker_busy_cycles = rt.workers.iter().map(|w| w.busy).collect();
     RuntimeOutcome {
         sim: SimOutcome {
             requests: request_stats,
-            batches: rt.batch_stats,
+            batches,
             worker_busy_cycles,
             makespan_cycles,
         },
         served,
         rejections: rt.rejections,
-        close_causes: rt.close_causes,
+        close_causes,
         scaling: rt.scaling,
         class_stats: rt.class_stats,
         warmup_cycles,
         total_requests: requests.len(),
         event_digest: rt.digest,
         events: rt.events,
+        faults: rt.fault_stats,
     }
 }
 
@@ -1104,6 +2037,7 @@ mod tests {
             deadline_aware: false,
             autoscaler: None,
             record_events: false,
+            resilience: ResilienceConfig::none(),
         }
     }
 
@@ -1125,6 +2059,7 @@ mod tests {
                 eval_period_cycles: 500,
             }),
             record_events: false,
+            resilience: ResilienceConfig::none(),
         };
         assert_eq!(ok.validate(), Ok(()));
         assert_eq!(

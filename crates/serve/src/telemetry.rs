@@ -58,6 +58,9 @@ struct BatchState {
     dispatch: u64,
     worker: usize,
     len: usize,
+    /// A racing hedged duplicate, when one was dispatched.
+    hedge_worker: Option<usize>,
+    hedge_start: u64,
 }
 
 /// An [`EventSink`] that records the serving timeline and windowed
@@ -218,7 +221,14 @@ impl EventSink for RuntimeTelemetry {
             | LoggedEvent::Dispatched { cycle, .. }
             | LoggedEvent::Completed { cycle, .. }
             | LoggedEvent::ScaledUp { cycle, .. }
-            | LoggedEvent::ScaledDown { cycle, .. } => cycle,
+            | LoggedEvent::ScaledDown { cycle, .. }
+            | LoggedEvent::WorkerCrashed { cycle, .. }
+            | LoggedEvent::Requeued { cycle, .. }
+            | LoggedEvent::WorkerStalled { cycle, .. }
+            | LoggedEvent::Straggling { cycle, .. }
+            | LoggedEvent::HedgeDispatched { cycle, .. }
+            | LoggedEvent::HedgeCancelled { cycle, .. }
+            | LoggedEvent::Degraded { cycle, .. } => cycle,
         };
         self.flush_windows(cycle);
         self.last_cycle = self.last_cycle.max(cycle);
@@ -250,6 +260,8 @@ impl EventSink for RuntimeTelemetry {
                         dispatch: 0,
                         worker: 0,
                         len: 0,
+                        hedge_worker: None,
+                        hedge_start: 0,
                     });
                 }
                 self.batches[batch].members.push(request);
@@ -264,6 +276,7 @@ impl EventSink for RuntimeTelemetry {
                     Rejection::QueueFull => "serve.rejected.queue_full",
                     Rejection::DeadlineInfeasible => "serve.rejected.infeasible",
                     Rejection::ShedLowPriority => "serve.rejected.shed_priority",
+                    Rejection::RetryExhausted => "serve.rejected.retry_exhausted",
                 };
                 self.rec.counter_add(name, 1);
                 if rejection != Rejection::DeadlineInfeasible {
@@ -272,8 +285,12 @@ impl EventSink for RuntimeTelemetry {
                     self.win_class[c].shed += 1;
                 }
                 // A ShedLowPriority rejection evicts an *admitted*
-                // forming-batch member: undo its admission.
-                if self.admitted_at[request] != NOT_ADMITTED {
+                // forming-batch member: undo its admission. RetryExhausted
+                // members were already dispatched (their occupancy was
+                // released at Dispatched), so admission stands as-is.
+                if rejection != Rejection::RetryExhausted
+                    && self.admitted_at[request] != NOT_ADMITTED
+                {
                     let b = self.batch_of[request];
                     if let Some(batch) = self.batches.get_mut(b) {
                         batch.members.retain(|&m| m != request);
@@ -303,6 +320,8 @@ impl EventSink for RuntimeTelemetry {
                     b.dispatch = cycle;
                     b.worker = worker;
                     b.len = len;
+                    b.hedge_worker = None;
+                    b.hedge_start = 0;
                 }
                 if worker >= self.busy.len() {
                     self.busy.resize_with(worker + 1, Vec::new);
@@ -318,12 +337,24 @@ impl EventSink for RuntimeTelemetry {
                     self.rec.hist_record("serve.queue_wait_cycles", wait);
                 }
             }
-            LoggedEvent::Completed { cycle, batch, .. } => {
+            LoggedEvent::Completed {
+                cycle,
+                batch,
+                worker,
+                ..
+            } => {
                 self.rec.counter_add("serve.completions", 1);
                 let Some(b) = self.batches.get(batch) else {
                     return;
                 };
-                let (start, worker, len) = (b.dispatch, b.worker, b.len);
+                // A hedged duplicate may win the race: attribute the
+                // service span to the worker that actually finished.
+                let start = if Some(worker) == b.hedge_worker {
+                    b.hedge_start
+                } else {
+                    b.dispatch
+                };
+                let len = b.len;
                 let members = b.members.clone();
                 self.rec.record_span(
                     TRACK_WORKER_BASE + worker as u32,
@@ -385,6 +416,87 @@ impl EventSink for RuntimeTelemetry {
             LoggedEvent::ScaledDown { .. } => {
                 self.rec.counter_add("serve.scale_downs", 1);
             }
+            LoggedEvent::WorkerCrashed {
+                cycle,
+                batch,
+                worker,
+                wasted,
+            } => {
+                self.rec.counter_add("serve.faults.crashes", 1);
+                if worker >= self.busy.len() {
+                    self.busy.resize_with(worker + 1, Vec::new);
+                }
+                let start = cycle - wasted;
+                self.rec.record_span(
+                    TRACK_WORKER_BASE + worker as u32,
+                    "crashed",
+                    start,
+                    cycle,
+                    vec![("batch", u64_from(batch))],
+                );
+                self.busy[worker].push((start, cycle));
+            }
+            LoggedEvent::Requeued { batch, attempt, .. } => {
+                self.rec.counter_add("serve.faults.requeues", 1);
+                self.rec
+                    .hist_record("serve.retry_attempt", u64::from(attempt));
+                // The batch re-enters the queued population until its
+                // next dispatch releases it again.
+                let n = self.batches.get(batch).map_or(0, |b| b.members.len());
+                self.occupancy += n;
+            }
+            LoggedEvent::WorkerStalled { stall, .. } => {
+                self.rec.counter_add("serve.faults.stalls", 1);
+                self.rec.hist_record("serve.stall_cycles", stall);
+            }
+            LoggedEvent::Straggling { .. } => {
+                self.rec.counter_add("serve.faults.stragglers", 1);
+            }
+            LoggedEvent::HedgeDispatched {
+                cycle,
+                batch,
+                worker,
+                ..
+            } => {
+                self.rec.counter_add("serve.faults.hedges", 1);
+                if worker >= self.busy.len() {
+                    self.busy.resize_with(worker + 1, Vec::new);
+                }
+                if let Some(b) = self.batches.get_mut(batch) {
+                    b.hedge_worker = Some(worker);
+                    b.hedge_start = cycle;
+                }
+            }
+            LoggedEvent::HedgeCancelled {
+                cycle,
+                batch,
+                worker,
+            } => {
+                self.rec.counter_add("serve.faults.hedge_cancelled", 1);
+                let start = self.batches.get(batch).map_or(cycle, |b| {
+                    if Some(worker) == b.hedge_worker {
+                        b.hedge_start
+                    } else {
+                        b.dispatch
+                    }
+                });
+                if worker >= self.busy.len() {
+                    self.busy.resize_with(worker + 1, Vec::new);
+                }
+                self.rec.record_span(
+                    TRACK_WORKER_BASE + worker as u32,
+                    "cancelled",
+                    start,
+                    cycle,
+                    vec![("batch", u64_from(batch))],
+                );
+                self.busy[worker].push((start, cycle));
+            }
+            LoggedEvent::Degraded { cycle, level } => {
+                self.rec.counter_add("serve.faults.degrade_shifts", 1);
+                self.rec
+                    .gauge_sample("serve.degrade_level", cycle, f64::from(level));
+            }
         }
     }
 }
@@ -393,7 +505,7 @@ impl EventSink for RuntimeTelemetry {
 mod tests {
     use super::*;
     use crate::batcher::BatcherConfig;
-    use crate::runtime::{run_runtime, run_runtime_with_sink, RuntimeConfig};
+    use crate::runtime::{run_runtime, run_runtime_with_sink, ResilienceConfig, RuntimeConfig};
 
     fn flat_service(n: usize) -> u64 {
         100 + 10 * n as u64
@@ -422,6 +534,7 @@ mod tests {
             deadline_aware: true,
             autoscaler: None,
             record_events: false,
+            resilience: ResilienceConfig::none(),
         }
     }
 
@@ -520,6 +633,7 @@ mod tests {
             deadline_aware: false,
             autoscaler: None,
             record_events: false,
+            resilience: ResilienceConfig::none(),
         };
         let mut sink = RuntimeTelemetry::new(&requests, 100);
         run_runtime_with_sink(&cfg, &requests, &flat_service, 0, &mut sink);

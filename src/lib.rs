@@ -7,6 +7,8 @@
 //! - [`tensor`] — minimal dense tensors with conv/matmul reference ops
 //! - [`mnist`] — synthetic MNIST-style data and deterministic weights
 //! - [`capsnet`] — reference CapsuleNet with routing-by-agreement
+//! - [`faults`] — deterministic seeded fault-injection plans across
+//!   the serve, memory and engine layers
 //! - [`memory`] — banked scratchpads, DRAM channel and tile prefetcher
 //! - [`core`] — the cycle-accurate CapsAcc accelerator simulator
 //! - [`serve`] — deterministic request serving: arrival traces, dynamic
@@ -31,6 +33,7 @@
 
 pub use capsacc_capsnet as capsnet;
 pub use capsacc_core as core;
+pub use capsacc_faults as faults;
 pub use capsacc_fixed as fixed;
 pub use capsacc_gpu_model as gpu;
 pub use capsacc_memory as memory;

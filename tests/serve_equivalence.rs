@@ -11,7 +11,7 @@ use capsacc::core::{timing, Accelerator, AcceleratorConfig, BatchScheduler, Engi
 use capsacc::serve::{
     arrival_trace, dispatch_batches, engine_service_cycles_table, form_batches, run_runtime,
     serve_with_engine, service_cycles_table, simulate_runtime, simulate_serve, BatcherConfig,
-    Request, RuntimeConfig, ServeConfig, ShardPool, TraceConfig,
+    Request, ResilienceConfig, RuntimeConfig, ServeConfig, ShardPool, TraceConfig,
 };
 use capsacc::tensor::Tensor;
 use proptest::prelude::*;
@@ -237,6 +237,7 @@ fn anchored_runtime(batcher: BatcherConfig, workers: usize) -> RuntimeConfig {
         deadline_aware: false,
         autoscaler: None,
         record_events: false,
+        resilience: ResilienceConfig::none(),
     }
 }
 

@@ -1,0 +1,331 @@
+//! Fault-tolerance invariants of the serving runtime (PR 10).
+//!
+//! Under any seeded [`capsacc::faults::FaultPlan`] the runtime must
+//! keep its books: no request is ever lost (served XOR rejected XOR
+//! retry-exhausted, exactly once), retries stay within budget, hedged
+//! duplicates never double-count a completion, and every run — faulted
+//! or not — is byte-identical on rerun. With
+//! [`ResilienceConfig::none`] the runtime must be indistinguishable
+//! from the pre-fault engine: same events, same digest, same outcome.
+
+use capsacc::faults::FaultPlan;
+use capsacc::serve::{
+    run_runtime, workload_trace, ArrivalRegime, AutoscalerConfig, BatcherConfig, ClassConfig,
+    DegradeConfig, HedgeConfig, LoggedEvent, Rejection, Request, ResilienceConfig, RetryConfig,
+    RuntimeConfig, RuntimeOutcome, WorkloadConfig,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn flat_service(n: usize) -> u64 {
+    400 + 60 * n as u64
+}
+
+fn workload(seed: u64, requests: usize, gap: u64) -> Vec<Request> {
+    workload_trace(&WorkloadConfig {
+        seed,
+        requests,
+        regime: ArrivalRegime::Bursty {
+            mean_gap_cycles: gap as f64,
+            mean_burst: 3.0,
+        },
+        classes: vec![
+            ClassConfig {
+                weight: 2,
+                slo_cycles: Some(30_000),
+            },
+            ClassConfig {
+                weight: 1,
+                slo_cycles: None,
+            },
+        ],
+    })
+}
+
+/// A runtime config with fault injection armed at the given serve-layer
+/// rates, plus optional hedging and degradation.
+fn faulted_cfg(
+    fault_seed: u64,
+    crash: f64,
+    stall: f64,
+    straggle: f64,
+    hedge: bool,
+    degrade: bool,
+) -> RuntimeConfig {
+    let mut faults = FaultPlan::seeded(fault_seed);
+    faults.serve.crash_per_dispatch = crash;
+    faults.serve.stall_per_dispatch = stall;
+    faults.serve.stall_cycles = 500;
+    faults.serve.straggler_per_dispatch = straggle;
+    faults.serve.straggler_factor = 4;
+    RuntimeConfig {
+        workers: 3,
+        batcher: BatcherConfig {
+            max_batch: 4,
+            max_wait_cycles: 800,
+        },
+        queue_capacity: Some(64),
+        deadline_aware: false,
+        autoscaler: Some(AutoscalerConfig {
+            min_workers: 2,
+            max_workers: 6,
+            scale_up_queue_per_worker: 8,
+            scale_down_idle_cycles: 50_000,
+            eval_period_cycles: 5_000,
+        }),
+        record_events: true,
+        resilience: ResilienceConfig {
+            faults,
+            retry: RetryConfig {
+                max_attempts: 3,
+                backoff_base_cycles: 200,
+            },
+            hedge: hedge.then(HedgeConfig::standard),
+            degrade: degrade.then_some(DegradeConfig {
+                high_occupancy: 24,
+                low_occupancy: 8,
+                eval_period_cycles: 2_000,
+                max_level: 2,
+            }),
+        },
+    }
+}
+
+/// Conservation: every offered request is served, shed, refused as
+/// infeasible, or retry-exhausted — exactly one of them, exactly once —
+/// and the per-class ledgers sum to the same books.
+fn assert_no_request_lost(out: &RuntimeOutcome, requests: &[Request]) {
+    let n = requests.len();
+    let mut seen = vec![0usize; n];
+    for &r in &out.served {
+        seen[r] += 1;
+    }
+    for rej in &out.rejections {
+        seen[rej.request] += 1;
+    }
+    for (r, &count) in seen.iter().enumerate() {
+        assert_eq!(count, 1, "request {r} resolved {count} times, want 1");
+    }
+    assert_eq!(out.total_requests, n);
+    for (class, c) in out.class_stats.iter().enumerate() {
+        assert_eq!(
+            c.offered,
+            c.served + c.shed + c.infeasible + c.retry_exhausted,
+            "class {class} ledger out of balance: {c:?}"
+        );
+    }
+    let offered: usize = out.class_stats.iter().map(|c| c.offered).sum();
+    assert_eq!(offered, n);
+}
+
+/// Retry bound: no batch is requeued more than `max_attempts - 1`
+/// times, and every requeue carries an in-budget attempt number.
+fn assert_retry_bounded(out: &RuntimeOutcome, max_attempts: u32) {
+    let mut requeues: BTreeMap<usize, u32> = BTreeMap::new();
+    for e in &out.events {
+        if let LoggedEvent::Requeued { batch, attempt, .. } = *e {
+            let c = requeues.entry(batch).or_insert(0);
+            *c += 1;
+            assert!(
+                attempt < max_attempts,
+                "batch {batch} requeued after attempt {attempt} with budget {max_attempts}"
+            );
+        }
+    }
+    for (batch, count) in requeues {
+        assert!(
+            count < max_attempts,
+            "batch {batch} requeued {count} times with budget {max_attempts}"
+        );
+    }
+}
+
+/// Hedged duplicates never double-count: one completion per batch,
+/// every cancelled hedge accounted, wins bounded by hedges.
+fn assert_hedges_single_count(out: &RuntimeOutcome) {
+    let mut completions: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut cancelled = 0usize;
+    for e in &out.events {
+        match *e {
+            LoggedEvent::Completed { batch, .. } => *completions.entry(batch).or_insert(0) += 1,
+            LoggedEvent::HedgeCancelled { .. } => cancelled += 1,
+            _ => {}
+        }
+    }
+    for (batch, count) in &completions {
+        assert_eq!(*count, 1, "batch {batch} completed {count} times");
+    }
+    assert_eq!(completions.len(), out.sim.batches.len());
+    assert!(out.faults.hedge_wins <= out.faults.hedges);
+    assert!(cancelled <= out.faults.hedges, "more cancels than hedges");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Faults-off is byte-invisible: a resilience block with no fault
+    /// plan, hedging or degradation produces the identical outcome —
+    /// digest included — regardless of its retry parameters.
+    #[test]
+    fn faults_off_is_byte_identical(
+        seed in 0u64..500,
+        n in 20usize..80,
+        gap in 300u64..3_000,
+        max_attempts in 1u32..6,
+        backoff in 1u64..10_000,
+    ) {
+        let requests = workload(seed, n, gap);
+        let mut base = faulted_cfg(0, 0.0, 0.0, 0.0, false, false);
+        base.resilience = ResilienceConfig::none();
+        let golden = run_runtime(&base, &requests, &flat_service, 900);
+        let mut tweaked = base;
+        tweaked.resilience.retry = RetryConfig { max_attempts, backoff_base_cycles: backoff };
+        prop_assert!(tweaked.resilience.is_none());
+        let out = run_runtime(&tweaked, &requests, &flat_service, 900);
+        prop_assert_eq!(&out, &golden);
+        prop_assert_eq!(out.event_digest, golden.event_digest);
+        prop_assert_eq!(out.faults, capsacc::serve::FaultStats::default());
+        assert_no_request_lost(&golden, &requests);
+    }
+
+    /// Seeded fault schedules are deterministic: the same plan rerun
+    /// is byte-identical, and every bookkeeping invariant holds under
+    /// crashes, stalls, stragglers, hedging and degradation at once.
+    #[test]
+    fn faulted_runs_hold_invariants_and_rerun_identically(
+        seed in 0u64..300,
+        fault_seed in 0u64..300,
+        n in 20usize..80,
+        gap in 200u64..2_000,
+        crash in 0.0f64..0.25,
+        stall in 0.0f64..0.2,
+        straggle in 0.0f64..0.2,
+        hedge in any::<bool>(),
+        degrade in any::<bool>(),
+    ) {
+        let requests = workload(seed, n, gap);
+        let cfg = faulted_cfg(fault_seed, crash, stall, straggle, hedge, degrade);
+        let out = run_runtime(&cfg, &requests, &flat_service, 900);
+        let again = run_runtime(&cfg, &requests, &flat_service, 900);
+        prop_assert_eq!(&out, &again);
+        prop_assert_eq!(out.event_digest, again.event_digest);
+        assert_no_request_lost(&out, &requests);
+        assert_retry_bounded(&out, cfg.resilience.retry.max_attempts);
+        assert_hedges_single_count(&out);
+        // A crash with a surviving hedged copy neither requeues nor
+        // exhausts — the race partner is still running — so the exact
+        // crash identity holds only hedge-free.
+        prop_assert!(out.faults.requeues + out.faults.exhausted_batches <= out.faults.crashes);
+        if !hedge {
+            prop_assert_eq!(out.faults.hedges, 0);
+            prop_assert_eq!(out.faults.requeues + out.faults.exhausted_batches,
+                out.faults.crashes, "every crash either requeues its batch or exhausts it");
+        }
+        if !degrade {
+            prop_assert_eq!(out.faults.degrade_shifts, 0);
+        }
+    }
+}
+
+#[test]
+fn certain_crashes_exhaust_every_batch_without_losing_requests() {
+    // crash_per_dispatch = 1.0: every dispatch dies, every batch burns
+    // its whole retry budget, and every admitted request must come back
+    // as RetryExhausted — the runtime terminates with its books intact.
+    let requests = workload(5, 40, 800);
+    let cfg = faulted_cfg(9, 1.0, 0.0, 0.0, false, false);
+    let out = run_runtime(&cfg, &requests, &flat_service, 900);
+    assert_no_request_lost(&out, &requests);
+    assert!(out.served.is_empty(), "no dispatch can ever complete");
+    assert!(out.faults.exhausted_batches > 0);
+    assert!(
+        out.retry_exhausted_count() > 0,
+        "exhausted batches must refuse their members"
+    );
+    assert_eq!(
+        out.faults.crashes,
+        out.faults.requeues + out.faults.exhausted_batches
+    );
+    // Deterministic even at the pathological edge.
+    assert_eq!(out, run_runtime(&cfg, &requests, &flat_service, 900));
+}
+
+#[test]
+fn moderate_crash_rate_keeps_goodput_with_retries() {
+    // The tentpole's serving claim at test scale: with 1% crashes and
+    // the standard retry budget, ≥90% of offered requests are served.
+    let requests = workload(11, 300, 900);
+    let cfg = faulted_cfg(3, 0.01, 0.0, 0.0, false, false);
+    let out = run_runtime(&cfg, &requests, &flat_service, 900);
+    assert_no_request_lost(&out, &requests);
+    assert!(
+        out.served_fraction() >= 0.90,
+        "goodput {} below 0.90 at 1% crash rate",
+        out.served_fraction()
+    );
+}
+
+#[test]
+fn stragglers_trigger_hedges_and_first_completion_wins() {
+    // A high straggler rate with hedging armed must actually dispatch
+    // duplicates, let some win, and still count every batch once.
+    let requests = workload(21, 200, 600);
+    let cfg = faulted_cfg(7, 0.0, 0.0, 0.5, true, false);
+    let out = run_runtime(&cfg, &requests, &flat_service, 900);
+    assert_no_request_lost(&out, &requests);
+    assert!(out.faults.stragglers > 0, "50% straggler rate must fire");
+    assert!(out.faults.hedges > 0, "stragglers must trigger hedges");
+    assert_hedges_single_count(&out);
+    assert_eq!(out, run_runtime(&cfg, &requests, &flat_service, 900));
+}
+
+#[test]
+fn sustained_overload_degrades_and_recovers() {
+    // A long saturating burst pushes occupancy over the watermark: the
+    // controller must shed quality (level > 0), mark the degraded
+    // servings, and step back down as the queue drains.
+    let requests = workload(31, 400, 60);
+    let cfg = faulted_cfg(1, 0.0, 0.0, 0.0, false, true);
+    let out = run_runtime(&cfg, &requests, &flat_service, 900);
+    assert_no_request_lost(&out, &requests);
+    assert!(out.faults.degrade_shifts > 0, "watermark must trip");
+    let degraded: usize = out.class_stats.iter().map(|c| c.degraded).sum();
+    assert!(degraded > 0, "some servings must run degraded");
+    let mut level = 0u32;
+    let mut saw_up = false;
+    let mut saw_down = false;
+    for e in &out.events {
+        if let LoggedEvent::Degraded { level: l, .. } = *e {
+            assert!(l.abs_diff(level) == 1, "level moves one step at a time");
+            if l > level {
+                saw_up = true;
+            } else {
+                saw_down = true;
+            }
+            level = l;
+        }
+    }
+    assert!(saw_up && saw_down, "level must rise under load and recover");
+    assert_eq!(level, 0, "quality restored once the burst drains");
+}
+
+#[test]
+fn rejection_reasons_partition_the_rejected_set() {
+    let requests = workload(41, 200, 100);
+    let mut cfg = faulted_cfg(13, 0.2, 0.0, 0.0, false, false);
+    cfg.queue_capacity = Some(12);
+    let out = run_runtime(&cfg, &requests, &flat_service, 900);
+    assert_no_request_lost(&out, &requests);
+    let by_kind = |k: Rejection| out.rejections.iter().filter(|r| r.rejection == k).count();
+    assert_eq!(
+        out.rejections.len(),
+        by_kind(Rejection::QueueFull)
+            + by_kind(Rejection::ShedLowPriority)
+            + by_kind(Rejection::DeadlineInfeasible)
+            + by_kind(Rejection::RetryExhausted)
+    );
+    assert_eq!(
+        by_kind(Rejection::RetryExhausted),
+        out.retry_exhausted_count()
+    );
+}

@@ -19,7 +19,8 @@
 
 use capsacc::serve::{
     run_runtime, workload_trace, ArrivalRegime, AutoscalerConfig, BatcherConfig, ClassConfig,
-    LoggedEvent, Rejection, Request, RuntimeConfig, RuntimeOutcome, ScalingEvent, WorkloadConfig,
+    LoggedEvent, Rejection, Request, ResilienceConfig, RuntimeConfig, RuntimeOutcome, ScalingEvent,
+    WorkloadConfig,
 };
 use proptest::prelude::*;
 use std::cmp::Reverse;
@@ -154,7 +155,8 @@ fn assert_priority_correct(requests: &[Request], out: &RuntimeOutcome) {
                     forming.retain(|&m| m != request);
                     pending_eviction = Some(request);
                 }
-                Rejection::DeadlineInfeasible => {}
+                // Neither fires in these fault-free runs.
+                Rejection::DeadlineInfeasible | Rejection::RetryExhausted => {}
             },
             LoggedEvent::BatchClosed { len, .. } => {
                 assert_eq!(forming.len(), len, "event log diverged from membership");
@@ -239,6 +241,7 @@ proptest! {
                 eval_period_cycles: 1_000,
             }),
             record_events: true,
+            resilience: ResilienceConfig::none(),
         };
         let service = move |n: usize| base + 200 * n as u64;
         let out = run_runtime(&cfg, &reqs, &service, 750);
@@ -278,6 +281,7 @@ proptest! {
                 deadline_aware: false,
                 autoscaler: None,
                 record_events: false,
+                resilience: ResilienceConfig::none(),
             };
             run_runtime(&cfg, &reqs, &service, 0).shed_count()
         };
@@ -310,6 +314,7 @@ fn spike_regime_actually_sheds_and_recovers() {
         deadline_aware: false,
         autoscaler: None,
         record_events: false,
+        resilience: ResilienceConfig::none(),
     };
     let service = |n: usize| 1_500 + 300 * n as u64;
     let out = run_runtime(&cfg, &reqs, &service, 0);

@@ -26,8 +26,8 @@ use capsacc::core::{
 };
 use capsacc::serve::{
     run_runtime, run_runtime_with_sink, service_cycles_table, worker_warmup_cycles, workload_trace,
-    ArrivalRegime, AutoscalerConfig, BatcherConfig, ClassConfig, NullSink, RuntimeConfig,
-    RuntimeTelemetry, WorkloadConfig,
+    ArrivalRegime, AutoscalerConfig, BatcherConfig, ClassConfig, NullSink, ResilienceConfig,
+    RuntimeConfig, RuntimeTelemetry, WorkloadConfig,
 };
 use capsacc::tensor::Tensor;
 use proptest::prelude::*;
@@ -191,6 +191,7 @@ fn serve_fixture(seed: u64, spike: bool) -> (Vec<capsacc::serve::Request>, Runti
             eval_period_cycles: 50_000,
         }),
         record_events: false,
+        resilience: ResilienceConfig::none(),
     };
     (
         workload_trace(&workload),
